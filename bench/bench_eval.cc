@@ -1,0 +1,105 @@
+// B8: the relational substrate — evaluating expressions and templates
+// against instances of growing size (the two realizations of queries,
+// Section 1.2 vs Section 2.1).
+#include <benchmark/benchmark.h>
+
+#include "algebra/eval.h"
+#include "bench/bench_util.h"
+#include "tableau/build.h"
+#include "tableau/evaluate.h"
+
+namespace viewcap {
+namespace bench {
+namespace {
+
+void BM_EvaluateExpression(benchmark::State& state) {
+  auto schema = MakeChain(3);
+  const std::size_t tuples = static_cast<std::size_t>(state.range(0));
+  Instantiation alpha = MakeInstance(
+      *schema, tuples, static_cast<std::uint32_t>(tuples / 2 + 2), 42);
+  ExprPtr join = ChainJoin(*schema);
+  std::size_t out = 0;
+  for (auto _ : state) {
+    Relation result = Evaluate(*join, alpha);
+    out = result.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["out_tuples"] = static_cast<double>(out);
+}
+BENCHMARK(BM_EvaluateExpression)->RangeMultiplier(4)->Range(8, 512);
+
+void BM_EvaluateTableau(benchmark::State& state) {
+  auto schema = MakeChain(3);
+  const std::size_t tuples = static_cast<std::size_t>(state.range(0));
+  Instantiation alpha = MakeInstance(
+      *schema, tuples, static_cast<std::uint32_t>(tuples / 2 + 2), 42);
+  SymbolPool pool;
+  Tableau t =
+      BuildTableau(schema->catalog, schema->universe, *ChainJoin(*schema),
+                   pool)
+          .value();
+  std::size_t out = 0;
+  for (auto _ : state) {
+    Relation result = EvaluateTableau(t, alpha);
+    out = result.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["out_tuples"] = static_cast<double>(out);
+}
+BENCHMARK(BM_EvaluateTableau)->RangeMultiplier(4)->Range(8, 512);
+
+void BM_EvaluateProjectedTableau(benchmark::State& state) {
+  // Endpoint projection: embeddings still enumerate the chain, but the
+  // output dedups aggressively.
+  auto schema = MakeChain(3);
+  const std::size_t tuples = static_cast<std::size_t>(state.range(0));
+  Instantiation alpha = MakeInstance(
+      *schema, tuples, static_cast<std::uint32_t>(tuples / 2 + 2), 42);
+  SymbolPool pool;
+  AttrSet endpoints{schema->attrs.front(), schema->attrs.back()};
+  ExprPtr expr = Expr::MustProject(endpoints, ChainJoin(*schema));
+  Tableau t =
+      BuildTableau(schema->catalog, schema->universe, *expr, pool).value();
+  for (auto _ : state) {
+    Relation result = EvaluateTableau(t, alpha);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_EvaluateProjectedTableau)->RangeMultiplier(4)->Range(8, 512);
+
+void BM_CountEmbeddings(benchmark::State& state) {
+  auto schema = MakeChain(3);
+  const std::size_t tuples = static_cast<std::size_t>(state.range(0));
+  Instantiation alpha = MakeInstance(
+      *schema, tuples, static_cast<std::uint32_t>(tuples / 2 + 2), 42);
+  SymbolPool pool;
+  Tableau t =
+      BuildTableau(schema->catalog, schema->universe, *ChainJoin(*schema),
+                   pool)
+          .value();
+  std::size_t embeddings = 0;
+  for (auto _ : state) {
+    embeddings = CountEmbeddings(t, alpha);
+    benchmark::DoNotOptimize(embeddings);
+  }
+  state.counters["embeddings"] = static_cast<double>(embeddings);
+}
+BENCHMARK(BM_CountEmbeddings)->RangeMultiplier(4)->Range(8, 128);
+
+void BM_NaturalJoin(benchmark::State& state) {
+  auto schema = MakeChain(2);
+  const std::size_t tuples = static_cast<std::size_t>(state.range(0));
+  Instantiation alpha = MakeInstance(
+      *schema, tuples, static_cast<std::uint32_t>(tuples / 2 + 2), 7);
+  const Relation& left = alpha.Get(schema->relations[0]);
+  const Relation& right = alpha.Get(schema->relations[1]);
+  for (auto _ : state) {
+    Relation joined = Relation::NaturalJoin(left, right);
+    benchmark::DoNotOptimize(joined);
+  }
+}
+BENCHMARK(BM_NaturalJoin)->RangeMultiplier(4)->Range(16, 4096);
+
+}  // namespace
+}  // namespace bench
+}  // namespace viewcap

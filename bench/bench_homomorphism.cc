@@ -1,0 +1,84 @@
+// B1: homomorphism search cost (Proposition 2.4.1) vs. template size.
+//
+// Workloads: chain-join templates. "Hit" maps a k-row chain into a 2k-row
+// template containing two interleaved copies; "Miss" maps into a template
+// whose last link was severed, forcing the search to exhaust candidates.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "tableau/build.h"
+#include "tableau/homomorphism.h"
+
+namespace viewcap {
+namespace bench {
+namespace {
+
+void BM_HomomorphismHit(benchmark::State& state) {
+  const std::size_t links = static_cast<std::size_t>(state.range(0));
+  auto schema = MakeChain(links);
+  SymbolPool pool;
+  Tableau from =
+      BuildTableau(schema->catalog, schema->universe, *ChainJoin(*schema),
+                   pool)
+          .value();
+  // Two disjoint copies of the chain: every row has 2 candidates.
+  Tableau to =
+      JoinTableaux(schema->catalog, from,
+                   BuildTableau(schema->catalog, schema->universe,
+                                *ChainJoin(*schema), pool)
+                       .value(),
+                   pool)
+          .value();
+  for (auto _ : state) {
+    auto hom = FindHomomorphism(schema->catalog, from, to);
+    benchmark::DoNotOptimize(hom);
+  }
+  state.counters["rows_from"] = static_cast<double>(from.size());
+  state.counters["rows_to"] = static_cast<double>(to.size());
+}
+BENCHMARK(BM_HomomorphismHit)->DenseRange(2, 12, 2);
+
+void BM_HomomorphismMiss(benchmark::State& state) {
+  const std::size_t links = static_cast<std::size_t>(state.range(0));
+  auto schema = MakeChain(links);
+  SymbolPool pool;
+  Tableau from =
+      BuildTableau(schema->catalog, schema->universe, *ChainJoin(*schema),
+                   pool)
+          .value();
+  // Target: the chain with its last link projected away — 0_{Xn} is gone,
+  // so no homomorphism exists.
+  AttrSet kept = from.Trs();
+  kept = kept.Difference(AttrSet{schema->attrs.back()});
+  Tableau to =
+      ProjectTableau(schema->catalog, from, kept, pool).value();
+  for (auto _ : state) {
+    bool hom = HasHomomorphism(schema->catalog, from, to);
+    benchmark::DoNotOptimize(hom);
+  }
+}
+BENCHMARK(BM_HomomorphismMiss)->DenseRange(2, 12, 2);
+
+void BM_EquivalenceCheck(benchmark::State& state) {
+  const std::size_t links = static_cast<std::size_t>(state.range(0));
+  auto schema = MakeChain(links);
+  SymbolPool pool;
+  Tableau a =
+      BuildTableau(schema->catalog, schema->universe, *ChainJoin(*schema),
+                   pool)
+          .value();
+  // An equivalent but syntactically bloated realization: the join with a
+  // redundant projected copy.
+  AttrSet half{schema->attrs[0], schema->attrs[1]};
+  Tableau extra = ProjectTableau(schema->catalog, a, half, pool).value();
+  Tableau b = JoinTableaux(schema->catalog, a, extra, pool).value();
+  for (auto _ : state) {
+    bool eq = EquivalentTableaux(schema->catalog, a, b);
+    benchmark::DoNotOptimize(eq);
+  }
+}
+BENCHMARK(BM_EquivalenceCheck)->DenseRange(2, 12, 2);
+
+}  // namespace
+}  // namespace bench
+}  // namespace viewcap

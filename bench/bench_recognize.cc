@@ -1,0 +1,96 @@
+// B9: expression-template recognition (Prop. 2.4.6) and minimization cost
+// vs. template size; includes the zigzag negative family.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "tableau/build.h"
+#include "tableau/recognize.h"
+
+namespace viewcap {
+namespace bench {
+namespace {
+
+void BM_RecognizeChain(benchmark::State& state) {
+  const std::size_t links = static_cast<std::size_t>(state.range(0));
+  auto schema = MakeChain(links);
+  SymbolPool pool;
+  Tableau t =
+      BuildTableau(schema->catalog, schema->universe, *ChainJoin(*schema),
+                   pool)
+          .value();
+  std::size_t tried = 0;
+  for (auto _ : state) {
+    RecognitionResult result =
+        RecognizeExpressionTemplate(schema->catalog, t).value();
+    if (result.expression == nullptr) state.SkipWithError("expected yes");
+    tried = result.candidates_tried;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["candidates"] = static_cast<double>(tried);
+}
+BENCHMARK(BM_RecognizeChain)->DenseRange(2, 5)->Unit(benchmark::kMillisecond);
+
+void BM_RecognizeZigzagNegative(benchmark::State& state) {
+  // The alternating zigzag of the given length over one binary relation:
+  // not PJ-expressible; the recognizer must exhaust its space.
+  const std::size_t rows = static_cast<std::size_t>(state.range(0));
+  Catalog catalog;
+  AttrSet ab = catalog.MakeScheme({"A", "B"});
+  AttrId a = catalog.FindAttribute("A").value();
+  AttrId b = catalog.FindAttribute("B").value();
+  RelId r = catalog.AddRelation("r", ab).value();
+  std::vector<TaggedTuple> zigzag;
+  for (std::size_t i = 0; i < rows; ++i) {
+    Symbol va = (i == 0) ? Symbol::Distinguished(a)
+                         : Symbol::Nondistinguished(
+                               a, static_cast<std::uint32_t>((i + 1) / 2));
+    Symbol vb = (i + 1 == rows) ? Symbol::Distinguished(b)
+                                : Symbol::Nondistinguished(
+                                      b, static_cast<std::uint32_t>(
+                                             i / 2 + 1));
+    zigzag.push_back(TaggedTuple{r, Tuple(ab, {va, vb})});
+  }
+  Tableau t = Tableau::MustCreate(catalog, ab, std::move(zigzag));
+  std::size_t tried = 0;
+  for (auto _ : state) {
+    RecognitionResult result =
+        RecognizeExpressionTemplate(catalog, t).value();
+    if (result.expression != nullptr) state.SkipWithError("expected no");
+    tried = result.candidates_tried;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["candidates"] = static_cast<double>(tried);
+}
+BENCHMARK(BM_RecognizeZigzagNegative)
+    ->DenseRange(3, 7, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MinimizeBloatedChain(benchmark::State& state) {
+  // The chain join times `m` redundant projected copies.
+  const std::size_t copies = static_cast<std::size_t>(state.range(0));
+  auto schema = MakeChain(3);
+  ExprPtr join = ChainJoin(*schema);
+  ExprPtr bloated = join;
+  AttrSet half{schema->attrs[0], schema->attrs[1]};
+  for (std::size_t i = 0; i < copies; ++i) {
+    bloated =
+        Expr::MustJoin2(bloated, Expr::MustProject(half, join));
+  }
+  std::size_t leaves_after = 0;
+  for (auto _ : state) {
+    MinimizeResult result =
+        MinimizeExpression(schema->catalog, schema->universe, bloated)
+            .value();
+    leaves_after = result.leaves_after;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["leaves_in"] = static_cast<double>(bloated->LeafCount());
+  state.counters["leaves_out"] = static_cast<double>(leaves_after);
+}
+BENCHMARK(BM_MinimizeBloatedChain)
+    ->DenseRange(1, 4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace viewcap

@@ -1,0 +1,68 @@
+// B2: template reduction (Proposition 2.4.4) vs. injected redundancy.
+//
+// Workload: a k-link chain-join template joined with m projected
+// (semijoin-subsumed) copies; reduction must strip all m copies.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "tableau/build.h"
+#include "tableau/reduce.h"
+
+namespace viewcap {
+namespace bench {
+namespace {
+
+Tableau MakeRedundant(ChainSchema& schema, std::size_t copies) {
+  SymbolPool pool;
+  Tableau core =
+      BuildTableau(schema.catalog, schema.universe, *ChainJoin(schema), pool)
+          .value();
+  Tableau result = core;
+  AttrSet half{schema.attrs[0], schema.attrs[1]};
+  for (std::size_t i = 0; i < copies; ++i) {
+    Tableau extra = ProjectTableau(schema.catalog, core, half, pool).value();
+    result = JoinTableaux(schema.catalog, result, extra, pool).value();
+  }
+  return result;
+}
+
+void BM_ReduceRedundantCopies(benchmark::State& state) {
+  auto schema = MakeChain(4);
+  Tableau bloated =
+      MakeRedundant(*schema, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    Tableau reduced = Reduce(schema->catalog, bloated);
+    benchmark::DoNotOptimize(reduced);
+  }
+  state.counters["rows_in"] = static_cast<double>(bloated.size());
+}
+BENCHMARK(BM_ReduceRedundantCopies)->DenseRange(0, 8, 2);
+
+void BM_ReduceAlreadyReduced(benchmark::State& state) {
+  auto schema = MakeChain(static_cast<std::size_t>(state.range(0)));
+  SymbolPool pool;
+  Tableau core =
+      BuildTableau(schema->catalog, schema->universe, *ChainJoin(*schema),
+                   pool)
+          .value();
+  for (auto _ : state) {
+    Tableau reduced = Reduce(schema->catalog, core);
+    benchmark::DoNotOptimize(reduced);
+  }
+}
+BENCHMARK(BM_ReduceAlreadyReduced)->DenseRange(2, 10, 2);
+
+void BM_IsReduced(benchmark::State& state) {
+  auto schema = MakeChain(4);
+  Tableau bloated =
+      MakeRedundant(*schema, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    bool reduced = IsReduced(schema->catalog, bloated);
+    benchmark::DoNotOptimize(reduced);
+  }
+}
+BENCHMARK(BM_IsReduced)->DenseRange(0, 4, 2);
+
+}  // namespace
+}  // namespace bench
+}  // namespace viewcap

@@ -1,0 +1,98 @@
+// B3: template substitution T -> beta (Section 2.2) cost and output size
+// vs. the construction-level template's rows and the assigned templates'
+// sizes, plus a replay of the Figure 1 substitution.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "tableau/build.h"
+#include "tableau/substitution.h"
+
+namespace viewcap {
+namespace bench {
+namespace {
+
+// Level template: a j-fold self-join of one handle whose assigned template
+// is a w-link chain join. Output has j * w rows before dedup.
+void BM_Substitute(benchmark::State& state) {
+  const std::size_t level_rows = static_cast<std::size_t>(state.range(0));
+  const std::size_t assigned_links = static_cast<std::size_t>(state.range(1));
+  auto schema = MakeChain(assigned_links);
+  SymbolPool pool;
+  Tableau assigned =
+      BuildTableau(schema->catalog, schema->universe, *ChainJoin(*schema),
+                   pool)
+          .value();
+  RelId handle = schema->catalog.MintRelation("h", assigned.Trs());
+  TemplateAssignment beta{{handle, assigned}};
+
+  // Level: join of `level_rows` projected copies of the handle (distinct
+  // rows, each spawning one block).
+  ExprPtr handle_expr = Expr::Rel(schema->catalog, handle);
+  std::vector<ExprPtr> parts;
+  AttrSet first_attr{schema->attrs[0]};
+  parts.push_back(handle_expr);
+  for (std::size_t i = 1; i < level_rows; ++i) {
+    parts.push_back(Expr::MustProject(first_attr, handle_expr));
+  }
+  ExprPtr level_expr =
+      parts.size() == 1 ? parts[0] : Expr::MustJoin(std::move(parts));
+  Tableau level =
+      BuildTableau(schema->catalog, schema->universe, *level_expr, pool)
+          .value();
+
+  std::size_t out_rows = 0;
+  for (auto _ : state) {
+    SubstitutionOutcome outcome =
+        Substitute(schema->catalog, level, beta, pool).value();
+    out_rows = outcome.result.size();
+    benchmark::DoNotOptimize(outcome);
+  }
+  state.counters["level_rows"] = static_cast<double>(level.size());
+  state.counters["out_rows"] = static_cast<double>(out_rows);
+}
+BENCHMARK(BM_Substitute)
+    ->ArgsProduct({{1, 2, 4, 8}, {2, 4, 8}});
+
+// Figure 1 replay: the exact substitution of Example 2.2.2.
+void BM_Figure1Substitution(benchmark::State& state) {
+  Catalog catalog;
+  AttrSet u = catalog.MakeScheme({"A", "B", "C"});
+  AttrSet ab = catalog.MakeScheme({"A", "B"});
+  AttrId a = catalog.FindAttribute("A").value();
+  AttrId b = catalog.FindAttribute("B").value();
+  AttrId c = catalog.FindAttribute("C").value();
+  RelId eta1 = catalog.AddRelation("eta1", ab).value();
+  RelId eta2 = catalog.AddRelation("eta2", u).value();
+  RelId eta3 = catalog.AddRelation("eta3", u).value();
+  RelId eta4 = catalog.AddRelation("eta4", u).value();
+  auto d = [](AttrId attr) { return Symbol::Distinguished(attr); };
+  auto n = [](AttrId attr, std::uint32_t i) {
+    return Symbol::Nondistinguished(attr, i);
+  };
+  Tableau t = Tableau::MustCreate(
+      catalog, u,
+      {TaggedTuple{eta1, Tuple(u, {d(a), n(b, 1), n(c, 1)})},
+       TaggedTuple{eta2, Tuple(u, {n(a, 1), d(b), n(c, 2)})},
+       TaggedTuple{eta2, Tuple(u, {n(a, 1), n(b, 2), d(c)})}});
+  Tableau s1 = Tableau::MustCreate(
+      catalog, u,
+      {TaggedTuple{eta3, Tuple(u, {n(a, 3), d(b), n(c, 3)})},
+       TaggedTuple{eta3, Tuple(u, {d(a), n(b, 3), n(c, 3)})}});
+  Tableau s2 = Tableau::MustCreate(
+      catalog, u,
+      {TaggedTuple{eta4, Tuple(u, {d(a), d(b), n(c, 4)})},
+       TaggedTuple{eta4, Tuple(u, {n(a, 4), n(b, 4), d(c)})}});
+  TemplateAssignment beta{{eta1, s1}, {eta2, s2}};
+  SymbolPool pool;
+  for (auto _ : state) {
+    SubstitutionOutcome outcome =
+        Substitute(catalog, t, beta, pool).value();
+    if (outcome.result.size() != 6) state.SkipWithError("wrong row count");
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+BENCHMARK(BM_Figure1Substitution);
+
+}  // namespace
+}  // namespace bench
+}  // namespace viewcap

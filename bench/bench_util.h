@@ -1,0 +1,93 @@
+// Shared workload builders for the benchmark harness.
+//
+// The paper has no empirical evaluation (see EXPERIMENTS.md); these
+// benchmarks characterize the decision procedures it proves decidable.
+// Workloads are parameterized families with controlled size knobs so each
+// benchmark produces a scaling series.
+#ifndef VIEWCAP_BENCH_BENCH_UTIL_H_
+#define VIEWCAP_BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/viewcap.h"
+
+namespace viewcap {
+namespace bench {
+
+/// A chain schema r1(X0,X1), r2(X1,X2), ..., rn(X(n-1),Xn).
+struct ChainSchema {
+  Catalog catalog;
+  AttrSet universe;
+  std::vector<RelId> relations;
+  std::vector<AttrId> attrs;
+  DbSchema base;
+};
+
+inline std::unique_ptr<ChainSchema> MakeChain(std::size_t length) {
+  auto out = std::make_unique<ChainSchema>();
+  for (std::size_t i = 0; i <= length; ++i) {
+    out->attrs.push_back(out->catalog.AddAttribute("X" + std::to_string(i)));
+  }
+  for (std::size_t i = 0; i < length; ++i) {
+    AttrSet scheme{out->attrs[i], out->attrs[i + 1]};
+    out->relations.push_back(
+        out->catalog.AddRelation("r" + std::to_string(i), scheme).value());
+  }
+  out->base = DbSchema(out->catalog, out->relations);
+  out->universe = out->base.universe();
+  return out;
+}
+
+/// The full chain join r0 * r1 * ... * r(n-1).
+inline ExprPtr ChainJoin(const ChainSchema& schema) {
+  std::vector<ExprPtr> parts;
+  for (RelId rel : schema.relations) {
+    parts.push_back(Expr::Rel(schema.catalog, rel));
+  }
+  if (parts.size() == 1) return parts[0];
+  return Expr::MustJoin(std::move(parts));
+}
+
+/// The link view of a chain: one definition per base relation. Its
+/// capacity strictly dominates the join view's (the full join is derivable
+/// from the links, but a raw link is not derivable from the join, whose
+/// projections are semijoined).
+inline View MakeLinkView(ChainSchema& schema, const std::string& prefix) {
+  std::vector<std::pair<RelId, ExprPtr>> defs;
+  for (std::size_t i = 0; i < schema.relations.size(); ++i) {
+    ExprPtr link = Expr::Rel(schema.catalog, schema.relations[i]);
+    RelId rel = schema.catalog.MintRelation(prefix, link->trs());
+    defs.push_back({rel, std::move(link)});
+  }
+  return View::Create(&schema.catalog, schema.base, std::move(defs), prefix)
+      .value();
+}
+
+/// A view holding the single full chain join.
+inline View MakeJoinView(ChainSchema& schema, const std::string& prefix) {
+  ExprPtr join = ChainJoin(schema);
+  RelId rel = schema.catalog.MintRelation(prefix, join->trs());
+  return View::Create(&schema.catalog, schema.base, {{rel, std::move(join)}},
+                      prefix)
+      .value();
+}
+
+/// A random instantiation of the chain.
+inline Instantiation MakeInstance(const ChainSchema& schema,
+                                  std::size_t tuples, std::uint32_t domain,
+                                  std::uint64_t seed) {
+  InstanceOptions options;
+  options.tuples_per_relation = tuples;
+  options.domain_size = domain;
+  options.distinguished_probability = 0.0;
+  InstanceGenerator generator(&schema.catalog, options);
+  Random rng(seed);
+  return generator.Generate(schema.base, rng);
+}
+
+}  // namespace bench
+}  // namespace viewcap
+
+#endif  // VIEWCAP_BENCH_BENCH_UTIL_H_

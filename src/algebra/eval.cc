@@ -1,0 +1,26 @@
+#include "algebra/eval.h"
+
+#include "base/check.h"
+
+namespace viewcap {
+
+Relation Evaluate(const Expr& expr, const Instantiation& alpha) {
+  switch (expr.kind()) {
+    case Expr::Kind::kRelName:
+      return alpha.Get(expr.rel());
+    case Expr::Kind::kProject:
+      return Evaluate(*expr.children()[0], alpha).Project(expr.projection());
+    case Expr::Kind::kJoin: {
+      std::vector<Relation> parts;
+      parts.reserve(expr.children().size());
+      for (const ExprPtr& c : expr.children()) {
+        parts.push_back(Evaluate(*c, alpha));
+      }
+      return Relation::NaturalJoinAll(parts);
+    }
+  }
+  VIEWCAP_CHECK(false);
+  return Relation();
+}
+
+}  // namespace viewcap

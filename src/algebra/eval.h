@@ -1,0 +1,18 @@
+// Evaluation of m.r. expressions against instantiations (Section 1.2).
+#ifndef VIEWCAP_ALGEBRA_EVAL_H_
+#define VIEWCAP_ALGEBRA_EVAL_H_
+
+#include "algebra/expr.h"
+#include "relation/instantiation.h"
+
+namespace viewcap {
+
+/// E(alpha): the relation on TRS(E) defined inductively by
+///   eta(alpha)        = alpha(eta)
+///   [pi_X(E1)](alpha) = pi_X(E1(alpha))
+///   [E1|x|...|x|En](alpha) = E1(alpha) |x| ... |x| En(alpha).
+Relation Evaluate(const Expr& expr, const Instantiation& alpha);
+
+}  // namespace viewcap
+
+#endif  // VIEWCAP_ALGEBRA_EVAL_H_

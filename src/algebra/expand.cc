@@ -1,0 +1,39 @@
+#include "algebra/expand.h"
+
+#include "base/strings.h"
+
+namespace viewcap {
+
+Result<ExprPtr> Expand(const Catalog& catalog, const ExprPtr& expr,
+                       const Definitions& defs) {
+  switch (expr->kind()) {
+    case Expr::Kind::kRelName: {
+      auto it = defs.find(expr->rel());
+      if (it == defs.end()) return expr;
+      const ExprPtr& def = it->second;
+      if (def->trs() != catalog.RelationScheme(expr->rel())) {
+        return Status::IllFormed(
+            StrCat("definition of '", catalog.RelationName(expr->rel()),
+                   "' has TRS different from the name's type"));
+      }
+      return def;
+    }
+    case Expr::Kind::kProject: {
+      VIEWCAP_ASSIGN_OR_RETURN(ExprPtr child,
+                               Expand(catalog, expr->children()[0], defs));
+      return Expr::Project(expr->projection(), std::move(child));
+    }
+    case Expr::Kind::kJoin: {
+      std::vector<ExprPtr> children;
+      children.reserve(expr->children().size());
+      for (const ExprPtr& c : expr->children()) {
+        VIEWCAP_ASSIGN_OR_RETURN(ExprPtr child, Expand(catalog, c, defs));
+        children.push_back(std::move(child));
+      }
+      return Expr::Join(std::move(children));
+    }
+  }
+  return Status::Internal("unreachable expression kind");
+}
+
+}  // namespace viewcap

@@ -1,0 +1,25 @@
+// Expression expansion (Lemma 1.4.1) and surrogate queries (Theorem 1.4.2).
+#ifndef VIEWCAP_ALGEBRA_EXPAND_H_
+#define VIEWCAP_ALGEBRA_EXPAND_H_
+
+#include <unordered_map>
+
+#include "algebra/expr.h"
+
+namespace viewcap {
+
+/// Maps relation names to defining expressions; the {(E_i, eta_i)} pairs of
+/// a view presented as eta_i -> E_i.
+using Definitions = std::unordered_map<RelId, ExprPtr>;
+
+/// Lemma 1.4.1: replaces every occurrence of a name eta_i in `expr` by
+/// defs.at(eta_i). Names absent from `defs` are left untouched (they are
+/// base relations). Fails with IllFormed when a definition's TRS does not
+/// match the name's type, since the substituted formula would not be an
+/// m.r. expression.
+Result<ExprPtr> Expand(const Catalog& catalog, const ExprPtr& expr,
+                       const Definitions& defs);
+
+}  // namespace viewcap
+
+#endif  // VIEWCAP_ALGEBRA_EXPAND_H_

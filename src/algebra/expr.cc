@@ -1,0 +1,129 @@
+#include "algebra/expr.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+#include "base/strings.h"
+
+namespace viewcap {
+
+ExprPtr Expr::Rel(const Catalog& catalog, RelId rel) {
+  VIEWCAP_CHECK(catalog.HasRelation(rel));
+  auto node = std::shared_ptr<Expr>(
+      new Expr(Kind::kRelName, catalog.RelationScheme(rel)));
+  node->rel_ = rel;
+  return node;
+}
+
+Result<ExprPtr> Expr::Project(AttrSet x, ExprPtr child) {
+  if (child == nullptr) {
+    return Status::InvalidArgument("projection child is null");
+  }
+  if (x.empty()) {
+    return Status::IllFormed("projection list must be nonempty");
+  }
+  if (!x.SubsetOf(child->trs())) {
+    return Status::IllFormed(
+        "projection list is not a subset of the child's TRS");
+  }
+  auto node = std::shared_ptr<Expr>(new Expr(Kind::kProject, x));
+  node->projection_ = std::move(x);
+  node->children_.push_back(std::move(child));
+  return ExprPtr(node);
+}
+
+Result<ExprPtr> Expr::Join(std::vector<ExprPtr> children) {
+  if (children.size() < 2) {
+    return Status::IllFormed("join requires at least two operands");
+  }
+  AttrSet trs;
+  for (const ExprPtr& c : children) {
+    if (c == nullptr) return Status::InvalidArgument("join child is null");
+    trs = trs.Union(c->trs());
+  }
+  auto node = std::shared_ptr<Expr>(new Expr(Kind::kJoin, std::move(trs)));
+  node->children_ = std::move(children);
+  return ExprPtr(node);
+}
+
+ExprPtr Expr::MustProject(AttrSet x, ExprPtr child) {
+  Result<ExprPtr> r = Project(std::move(x), std::move(child));
+  VIEWCAP_CHECK(r.ok());
+  return std::move(r).value();
+}
+
+ExprPtr Expr::MustJoin(std::vector<ExprPtr> children) {
+  Result<ExprPtr> r = Join(std::move(children));
+  VIEWCAP_CHECK(r.ok());
+  return std::move(r).value();
+}
+
+ExprPtr Expr::MustJoin2(ExprPtr left, ExprPtr right) {
+  return MustJoin({std::move(left), std::move(right)});
+}
+
+RelId Expr::rel() const {
+  VIEWCAP_CHECK(kind_ == Kind::kRelName);
+  return rel_;
+}
+
+const AttrSet& Expr::projection() const {
+  VIEWCAP_CHECK(kind_ == Kind::kProject);
+  return projection_;
+}
+
+namespace {
+
+void CollectRelNames(const Expr& e, std::vector<RelId>& out) {
+  if (e.kind() == Expr::Kind::kRelName) {
+    out.push_back(e.rel());
+    return;
+  }
+  for (const ExprPtr& c : e.children()) CollectRelNames(*c, out);
+}
+
+}  // namespace
+
+std::vector<RelId> Expr::RelNames() const {
+  std::vector<RelId> out;
+  CollectRelNames(*this, out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::size_t Expr::LeafCount() const {
+  if (kind_ == Kind::kRelName) return 1;
+  std::size_t n = 0;
+  for (const ExprPtr& c : children_) n += c->LeafCount();
+  return n;
+}
+
+std::size_t Expr::NodeCount() const {
+  std::size_t n = 1;
+  for (const ExprPtr& c : children_) n += c->NodeCount();
+  return n;
+}
+
+bool Expr::StructurallyEqual(const Expr& a, const Expr& b) {
+  if (a.kind_ != b.kind_) return false;
+  switch (a.kind_) {
+    case Kind::kRelName:
+      return a.rel_ == b.rel_;
+    case Kind::kProject:
+      return a.projection_ == b.projection_ &&
+             StructurallyEqual(*a.children_[0], *b.children_[0]);
+    case Kind::kJoin: {
+      if (a.children_.size() != b.children_.size()) return false;
+      for (std::size_t i = 0; i < a.children_.size(); ++i) {
+        if (!StructurallyEqual(*a.children_[i], *b.children_[i])) {
+          return false;
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace viewcap

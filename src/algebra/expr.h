@@ -1,0 +1,84 @@
+// Multirelational (m.r.) expressions: relation names, projections and
+// joins (Section 1.2).
+#ifndef VIEWCAP_ALGEBRA_EXPR_H_
+#define VIEWCAP_ALGEBRA_EXPR_H_
+
+#include <memory>
+#include <vector>
+
+#include "base/status.h"
+#include "relation/catalog.h"
+
+namespace viewcap {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// An immutable m.r. expression tree. Nodes carry their target relation
+/// scheme TRS(E) computed at construction, so the inductive typing rules of
+/// Section 1.2 are enforced once and queries stay well-typed by
+/// construction.
+class Expr {
+ public:
+  enum class Kind {
+    kRelName,  ///< A relation name eta; TRS = R(eta).
+    kProject,  ///< pi_X(E1); X nonempty subset of TRS(E1); TRS = X.
+    kJoin,     ///< E1 |x| ... |x| En (n >= 2); TRS = union of child TRS.
+  };
+
+  /// Leaf: the relation name `rel` (type looked up in `catalog`).
+  static ExprPtr Rel(const Catalog& catalog, RelId rel);
+
+  /// pi_X(child); IllFormed unless X is a nonempty subset of TRS(child).
+  /// A projection onto the full TRS is accepted (it is the identity map and
+  /// the paper permits it, X need only be a nonempty subset).
+  static Result<ExprPtr> Project(AttrSet x, ExprPtr child);
+
+  /// Join of `children` (at least two).
+  static Result<ExprPtr> Join(std::vector<ExprPtr> children);
+
+  /// CHECK-failing conveniences for code where ill-formedness is a bug.
+  static ExprPtr MustProject(AttrSet x, ExprPtr child);
+  static ExprPtr MustJoin(std::vector<ExprPtr> children);
+  /// Binary join convenience.
+  static ExprPtr MustJoin2(ExprPtr left, ExprPtr right);
+
+  Kind kind() const { return kind_; }
+  /// TRS(E): the target relation scheme (Section 1.2).
+  const AttrSet& trs() const { return trs_; }
+  /// For kRelName: the name.
+  RelId rel() const;
+  /// For kProject: the projection list X.
+  const AttrSet& projection() const;
+  /// For kProject / kJoin: children (exactly one for kProject).
+  const std::vector<ExprPtr>& children() const { return children_; }
+
+  /// RN(E): the set of relation names appearing in the expression
+  /// (Section 1.2), sorted.
+  std::vector<RelId> RelNames() const;
+
+  /// Number of relation-name occurrences (leaves). Algorithm 2.1.1 maps an
+  /// expression with m leaves to a template with at most m tagged tuples;
+  /// this drives the search budgets of Section 2.4.
+  std::size_t LeafCount() const;
+
+  /// Total node count.
+  std::size_t NodeCount() const;
+
+  /// Structural equality (not mapping equivalence; for that, build
+  /// templates and use homomorphisms, Corollary 2.4.2).
+  static bool StructurallyEqual(const Expr& a, const Expr& b);
+
+ private:
+  Expr(Kind kind, AttrSet trs) : kind_(kind), trs_(std::move(trs)) {}
+
+  Kind kind_;
+  AttrSet trs_;
+  RelId rel_ = kInvalidRel;
+  AttrSet projection_;
+  std::vector<ExprPtr> children_;
+};
+
+}  // namespace viewcap
+
+#endif  // VIEWCAP_ALGEBRA_EXPR_H_

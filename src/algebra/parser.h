@@ -1,0 +1,58 @@
+// A small concrete syntax for schemas, expressions and views.
+//
+//   program   := item*
+//   item      := schema | view
+//   schema    := "schema" "{" rel_decl* "}"
+//   rel_decl  := IDENT "(" IDENT ("," IDENT)* ")" ";"
+//   view      := "view" IDENT "{" def* "}"
+//   def       := IDENT ":=" expr ";"
+//   expr      := term ("*" term)*                 -- '*' is natural join
+//   term      := "pi" "{" IDENT ("," IDENT)* "}" "(" expr ")"
+//              | "(" expr ")"
+//              | IDENT
+//
+// Example:
+//   schema { r(A, B, C); }
+//   view V { v := pi{A, B}(r) * pi{B, C}(r); }
+#ifndef VIEWCAP_ALGEBRA_PARSER_H_
+#define VIEWCAP_ALGEBRA_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "algebra/expr.h"
+
+namespace viewcap {
+
+/// One `name := expr` pair of a parsed view. The view relation name is
+/// interned in the catalog with type TRS(expr) during parsing.
+struct ParsedDefinition {
+  RelId view_rel = kInvalidRel;
+  ExprPtr query;
+};
+
+/// A parsed `view` block.
+struct ParsedView {
+  std::string name;
+  std::vector<ParsedDefinition> definitions;
+};
+
+/// Everything a program declared.
+struct ParsedProgram {
+  /// Base relations declared in `schema` blocks, in declaration order.
+  std::vector<RelId> base_relations;
+  std::vector<ParsedView> views;
+};
+
+/// Parses a standalone expression over relations already in `catalog`.
+/// Diagnostics carry 1-based line/column positions.
+Result<ExprPtr> ParseExpr(Catalog& catalog, std::string_view text);
+
+/// Parses a full program, interning declared relations and view names into
+/// `catalog`.
+Result<ParsedProgram> ParseProgram(Catalog& catalog, std::string_view text);
+
+}  // namespace viewcap
+
+#endif  // VIEWCAP_ALGEBRA_PARSER_H_

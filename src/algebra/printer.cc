@@ -1,0 +1,59 @@
+#include "algebra/printer.h"
+
+#include "base/check.h"
+#include "base/strings.h"
+
+namespace viewcap {
+
+std::string ToString(const AttrSet& attrs, const Catalog& catalog) {
+  std::vector<std::string> names;
+  names.reserve(attrs.size());
+  for (AttrId a : attrs) names.push_back(catalog.AttributeName(a));
+  return StrCat("{", StrJoin(names, ", "), "}");
+}
+
+namespace {
+
+void Render(const Expr& expr, const Catalog& catalog, bool parenthesize_join,
+            std::string& out) {
+  switch (expr.kind()) {
+    case Expr::Kind::kRelName:
+      out += catalog.RelationName(expr.rel());
+      return;
+    case Expr::Kind::kProject:
+      out += "pi";
+      out += ToString(expr.projection(), catalog);
+      out += "(";
+      Render(*expr.children()[0], catalog, /*parenthesize_join=*/false, out);
+      out += ")";
+      return;
+    case Expr::Kind::kJoin: {
+      if (parenthesize_join) out += "(";
+      for (std::size_t i = 0; i < expr.children().size(); ++i) {
+        if (i > 0) out += " * ";
+        // Nested joins need parentheses to preserve the tree shape on
+        // re-parse (the mapping is associative but the template build is
+        // shape-sensitive only in fresh-symbol naming).
+        Render(*expr.children()[i], catalog, /*parenthesize_join=*/true, out);
+      }
+      if (parenthesize_join) out += ")";
+      return;
+    }
+  }
+  VIEWCAP_CHECK(false);
+}
+
+}  // namespace
+
+std::string ToString(const Expr& expr, const Catalog& catalog) {
+  std::string out;
+  Render(expr, catalog, /*parenthesize_join=*/false, out);
+  return out;
+}
+
+std::string ToString(const ExprPtr& expr, const Catalog& catalog) {
+  VIEWCAP_CHECK(expr != nullptr);
+  return ToString(*expr, catalog);
+}
+
+}  // namespace viewcap

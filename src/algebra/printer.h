@@ -1,0 +1,22 @@
+// Textual rendering of expressions and schemes; inverse of algebra/parser.h.
+#ifndef VIEWCAP_ALGEBRA_PRINTER_H_
+#define VIEWCAP_ALGEBRA_PRINTER_H_
+
+#include <string>
+
+#include "algebra/expr.h"
+
+namespace viewcap {
+
+/// Renders an attribute set as "{A, B, C}".
+std::string ToString(const AttrSet& attrs, const Catalog& catalog);
+
+/// Renders an expression in the parser's concrete syntax, e.g.
+/// "pi{A, B}(r * s)". Joins print as '*'-separated children with
+/// parentheses only where required for re-parsing.
+std::string ToString(const Expr& expr, const Catalog& catalog);
+std::string ToString(const ExprPtr& expr, const Catalog& catalog);
+
+}  // namespace viewcap
+
+#endif  // VIEWCAP_ALGEBRA_PRINTER_H_

@@ -1,0 +1,41 @@
+// Internal invariant checking. These are for programmer errors only; user
+// facing failures go through Status (see base/status.h).
+#ifndef VIEWCAP_BASE_CHECK_H_
+#define VIEWCAP_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace viewcap {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* condition) {
+  std::fprintf(stderr, "viewcap: CHECK failed at %s:%d: %s\n", file, line,
+               condition);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace viewcap
+
+/// Aborts the process when `condition` is false. Enabled in all build types:
+/// the library's algorithms rely on template well-formedness invariants whose
+/// violation would otherwise produce silently wrong answers.
+#define VIEWCAP_CHECK(condition)                                          \
+  do {                                                                    \
+    if (!(condition)) {                                                   \
+      ::viewcap::internal::CheckFailed(__FILE__, __LINE__, #condition);   \
+    }                                                                     \
+  } while (false)
+
+/// Like VIEWCAP_CHECK but compiled out in NDEBUG builds; use on hot paths.
+#ifdef NDEBUG
+#define VIEWCAP_DCHECK(condition) \
+  do {                            \
+  } while (false)
+#else
+#define VIEWCAP_DCHECK(condition) VIEWCAP_CHECK(condition)
+#endif
+
+#endif  // VIEWCAP_BASE_CHECK_H_

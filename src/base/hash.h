@@ -1,0 +1,28 @@
+// Hash combining helpers used by the canonicalization and dedup layers.
+#ifndef VIEWCAP_BASE_HASH_H_
+#define VIEWCAP_BASE_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace viewcap {
+
+/// Mixes `value` into `seed` (boost::hash_combine-style, 64-bit constants).
+inline void HashCombine(std::size_t& seed, std::size_t value) {
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+/// Hashes a range of hashable elements into one value.
+template <typename It>
+std::size_t HashRange(It first, It last) {
+  std::size_t seed = 0;
+  for (; first != last; ++first) {
+    HashCombine(seed, std::hash<typename std::iterator_traits<It>::value_type>{}(*first));
+  }
+  return seed;
+}
+
+}  // namespace viewcap
+
+#endif  // VIEWCAP_BASE_HASH_H_

@@ -1,0 +1,42 @@
+#include "base/random.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "base/check.h"
+
+namespace viewcap {
+
+std::uint64_t Random::Next(std::uint64_t bound) {
+  VIEWCAP_CHECK(bound > 0);
+  std::uniform_int_distribution<std::uint64_t> dist(0, bound - 1);
+  return dist(engine_);
+}
+
+std::int64_t Random::Range(std::int64_t lo, std::int64_t hi) {
+  VIEWCAP_CHECK(lo <= hi);
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool Random::Chance(double p) {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_) < p;
+}
+
+std::size_t Random::Index(std::size_t size) {
+  VIEWCAP_CHECK(size > 0);
+  return static_cast<std::size_t>(Next(size));
+}
+
+std::vector<std::size_t> Random::Sample(std::size_t n, std::size_t k) {
+  VIEWCAP_CHECK(k <= n);
+  std::vector<std::size_t> all(n);
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  std::shuffle(all.begin(), all.end(), engine_);
+  all.resize(k);
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+}  // namespace viewcap

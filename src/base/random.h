@@ -1,0 +1,42 @@
+// Deterministic random source used by generators and property tests.
+#ifndef VIEWCAP_BASE_RANDOM_H_
+#define VIEWCAP_BASE_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace viewcap {
+
+/// A seedable PRNG wrapper. Every randomized component in the library takes
+/// a Random& so that tests and benchmarks are reproducible from a seed.
+class Random {
+ public:
+  /// Constructs a generator from `seed`. Equal seeds yield equal streams.
+  explicit Random(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  std::uint64_t Next(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t Range(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with success probability `p` in [0,1].
+  bool Chance(double p);
+
+  /// Picks a uniformly random element index for a container of `size`.
+  std::size_t Index(std::size_t size);
+
+  /// Returns a uniformly random subset of {0,...,n-1} of size k.
+  std::vector<std::size_t> Sample(std::size_t n, std::size_t k);
+
+  /// Access to the underlying engine for std distributions.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace viewcap
+
+#endif  // VIEWCAP_BASE_RANDOM_H_

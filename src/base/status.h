@@ -1,0 +1,152 @@
+// Status and Result<T>: RocksDB/Arrow-style error propagation without
+// exceptions on API boundaries.
+#ifndef VIEWCAP_BASE_STATUS_H_
+#define VIEWCAP_BASE_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "base/check.h"
+
+namespace viewcap {
+
+/// Error taxonomy for the library. Values are stable; new codes append only.
+enum class StatusCode {
+  kOk = 0,
+  /// Caller passed a structurally invalid argument (e.g. empty projection).
+  kInvalidArgument = 1,
+  /// A name was not found in the catalog / view / instantiation.
+  kNotFound = 2,
+  /// Parse failure in the textual expression/view language.
+  kParseError = 3,
+  /// A well-formedness condition from the paper was violated
+  /// (template conditions (i)-(iii) of Section 2.1, view typing, ...).
+  kIllFormed = 4,
+  /// A bounded search (capacity membership, expression recognition, ...)
+  /// exhausted its SearchLimits without reaching a verdict.
+  kBudgetExhausted = 5,
+  /// Internal invariant violation surfaced as a recoverable error.
+  kInternal = 6,
+};
+
+/// Returns a human-readable name for `code` ("Ok", "InvalidArgument", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Cheap to copy on success (no allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with `code` and diagnostic `message`.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Named constructors, one per error code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status IllFormed(std::string msg) {
+    return Status(StatusCode::kIllFormed, std::move(msg));
+  }
+  static Status BudgetExhausted(std::string msg) {
+    return Status(StatusCode::kBudgetExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error holder in the style of arrow::Result.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: success.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from a non-OK status: failure. Constructing from an OK status
+  /// is a programmer error.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    VIEWCAP_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the held value; the Result must be ok().
+  const T& value() const& {
+    VIEWCAP_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    VIEWCAP_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    VIEWCAP_CHECK(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when in error state.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+/// Propagates a non-OK Status from the current function.
+#define VIEWCAP_RETURN_NOT_OK(expr)            \
+  do {                                         \
+    ::viewcap::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                 \
+  } while (false)
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error status. `lhs` must be a declaration, e.g.
+///   VIEWCAP_ASSIGN_OR_RETURN(auto tpl, BuildTableau(catalog, expr));
+#define VIEWCAP_ASSIGN_OR_RETURN(lhs, rexpr)             \
+  VIEWCAP_ASSIGN_OR_RETURN_IMPL(                         \
+      VIEWCAP_STATUS_CONCAT(_result_, __LINE__), lhs, rexpr)
+
+#define VIEWCAP_STATUS_CONCAT_INNER(a, b) a##b
+#define VIEWCAP_STATUS_CONCAT(a, b) VIEWCAP_STATUS_CONCAT_INNER(a, b)
+#define VIEWCAP_ASSIGN_OR_RETURN_IMPL(result, lhs, rexpr) \
+  auto result = (rexpr);                                  \
+  if (!result.ok()) return result.status();               \
+  lhs = std::move(result).value();
+
+}  // namespace viewcap
+
+#endif  // VIEWCAP_BASE_STATUS_H_

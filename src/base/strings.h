@@ -1,0 +1,38 @@
+// Small string helpers shared across modules (printers, parser diagnostics).
+#ifndef VIEWCAP_BASE_STRINGS_H_
+#define VIEWCAP_BASE_STRINGS_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace viewcap {
+
+/// Concatenates the stream representations of all arguments.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+/// Joins the elements of `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view StripWhitespace(std::string_view text);
+
+/// True when `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// True when `name` is a valid identifier: [A-Za-z_][A-Za-z0-9_]*.
+bool IsIdentifier(std::string_view name);
+
+}  // namespace viewcap
+
+#endif  // VIEWCAP_BASE_STRINGS_H_

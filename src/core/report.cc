@@ -1,0 +1,113 @@
+#include "core/report.h"
+
+#include "algebra/printer.h"
+#include "base/strings.h"
+#include "tableau/reduce.h"
+#include "views/components.h"
+#include "views/redundancy.h"
+#include "views/simplify.h"
+
+namespace viewcap {
+
+namespace {
+
+std::string SchemeNames(const Catalog& catalog, const AttrSet& scheme) {
+  std::vector<std::string> names;
+  for (AttrId a : scheme) names.push_back(catalog.AttributeName(a));
+  return StrJoin(names, ", ");
+}
+
+}  // namespace
+
+Result<std::string> RenderReport(Analyzer& analyzer,
+                                 const ReportOptions& options) {
+  Catalog& catalog = analyzer.catalog();
+  std::string out = "# viewcap analysis report\n\n";
+
+  // ---- Schema. ----------------------------------------------------------
+  out += "## Underlying database schema\n\n";
+  for (RelId rel : analyzer.base().relations()) {
+    out += StrCat("* `", catalog.RelationName(rel), "(",
+                  SchemeNames(catalog, catalog.RelationScheme(rel)),
+                  ")`\n");
+  }
+  out += "\n";
+
+  // ---- Per-view analysis. ------------------------------------------------
+  const std::vector<std::string> names = analyzer.ViewNames();
+  for (const std::string& name : names) {
+    VIEWCAP_ASSIGN_OR_RETURN(const View* view, analyzer.GetView(name));
+    out += StrCat("## View `", name, "`\n\n");
+    QuerySet set = QuerySet::FromView(*view);
+
+    out += "| relation | defining query | rows (reduced) | components |"
+           " redundant | simple |\n";
+    out += "|---|---|---|---|---|---|\n";
+    for (std::size_t i = 0; i < view->size(); ++i) {
+      const ViewDefinition& d = view->definitions()[i];
+      Tableau reduced = Reduce(catalog, d.tableau);
+      VIEWCAP_ASSIGN_OR_RETURN(
+          RedundancyResult redundancy,
+          IsRedundant(&catalog, set, i, analyzer.limits()));
+      VIEWCAP_ASSIGN_OR_RETURN(
+          SimplicityResult simplicity,
+          IsSimple(&catalog, set, i, analyzer.limits()));
+      auto verdict = [](bool yes, bool budget) {
+        return std::string(yes ? "yes" : "no") +
+               (budget ? " (budget)" : "");
+      };
+      out += StrCat(
+          "| `", catalog.RelationName(d.rel), "` | `",
+          ToString(*d.query, catalog), "` | ", d.tableau.size(), " (",
+          reduced.size(), ") | ", ConnectedComponents(reduced).size(),
+          " | ",
+          verdict(redundancy.redundant,
+                  redundancy.membership.budget_exhausted),
+          " | ",
+          verdict(simplicity.simple,
+                  simplicity.membership.budget_exhausted),
+          " |\n");
+    }
+    out += StrCat("\nNonredundant-equivalent size bound (Lemma 3.1.6): ",
+                  NonredundantSizeBound(catalog, set), "\n\n");
+
+    if (options.include_normal_forms) {
+      VIEWCAP_ASSIGN_OR_RETURN(
+          SimplifyOutcome simplified,
+          Simplify(&catalog, *view, analyzer.limits()));
+      out += StrCat("Simplified normal form (", simplified.view.size(),
+                    " definitions, ", simplified.rounds, " rounds",
+                    simplified.inconclusive ? ", budget-limited" : "",
+                    "):\n\n");
+      for (const ViewDefinition& d : simplified.view.definitions()) {
+        out += StrCat("* `", ToString(*d.query, catalog), "`\n");
+      }
+      out += "\n";
+    }
+
+    if (options.capacity_leaves > 0) {
+      CapacityOracle oracle(*view, analyzer.limits());
+      VIEWCAP_ASSIGN_OR_RETURN(
+          std::vector<CapacityOracle::CapacityEntry> entries,
+          oracle.EnumerateCapacity(options.capacity_leaves,
+                                   options.capacity_entries));
+      out += StrCat("Capacity fragment (<= ", options.capacity_leaves,
+                    " leaves): ", entries.size(),
+                    " distinct query classes\n\n");
+    }
+  }
+
+  // ---- Lattice. -----------------------------------------------------------
+  if (options.include_lattice && names.size() > 1) {
+    out += "## Pairwise dominance\n\n";
+    std::string lattice;
+    VIEWCAP_ASSIGN_OR_RETURN(auto entries,
+                             analyzer.CompareAllViews(&lattice));
+    (void)entries;
+    out += lattice;
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace viewcap

@@ -1,0 +1,34 @@
+// Whole-program analysis reports: a markdown audit of every loaded view.
+#ifndef VIEWCAP_CORE_REPORT_H_
+#define VIEWCAP_CORE_REPORT_H_
+
+#include <string>
+
+#include "core/analyzer.h"
+
+namespace viewcap {
+
+/// Report tuning.
+struct ReportOptions {
+  /// Leaf budget for the capacity-fragment section (0 disables it).
+  std::size_t capacity_leaves = 2;
+  /// Cap on enumerated capacity members per view.
+  std::size_t capacity_entries = 64;
+  /// Include the simplified normal form of each view.
+  bool include_normal_forms = true;
+  /// Include the pairwise dominance classification.
+  bool include_lattice = true;
+};
+
+/// Renders a markdown report over every view loaded into `analyzer`:
+/// the schema, per-view structural statistics (reduced template sizes,
+/// connected components), redundancy and simplicity verdicts with
+/// witnesses, the simplified normal form, the pairwise dominance lattice,
+/// and the size-bounded capacity fragment. Runs the full decision
+/// machinery; budget-limited verdicts are annotated.
+Result<std::string> RenderReport(Analyzer& analyzer,
+                                 const ReportOptions& options = {});
+
+}  // namespace viewcap
+
+#endif  // VIEWCAP_CORE_REPORT_H_

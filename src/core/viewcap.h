@@ -1,0 +1,56 @@
+// viewcap: equivalence of views by query capacity.
+//
+// Single public entry header. The library implements Tim Connors,
+// "Equivalence of Views by Query Capacity" (PODS 1985 / JCSS 33, 1986):
+// projection-join views of multirelational databases, the query-capacity
+// measure, decidable view equivalence, redundancy elimination, and the
+// simplified-view normal form.
+//
+// Layer map (each header is self-contained and usable directly):
+//   relation/  attributes, schemes, symbols, tuples, relations, instances
+//   algebra/   m.r. expressions, evaluation, expansion, parser, printer
+//   tableau/   templates, Algorithm 2.1.1, homomorphisms, reduction,
+//              substitution, canonical keys, counterexample search
+//   views/     views, capacity oracle, equivalence, redundancy,
+//              essential tuples, simplification
+//   core/      the Analyzer convenience facade
+#ifndef VIEWCAP_CORE_VIEWCAP_H_
+#define VIEWCAP_CORE_VIEWCAP_H_
+
+#include "algebra/enumerator.h"
+#include "algebra/eval.h"
+#include "algebra/expand.h"
+#include "algebra/expr.h"
+#include "algebra/parser.h"
+#include "algebra/printer.h"
+#include "base/random.h"
+#include "base/status.h"
+#include "core/analyzer.h"
+#include "core/report.h"
+#include "relation/attr_set.h"
+#include "relation/catalog.h"
+#include "relation/data_parser.h"
+#include "relation/generator.h"
+#include "relation/instantiation.h"
+#include "relation/relation.h"
+#include "relation/symbol.h"
+#include "relation/tuple.h"
+#include "tableau/build.h"
+#include "tableau/canonical.h"
+#include "tableau/counterexample.h"
+#include "tableau/evaluate.h"
+#include "tableau/homomorphism.h"
+#include "tableau/recognize.h"
+#include "tableau/reduce.h"
+#include "tableau/substitution.h"
+#include "tableau/tableau.h"
+#include "views/capacity.h"
+#include "views/components.h"
+#include "views/compose.h"
+#include "views/equivalence.h"
+#include "views/essential.h"
+#include "views/redundancy.h"
+#include "views/simplify.h"
+#include "views/view.h"
+
+#endif  // VIEWCAP_CORE_VIEWCAP_H_

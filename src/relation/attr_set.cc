@@ -1,0 +1,98 @@
+#include "relation/attr_set.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace viewcap {
+
+namespace {
+
+std::vector<AttrId> SortedUnique(std::vector<AttrId> attrs) {
+  std::sort(attrs.begin(), attrs.end());
+  attrs.erase(std::unique(attrs.begin(), attrs.end()), attrs.end());
+  return attrs;
+}
+
+}  // namespace
+
+AttrSet::AttrSet(std::initializer_list<AttrId> attrs)
+    : attrs_(SortedUnique(std::vector<AttrId>(attrs))) {}
+
+AttrSet::AttrSet(std::vector<AttrId> attrs)
+    : attrs_(SortedUnique(std::move(attrs))) {}
+
+bool AttrSet::Contains(AttrId attr) const {
+  return std::binary_search(attrs_.begin(), attrs_.end(), attr);
+}
+
+bool AttrSet::SubsetOf(const AttrSet& other) const {
+  return std::includes(other.attrs_.begin(), other.attrs_.end(),
+                       attrs_.begin(), attrs_.end());
+}
+
+bool AttrSet::ProperSubsetOf(const AttrSet& other) const {
+  return size() < other.size() && SubsetOf(other);
+}
+
+AttrSet AttrSet::Union(const AttrSet& other) const {
+  std::vector<AttrId> out;
+  out.reserve(size() + other.size());
+  std::set_union(attrs_.begin(), attrs_.end(), other.attrs_.begin(),
+                 other.attrs_.end(), std::back_inserter(out));
+  AttrSet result;
+  result.attrs_ = std::move(out);
+  return result;
+}
+
+AttrSet AttrSet::Intersect(const AttrSet& other) const {
+  std::vector<AttrId> out;
+  std::set_intersection(attrs_.begin(), attrs_.end(), other.attrs_.begin(),
+                        other.attrs_.end(), std::back_inserter(out));
+  AttrSet result;
+  result.attrs_ = std::move(out);
+  return result;
+}
+
+AttrSet AttrSet::Difference(const AttrSet& other) const {
+  std::vector<AttrId> out;
+  std::set_difference(attrs_.begin(), attrs_.end(), other.attrs_.begin(),
+                      other.attrs_.end(), std::back_inserter(out));
+  AttrSet result;
+  result.attrs_ = std::move(out);
+  return result;
+}
+
+void AttrSet::Insert(AttrId attr) {
+  auto it = std::lower_bound(attrs_.begin(), attrs_.end(), attr);
+  if (it == attrs_.end() || *it != attr) attrs_.insert(it, attr);
+}
+
+std::size_t AttrSet::IndexOf(AttrId attr) const {
+  auto it = std::lower_bound(attrs_.begin(), attrs_.end(), attr);
+  VIEWCAP_CHECK(it != attrs_.end() && *it == attr);
+  return static_cast<std::size_t>(it - attrs_.begin());
+}
+
+std::vector<AttrSet> AttrSet::NonemptyProperSubsets() const {
+  std::vector<AttrSet> out;
+  const std::size_t n = size();
+  VIEWCAP_CHECK(n < 31);
+  const std::uint32_t full = (n == 0) ? 0 : ((1u << n) - 1);
+  for (std::uint32_t mask = 1; mask < full; ++mask) {
+    std::vector<AttrId> subset;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) subset.push_back(attrs_[i]);
+    }
+    out.emplace_back(std::move(subset));
+  }
+  return out;
+}
+
+std::vector<AttrSet> AttrSet::NonemptySubsets() const {
+  std::vector<AttrSet> out = NonemptyProperSubsets();
+  if (!empty()) out.push_back(*this);
+  return out;
+}
+
+}  // namespace viewcap

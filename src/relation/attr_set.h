@@ -1,0 +1,72 @@
+// AttrSet: a finite set of attributes, i.e. a relation scheme (Section 1.1).
+#ifndef VIEWCAP_RELATION_ATTR_SET_H_
+#define VIEWCAP_RELATION_ATTR_SET_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "relation/ids.h"
+
+namespace viewcap {
+
+/// An immutable-ish sorted set of AttrIds. Used for relation schemes,
+/// target relation schemes (TRS) and projection lists. Kept as a sorted
+/// unique vector: schemes in this domain are tiny (a handful of attributes)
+/// and iteration order matters for tuple layouts.
+class AttrSet {
+ public:
+  /// Empty set. Note: a relation *scheme* must be nonempty; emptiness is
+  /// checked at the call sites that require a scheme.
+  AttrSet() = default;
+
+  /// From an arbitrary list; duplicates are removed.
+  AttrSet(std::initializer_list<AttrId> attrs);
+  explicit AttrSet(std::vector<AttrId> attrs);
+
+  bool empty() const { return attrs_.empty(); }
+  std::size_t size() const { return attrs_.size(); }
+
+  /// Membership test (binary search).
+  bool Contains(AttrId attr) const;
+
+  /// True when every attribute of this set is in `other`.
+  bool SubsetOf(const AttrSet& other) const;
+
+  /// True when this is a subset of `other` and not equal to it.
+  bool ProperSubsetOf(const AttrSet& other) const;
+
+  /// Set union / intersection / difference.
+  AttrSet Union(const AttrSet& other) const;
+  AttrSet Intersect(const AttrSet& other) const;
+  AttrSet Difference(const AttrSet& other) const;
+
+  /// Adds one attribute (no-op if present).
+  void Insert(AttrId attr);
+
+  /// Position of `attr` in sorted order; kInvalidAttr-safe callers only.
+  /// Precondition: Contains(attr).
+  std::size_t IndexOf(AttrId attr) const;
+
+  /// All subsets of this set that are nonempty *proper* subsets, in
+  /// deterministic order. Used for proper projections (Section 4.1).
+  std::vector<AttrSet> NonemptyProperSubsets() const;
+
+  /// All nonempty subsets (including the set itself).
+  std::vector<AttrSet> NonemptySubsets() const;
+
+  const std::vector<AttrId>& attrs() const { return attrs_; }
+  auto begin() const { return attrs_.begin(); }
+  auto end() const { return attrs_.end(); }
+
+  bool operator==(const AttrSet& other) const = default;
+  /// Lexicographic order, usable as a map key.
+  bool operator<(const AttrSet& other) const { return attrs_ < other.attrs_; }
+
+ private:
+  std::vector<AttrId> attrs_;
+};
+
+}  // namespace viewcap
+
+#endif  // VIEWCAP_RELATION_ATTR_SET_H_

@@ -1,0 +1,119 @@
+#include "relation/data_parser.h"
+
+#include <cctype>
+#include <map>
+#include <unordered_map>
+
+#include "base/strings.h"
+
+namespace viewcap {
+
+namespace {
+
+bool IsValueChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '-' || c == '.';
+}
+
+}  // namespace
+
+Result<Instantiation> ParseInstance(const Catalog& catalog,
+                                    std::string_view text) {
+  Instantiation alpha(&catalog);
+  std::unordered_map<RelId, Relation> relations;
+  // Per-attribute interning of value tokens.
+  std::map<std::pair<AttrId, std::string>, Symbol> interned;
+  std::unordered_map<AttrId, std::uint32_t> next_ordinal;
+
+  auto intern = [&](AttrId attr, const std::string& token) -> Symbol {
+    if (token == "0") return Symbol::Distinguished(attr);
+    auto [it, inserted] = interned.try_emplace({attr, token}, Symbol{});
+    if (inserted) {
+      it->second = Symbol::Nondistinguished(attr, ++next_ordinal[attr]);
+    }
+    return it->second;
+  };
+
+  int line_no = 1;
+  std::size_t pos = 0;
+  auto skip_space = [&] {
+    while (pos < text.size()) {
+      char c = text[pos];
+      if (c == '\n') {
+        ++line_no;
+        ++pos;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos;
+      } else if (c == '#') {
+        while (pos < text.size() && text[pos] != '\n') ++pos;
+      } else {
+        break;
+      }
+    }
+  };
+  auto error = [&](std::string what) {
+    return Status::ParseError(StrCat(what, " at line ", line_no));
+  };
+
+  while (true) {
+    skip_space();
+    if (pos >= text.size()) break;
+    // Relation name.
+    std::string name;
+    while (pos < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '_')) {
+      name += text[pos++];
+    }
+    if (name.empty()) return error("expected a relation name");
+    Result<RelId> rel = catalog.FindRelation(name);
+    if (!rel.ok()) return error(StrCat("unknown relation '", name, "'"));
+    const AttrSet& scheme = catalog.RelationScheme(*rel);
+
+    skip_space();
+    if (pos >= text.size() || text[pos] != '(') return error("expected '('");
+    ++pos;
+    std::vector<Symbol> values;
+    std::size_t index = 0;
+    for (AttrId attr : scheme) {
+      skip_space();
+      std::string token;
+      while (pos < text.size() && IsValueChar(text[pos])) {
+        token += text[pos++];
+      }
+      if (token.empty()) {
+        return error(StrCat("expected a value for attribute ",
+                            catalog.AttributeName(attr)));
+      }
+      values.push_back(intern(attr, token));
+      skip_space();
+      ++index;
+      if (index < scheme.size()) {
+        if (pos >= text.size() || text[pos] != ',') {
+          return error(StrCat("expected ',' (arity of '", name, "' is ",
+                              scheme.size(), ")"));
+        }
+        ++pos;
+      }
+    }
+    skip_space();
+    if (pos >= text.size() || text[pos] != ')') {
+      return error(StrCat("expected ')' (arity of '", name, "' is ",
+                          scheme.size(), ")"));
+    }
+    ++pos;
+    skip_space();
+    if (pos >= text.size() || text[pos] != ';') return error("expected ';'");
+    ++pos;
+
+    auto [it, inserted] = relations.try_emplace(*rel, Relation(scheme));
+    it->second.Insert(Tuple(scheme, std::move(values)));
+  }
+
+  for (auto& [rel, relation] : relations) {
+    VIEWCAP_RETURN_NOT_OK(alpha.Set(rel, std::move(relation)));
+  }
+  return alpha;
+}
+
+}  // namespace viewcap

@@ -1,0 +1,33 @@
+// A small textual format for database instances, used by the CLI's `eval`
+// command and the examples:
+//
+//   r(1, 2, 3);
+//   r(2, 2, 4);
+//   s(x, 7);        # values are integers or identifiers
+//   # comments and blank lines are ignored
+//
+// Values are interned per attribute: the same token always maps to the
+// same symbol of that attribute's domain, and distinct tokens to distinct
+// symbols (domains are disjoint across attributes by construction, so "7"
+// in an A-column and "7" in a B-column are unrelated constants). The token
+// "0" maps to the distinguished symbol 0_A, which instances may contain
+// (Section 2.1 fixes 0_A as a specific element of Dom(A)).
+#ifndef VIEWCAP_RELATION_DATA_PARSER_H_
+#define VIEWCAP_RELATION_DATA_PARSER_H_
+
+#include <string_view>
+
+#include "base/status.h"
+#include "relation/instantiation.h"
+
+namespace viewcap {
+
+/// Parses `text` into an instantiation over `catalog`. All mentioned
+/// relations must exist and each fact's arity must match its relation's
+/// scheme. Diagnostics carry 1-based line numbers.
+Result<Instantiation> ParseInstance(const Catalog& catalog,
+                                    std::string_view text);
+
+}  // namespace viewcap
+
+#endif  // VIEWCAP_RELATION_DATA_PARSER_H_

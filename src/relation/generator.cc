@@ -1,0 +1,40 @@
+#include "relation/generator.h"
+
+#include "base/check.h"
+
+namespace viewcap {
+
+Symbol InstanceGenerator::RandomSymbol(AttrId attr, Random& rng) const {
+  if (rng.Chance(options_.distinguished_probability)) {
+    return Symbol::Distinguished(attr);
+  }
+  std::uint32_t ord =
+      1 + static_cast<std::uint32_t>(rng.Next(options_.domain_size));
+  return Symbol::Nondistinguished(attr, ord);
+}
+
+Relation InstanceGenerator::GenerateRelation(const AttrSet& scheme,
+                                             Random& rng) const {
+  VIEWCAP_CHECK(!scheme.empty());
+  Relation out(scheme);
+  for (std::size_t i = 0; i < options_.tuples_per_relation; ++i) {
+    std::vector<Symbol> values;
+    values.reserve(scheme.size());
+    for (AttrId a : scheme) values.push_back(RandomSymbol(a, rng));
+    out.Insert(Tuple(scheme, std::move(values)));
+  }
+  return out;
+}
+
+Instantiation InstanceGenerator::Generate(const DbSchema& schema,
+                                          Random& rng) const {
+  Instantiation alpha(catalog_);
+  for (RelId rel : schema.relations()) {
+    Status st =
+        alpha.Set(rel, GenerateRelation(catalog_->RelationScheme(rel), rng));
+    VIEWCAP_CHECK(st.ok());
+  }
+  return alpha;
+}
+
+}  // namespace viewcap

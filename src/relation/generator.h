@@ -1,0 +1,43 @@
+// Random database instance generation for property tests and benchmarks.
+#ifndef VIEWCAP_RELATION_GENERATOR_H_
+#define VIEWCAP_RELATION_GENERATOR_H_
+
+#include "base/random.h"
+#include "relation/instantiation.h"
+
+namespace viewcap {
+
+/// Tuning knobs for InstanceGenerator.
+struct InstanceOptions {
+  /// Tuples drawn per relation (before dedup).
+  std::size_t tuples_per_relation = 6;
+  /// Active domain size per attribute; small values force value sharing
+  /// across relations, which is what makes joins and embeddings nontrivial.
+  std::uint32_t domain_size = 4;
+  /// Probability that a generated cell is the distinguished symbol 0_A,
+  /// exercising the distinguished/nondistinguished distinction end to end.
+  double distinguished_probability = 0.1;
+};
+
+/// Produces random instantiations of a database schema.
+class InstanceGenerator {
+ public:
+  InstanceGenerator(const Catalog* catalog, InstanceOptions options)
+      : catalog_(catalog), options_(options) {}
+
+  /// A random relation over `scheme`.
+  Relation GenerateRelation(const AttrSet& scheme, Random& rng) const;
+
+  /// A random instantiation assigning every relation in `schema`.
+  Instantiation Generate(const DbSchema& schema, Random& rng) const;
+
+ private:
+  Symbol RandomSymbol(AttrId attr, Random& rng) const;
+
+  const Catalog* catalog_;
+  InstanceOptions options_;
+};
+
+}  // namespace viewcap
+
+#endif  // VIEWCAP_RELATION_GENERATOR_H_

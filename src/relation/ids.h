@@ -1,0 +1,25 @@
+// Integral identifiers for interned catalog entities.
+#ifndef VIEWCAP_RELATION_IDS_H_
+#define VIEWCAP_RELATION_IDS_H_
+
+#include <cstdint>
+
+namespace viewcap {
+
+/// Identifier of an interned attribute (index into Catalog's attribute
+/// table). Attribute domains are pairwise disjoint (Section 1.1), which the
+/// Symbol representation guarantees by carrying its AttrId.
+using AttrId = std::uint32_t;
+
+/// Identifier of an interned relation name. Both base database relation
+/// names and view relation names live in the same space, exactly as the
+/// paper draws both from the single infinite set RN_U.
+using RelId = std::uint32_t;
+
+/// Sentinel for "no attribute" / "no relation".
+inline constexpr AttrId kInvalidAttr = static_cast<AttrId>(-1);
+inline constexpr RelId kInvalidRel = static_cast<RelId>(-1);
+
+}  // namespace viewcap
+
+#endif  // VIEWCAP_RELATION_IDS_H_

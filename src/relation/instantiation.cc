@@ -1,0 +1,54 @@
+#include "relation/instantiation.h"
+
+#include "base/check.h"
+#include "base/strings.h"
+
+namespace viewcap {
+
+Status Instantiation::Set(RelId rel, Relation relation) {
+  if (!catalog_->HasRelation(rel)) {
+    return Status::NotFound(StrCat("relation id ", rel));
+  }
+  if (relation.scheme() != catalog_->RelationScheme(rel)) {
+    return Status::IllFormed(
+        StrCat("relation assigned to '", catalog_->RelationName(rel),
+               "' has the wrong scheme"));
+  }
+  relations_[rel] = std::move(relation);
+  return Status::OK();
+}
+
+const Relation& Instantiation::Get(RelId rel) const {
+  VIEWCAP_CHECK(catalog_->HasRelation(rel));
+  auto it = relations_.find(rel);
+  if (it != relations_.end()) return it->second;
+  auto [eit, inserted] =
+      empties_.try_emplace(rel, Relation(catalog_->RelationScheme(rel)));
+  (void)inserted;
+  return eit->second;
+}
+
+Instantiation Instantiation::With(RelId rel, Relation relation) const {
+  Instantiation copy = *this;
+  copy.empties_.clear();
+  Status st = copy.Set(rel, std::move(relation));
+  VIEWCAP_CHECK(st.ok());
+  return copy;
+}
+
+std::size_t Instantiation::TotalTuples() const {
+  std::size_t n = 0;
+  for (const auto& [rel, relation] : relations_) n += relation.size();
+  return n;
+}
+
+std::string Instantiation::ToString() const {
+  std::string out;
+  for (const auto& [rel, relation] : relations_) {
+    out += StrCat(catalog_->RelationName(rel), " = ",
+                  relation.ToString(*catalog_));
+  }
+  return out;
+}
+
+}  // namespace viewcap

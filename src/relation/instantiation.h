@@ -1,0 +1,57 @@
+// Instantiations: assignments of finite relations to relation names
+// (Section 1.1).
+#ifndef VIEWCAP_RELATION_INSTANTIATION_H_
+#define VIEWCAP_RELATION_INSTANTIATION_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "base/status.h"
+#include "relation/catalog.h"
+#include "relation/relation.h"
+
+namespace viewcap {
+
+/// A mapping alpha on relation names with alpha(eta) a relation on R(eta).
+/// The paper's instantiations are total on the infinite name set; here every
+/// name not explicitly Set() is implicitly the empty relation of its type,
+/// which is the only finitely-representable reading and is faithful for all
+/// queries (they mention finitely many names).
+class Instantiation {
+ public:
+  /// Binds to `catalog` for name/type resolution. The catalog must outlive
+  /// the instantiation.
+  explicit Instantiation(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// Assigns alpha(rel) = relation. Fails unless the relation's scheme
+  /// equals R(rel).
+  Status Set(RelId rel, Relation relation);
+
+  /// alpha(rel); the empty relation of type R(rel) when unset.
+  const Relation& Get(RelId rel) const;
+
+  /// Returns a copy with `rel` overridden (used for induced instantiations).
+  Instantiation With(RelId rel, Relation relation) const;
+
+  const Catalog& catalog() const { return *catalog_; }
+
+  /// Names with explicit (possibly empty) assignments.
+  const std::unordered_map<RelId, Relation>& assignments() const {
+    return relations_;
+  }
+
+  /// Total tuple count over explicit assignments.
+  std::size_t TotalTuples() const;
+
+  std::string ToString() const;
+
+ private:
+  const Catalog* catalog_;
+  std::unordered_map<RelId, Relation> relations_;
+  // Cache of empty relations handed out by Get for unset names.
+  mutable std::unordered_map<RelId, Relation> empties_;
+};
+
+}  // namespace viewcap
+
+#endif  // VIEWCAP_RELATION_INSTANTIATION_H_

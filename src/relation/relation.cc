@@ -1,0 +1,79 @@
+#include "relation/relation.h"
+
+#include <algorithm>
+#include <map>
+
+#include "base/check.h"
+#include "base/strings.h"
+#include "relation/catalog.h"
+
+namespace viewcap {
+
+Relation::Relation(AttrSet scheme, std::vector<Tuple> tuples)
+    : scheme_(std::move(scheme)), tuples_(std::move(tuples)) {
+  for (const Tuple& t : tuples_) VIEWCAP_CHECK(t.scheme() == scheme_);
+  std::sort(tuples_.begin(), tuples_.end());
+  tuples_.erase(std::unique(tuples_.begin(), tuples_.end()), tuples_.end());
+}
+
+bool Relation::Insert(Tuple t) {
+  VIEWCAP_CHECK(t.scheme() == scheme_);
+  auto it = std::lower_bound(tuples_.begin(), tuples_.end(), t);
+  if (it != tuples_.end() && *it == t) return false;
+  tuples_.insert(it, std::move(t));
+  return true;
+}
+
+bool Relation::Contains(const Tuple& t) const {
+  return std::binary_search(tuples_.begin(), tuples_.end(), t);
+}
+
+Relation Relation::Project(const AttrSet& x) const {
+  VIEWCAP_CHECK(!x.empty());
+  VIEWCAP_CHECK(x.SubsetOf(scheme_));
+  std::vector<Tuple> out;
+  out.reserve(tuples_.size());
+  for (const Tuple& t : tuples_) out.push_back(t.Project(x));
+  return Relation(x, std::move(out));
+}
+
+Relation Relation::NaturalJoin(const Relation& left, const Relation& right) {
+  AttrSet shared = left.scheme().Intersect(right.scheme());
+  AttrSet combined = left.scheme().Union(right.scheme());
+  std::vector<Tuple> out;
+  if (shared.empty()) {
+    // Cartesian product.
+    for (const Tuple& l : left) {
+      for (const Tuple& r : right) out.push_back(l.CombineWith(r));
+    }
+    return Relation(combined, std::move(out));
+  }
+  // Hash-join on the shared attributes (keys are projected tuples).
+  std::map<Tuple, std::vector<const Tuple*>> index;
+  for (const Tuple& r : right) index[r.Project(shared)].push_back(&r);
+  for (const Tuple& l : left) {
+    auto it = index.find(l.Project(shared));
+    if (it == index.end()) continue;
+    for (const Tuple* r : it->second) out.push_back(l.CombineWith(*r));
+  }
+  return Relation(combined, std::move(out));
+}
+
+Relation Relation::NaturalJoinAll(const std::vector<Relation>& parts) {
+  VIEWCAP_CHECK(!parts.empty());
+  Relation acc = parts.front();
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    acc = NaturalJoin(acc, parts[i]);
+  }
+  return acc;
+}
+
+std::string Relation::ToString(const Catalog& catalog) const {
+  std::vector<std::string> header;
+  for (AttrId a : scheme_) header.push_back(catalog.AttributeName(a));
+  std::string out = StrCat("[", StrJoin(header, ", "), "]\n");
+  for (const Tuple& t : tuples_) out += StrCat("  ", t.ToString(catalog), "\n");
+  return out;
+}
+
+}  // namespace viewcap

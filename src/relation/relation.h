@@ -1,0 +1,58 @@
+// Finite relations and the projection/join operators (Section 1.1).
+#ifndef VIEWCAP_RELATION_RELATION_H_
+#define VIEWCAP_RELATION_RELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "relation/tuple.h"
+
+namespace viewcap {
+
+/// A finite set of tuples over a common relation scheme. Stored as a sorted
+/// unique vector for deterministic iteration and O(log n) membership.
+class Relation {
+ public:
+  Relation() = default;
+
+  /// Empty relation over `scheme`.
+  explicit Relation(AttrSet scheme) : scheme_(std::move(scheme)) {}
+
+  /// From tuples; all must share `scheme`. Duplicates are removed.
+  Relation(AttrSet scheme, std::vector<Tuple> tuples);
+
+  const AttrSet& scheme() const { return scheme_; }
+  std::size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  auto begin() const { return tuples_.begin(); }
+  auto end() const { return tuples_.end(); }
+
+  /// Inserts `t` (scheme-checked); returns true when newly added.
+  bool Insert(Tuple t);
+
+  bool Contains(const Tuple& t) const;
+
+  /// pi_X(I): the projection onto nonempty X subset of the scheme.
+  Relation Project(const AttrSet& x) const;
+
+  /// I |x| J: the natural join over the union scheme.
+  static Relation NaturalJoin(const Relation& left, const Relation& right);
+
+  /// n-ary join; `parts` must be nonempty.
+  static Relation NaturalJoinAll(const std::vector<Relation>& parts);
+
+  /// Multi-line rendering with a header row.
+  std::string ToString(const Catalog& catalog) const;
+
+  bool operator==(const Relation& other) const = default;
+
+ private:
+  AttrSet scheme_;
+  std::vector<Tuple> tuples_;  // Sorted, unique.
+};
+
+}  // namespace viewcap
+
+#endif  // VIEWCAP_RELATION_RELATION_H_

@@ -1,0 +1,40 @@
+#include "relation/symbol.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "base/strings.h"
+#include "relation/catalog.h"
+
+namespace viewcap {
+
+std::string Symbol::ToString(const Catalog& catalog) const {
+  const std::string& attr_name = catalog.HasAttribute(attr)
+                                     ? catalog.AttributeName(attr)
+                                     : StrCat("#", attr);
+  if (IsDistinguished()) return StrCat("0_", attr_name);
+  std::string lowered = attr_name;
+  std::transform(lowered.begin(), lowered.end(), lowered.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return StrCat(lowered, ordinal);
+}
+
+Symbol SymbolPool::Fresh(AttrId attr) {
+  std::uint32_t& next = next_[attr];
+  if (next == 0) next = 1;
+  return Symbol::Nondistinguished(attr, next++);
+}
+
+void SymbolPool::Reserve(AttrId attr, std::uint32_t ordinal) {
+  std::uint32_t& next = next_[attr];
+  if (next <= ordinal) next = ordinal + 1;
+}
+
+void SymbolPool::ReserveAll(const SymbolMap& map) {
+  for (const auto& [from, to] : map) {
+    Reserve(from.attr, from.ordinal);
+    Reserve(to.attr, to.ordinal);
+  }
+}
+
+}  // namespace viewcap

@@ -1,0 +1,84 @@
+// Symbols: elements of the pairwise-disjoint attribute domains, including
+// the distinguished symbol 0_A of each domain (Sections 1.1 and 2.1).
+#ifndef VIEWCAP_RELATION_SYMBOL_H_
+#define VIEWCAP_RELATION_SYMBOL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "base/hash.h"
+#include "relation/ids.h"
+
+namespace viewcap {
+
+class Catalog;
+
+/// One element of Dom(A) for some attribute A. Ordinal 0 is the
+/// distinguished symbol 0_A; positive ordinals are nondistinguished.
+/// Because the attribute id is part of the symbol, the disjointness of
+/// domains across attributes (Section 1.1) holds by construction, and
+/// valuations (f(a) in Dom(A) for a in Dom(A)) are maps that preserve the
+/// attribute component.
+struct Symbol {
+  AttrId attr = kInvalidAttr;
+  std::uint32_t ordinal = 0;
+
+  /// The distinguished symbol 0_A of attribute `a`.
+  static Symbol Distinguished(AttrId a) { return Symbol{a, 0}; }
+
+  /// The `i`-th nondistinguished symbol of attribute `a` (i >= 1).
+  static Symbol Nondistinguished(AttrId a, std::uint32_t i) {
+    return Symbol{a, i};
+  }
+
+  bool IsDistinguished() const { return ordinal == 0; }
+
+  bool operator==(const Symbol& other) const = default;
+  bool operator<(const Symbol& other) const {
+    return attr != other.attr ? attr < other.attr : ordinal < other.ordinal;
+  }
+
+  /// Debug/printer form: "0_A" for distinguished, "a3" style otherwise
+  /// (lowercased attribute name + ordinal), given a catalog for names.
+  std::string ToString(const Catalog& catalog) const;
+};
+
+struct SymbolHash {
+  std::size_t operator()(const Symbol& s) const {
+    std::size_t seed = std::hash<std::uint32_t>{}(s.attr);
+    HashCombine(seed, std::hash<std::uint32_t>{}(s.ordinal));
+    return seed;
+  }
+};
+
+/// Map type used for valuations, homomorphisms and embeddings. All three
+/// are (partial, finite) functions on symbols that fix the attribute
+/// component; identity is assumed outside the stored domain.
+using SymbolMap = std::unordered_map<Symbol, Symbol, SymbolHash>;
+
+/// Mints fresh nondistinguished symbols per attribute. Counters only move
+/// forward, so symbols minted by one pool never collide with each other.
+/// Callers seeding a pool from an existing template must call Reserve so the
+/// pool starts above every ordinal already in use.
+class SymbolPool {
+ public:
+  SymbolPool() = default;
+
+  /// Returns a brand-new nondistinguished symbol of attribute `attr`.
+  Symbol Fresh(AttrId attr);
+
+  /// Ensures future Fresh(attr) calls return ordinals > `ordinal`.
+  void Reserve(AttrId attr, std::uint32_t ordinal);
+
+  /// Convenience: reserve for every symbol in the map's key/value sets.
+  void ReserveAll(const SymbolMap& map);
+
+ private:
+  std::unordered_map<AttrId, std::uint32_t> next_;
+};
+
+}  // namespace viewcap
+
+#endif  // VIEWCAP_RELATION_SYMBOL_H_

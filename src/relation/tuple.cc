@@ -1,0 +1,97 @@
+#include "relation/tuple.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+#include "base/strings.h"
+#include "relation/catalog.h"
+
+namespace viewcap {
+
+Tuple::Tuple(AttrSet scheme, std::vector<Symbol> values)
+    : scheme_(std::move(scheme)), values_(std::move(values)) {
+  VIEWCAP_CHECK(scheme_.size() == values_.size());
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    VIEWCAP_CHECK(values_[i].attr == scheme_.attrs()[i]);
+  }
+}
+
+Tuple Tuple::AllDistinguished(const AttrSet& scheme) {
+  std::vector<Symbol> values;
+  values.reserve(scheme.size());
+  for (AttrId a : scheme) values.push_back(Symbol::Distinguished(a));
+  return Tuple(scheme, std::move(values));
+}
+
+const Symbol& Tuple::At(AttrId attr) const {
+  return values_[scheme_.IndexOf(attr)];
+}
+
+void Tuple::SetValueAt(std::size_t index, Symbol s) {
+  VIEWCAP_CHECK(index < values_.size());
+  VIEWCAP_CHECK(s.attr == scheme_.attrs()[index]);
+  values_[index] = s;
+}
+
+void Tuple::Set(AttrId attr, Symbol s) {
+  SetValueAt(scheme_.IndexOf(attr), s);
+}
+
+Tuple Tuple::Project(const AttrSet& x) const {
+  VIEWCAP_CHECK(!x.empty());
+  VIEWCAP_CHECK(x.SubsetOf(scheme_));
+  std::vector<Symbol> values;
+  values.reserve(x.size());
+  for (AttrId a : x) values.push_back(At(a));
+  return Tuple(x, std::move(values));
+}
+
+bool Tuple::AgreesWith(const Tuple& other) const {
+  AttrSet shared = scheme_.Intersect(other.scheme_);
+  for (AttrId a : shared) {
+    if (At(a) != other.At(a)) return false;
+  }
+  return true;
+}
+
+Tuple Tuple::CombineWith(const Tuple& other) const {
+  VIEWCAP_DCHECK(AgreesWith(other));
+  AttrSet combined = scheme_.Union(other.scheme_);
+  std::vector<Symbol> values;
+  values.reserve(combined.size());
+  for (AttrId a : combined) {
+    values.push_back(scheme_.Contains(a) ? At(a) : other.At(a));
+  }
+  return Tuple(combined, std::move(values));
+}
+
+Tuple Tuple::Apply(const SymbolMap& map) const {
+  std::vector<Symbol> values = values_;
+  for (Symbol& s : values) {
+    auto it = map.find(s);
+    if (it != map.end()) s = it->second;
+  }
+  return Tuple(scheme_, std::move(values));
+}
+
+AttrSet Tuple::DistinguishedAttrs() const {
+  AttrSet out;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (values_[i].IsDistinguished()) out.Insert(scheme_.attrs()[i]);
+  }
+  return out;
+}
+
+std::string Tuple::ToString(const Catalog& catalog) const {
+  std::vector<std::string> parts;
+  parts.reserve(values_.size());
+  for (const Symbol& s : values_) parts.push_back(s.ToString(catalog));
+  return StrCat("(", StrJoin(parts, ", "), ")");
+}
+
+bool Tuple::operator<(const Tuple& other) const {
+  if (scheme_ != other.scheme_) return scheme_ < other.scheme_;
+  return values_ < other.values_;
+}
+
+}  // namespace viewcap

@@ -1,0 +1,88 @@
+// Tuples over a relation scheme (Section 1.1).
+#ifndef VIEWCAP_RELATION_TUPLE_H_
+#define VIEWCAP_RELATION_TUPLE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "base/hash.h"
+#include "relation/attr_set.h"
+#include "relation/symbol.h"
+
+namespace viewcap {
+
+class Catalog;
+
+/// A mapping t from a relation scheme R into the attribute domains with
+/// t(A) in Dom(A). Stored as a symbol vector parallel to the scheme's
+/// sorted attribute order.
+class Tuple {
+ public:
+  Tuple() = default;
+
+  /// Constructs a tuple over `scheme` with `values[i]` assigned to the i-th
+  /// attribute in sorted order. Checks |values| == |scheme| and that each
+  /// symbol belongs to its attribute's domain.
+  Tuple(AttrSet scheme, std::vector<Symbol> values);
+
+  /// The all-distinguished tuple 0_R over `scheme` (Section 2.1).
+  static Tuple AllDistinguished(const AttrSet& scheme);
+
+  const AttrSet& scheme() const { return scheme_; }
+  std::size_t size() const { return values_.size(); }
+
+  /// t(A). Precondition: scheme().Contains(attr).
+  const Symbol& At(AttrId attr) const;
+
+  /// Value by position in sorted scheme order.
+  const Symbol& ValueAt(std::size_t index) const { return values_[index]; }
+  void SetValueAt(std::size_t index, Symbol s);
+  void Set(AttrId attr, Symbol s);
+
+  /// The projection t[X] (Section 1.1). X must be a nonempty subset of the
+  /// scheme.
+  Tuple Project(const AttrSet& x) const;
+
+  /// True when this tuple and `other` agree on every attribute their
+  /// schemes share; the join of two relations keeps exactly the combined
+  /// tuples whose components agree this way.
+  bool AgreesWith(const Tuple& other) const;
+
+  /// The combined tuple over the union scheme; preconditions:
+  /// AgreesWith(other).
+  Tuple CombineWith(const Tuple& other) const;
+
+  /// Applies a valuation: each stored symbol s becomes map.at(s) when
+  /// present in `map`, else stays (identity outside the map's domain).
+  Tuple Apply(const SymbolMap& map) const;
+
+  /// Attributes where the value is the distinguished symbol of that
+  /// attribute.
+  AttrSet DistinguishedAttrs() const;
+
+  /// Render as e.g. "(0_A, b1, c2)".
+  std::string ToString(const Catalog& catalog) const;
+
+  bool operator==(const Tuple& other) const = default;
+  bool operator<(const Tuple& other) const;
+
+ private:
+  AttrSet scheme_;
+  std::vector<Symbol> values_;
+};
+
+struct TupleHash {
+  std::size_t operator()(const Tuple& t) const {
+    std::size_t seed = 0;
+    for (AttrId a : t.scheme()) HashCombine(seed, a);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      HashCombine(seed, SymbolHash{}(t.ValueAt(i)));
+    }
+    return seed;
+  }
+};
+
+}  // namespace viewcap
+
+#endif  // VIEWCAP_RELATION_TUPLE_H_

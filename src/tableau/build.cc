@@ -1,0 +1,120 @@
+#include "tableau/build.h"
+
+#include "base/check.h"
+#include "base/strings.h"
+
+namespace viewcap {
+
+namespace {
+
+// Recursive worker producing raw rows; validation happens once at the top.
+Status BuildRows(const Catalog& catalog, const AttrSet& universe,
+                 const Expr& expr, SymbolPool& pool,
+                 std::vector<TaggedTuple>& out) {
+  switch (expr.kind()) {
+    case Expr::Kind::kRelName: {
+      // Step (i): a single tagged tuple with 0_A exactly at A in R(eta).
+      const AttrSet& type = catalog.RelationScheme(expr.rel());
+      if (!type.SubsetOf(universe)) {
+        return Status::IllFormed(
+            StrCat("type of '", catalog.RelationName(expr.rel()),
+                   "' is not contained in the universe"));
+      }
+      std::vector<Symbol> values;
+      values.reserve(universe.size());
+      for (AttrId a : universe) {
+        values.push_back(type.Contains(a) ? Symbol::Distinguished(a)
+                                          : pool.Fresh(a));
+      }
+      out.push_back(TaggedTuple{expr.rel(), Tuple(universe, values)});
+      return Status::OK();
+    }
+    case Expr::Kind::kProject: {
+      // Step (ii): build the child, then replace 0_A by one fresh
+      // nondistinguished symbol per attribute A outside the projection.
+      std::vector<TaggedTuple> child;
+      VIEWCAP_RETURN_NOT_OK(
+          BuildRows(catalog, universe, *expr.children()[0], pool, child));
+      SymbolMap rename;
+      for (AttrId a : expr.children()[0]->trs().Difference(expr.projection())) {
+        rename[Symbol::Distinguished(a)] = pool.Fresh(a);
+      }
+      for (TaggedTuple& row : child) {
+        out.push_back(TaggedTuple{row.rel, row.tuple.Apply(rename)});
+      }
+      return Status::OK();
+    }
+    case Expr::Kind::kJoin: {
+      // Step (iii): children built from one pool have pairwise-disjoint
+      // nondistinguished symbols by construction; union the rows.
+      for (const ExprPtr& c : expr.children()) {
+        VIEWCAP_RETURN_NOT_OK(BuildRows(catalog, universe, *c, pool, out));
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable expression kind");
+}
+
+}  // namespace
+
+Result<Tableau> BuildTableau(const Catalog& catalog, const AttrSet& universe,
+                             const Expr& expr, SymbolPool& pool) {
+  std::vector<TaggedTuple> rows;
+  VIEWCAP_RETURN_NOT_OK(BuildRows(catalog, universe, expr, pool, rows));
+  return Tableau::Create(catalog, universe, std::move(rows));
+}
+
+Result<Tableau> BuildTableau(const Catalog& catalog, const AttrSet& universe,
+                             const Expr& expr) {
+  SymbolPool pool;
+  return BuildTableau(catalog, universe, expr, pool);
+}
+
+Tableau MustBuildTableau(const Catalog& catalog, const AttrSet& universe,
+                         const Expr& expr) {
+  Result<Tableau> r = BuildTableau(catalog, universe, expr);
+  VIEWCAP_CHECK(r.ok());
+  return std::move(r).value();
+}
+
+Result<Tableau> ProjectTableau(const Catalog& catalog, const Tableau& t,
+                               const AttrSet& x, SymbolPool& pool) {
+  AttrSet trs = t.Trs();
+  if (x.empty() || !x.SubsetOf(trs)) {
+    return Status::IllFormed(
+        "projection list must be a nonempty subset of TRS(T)");
+  }
+  t.ReserveSymbols(pool);
+  SymbolMap rename;
+  for (AttrId a : trs.Difference(x)) {
+    rename[Symbol::Distinguished(a)] = pool.Fresh(a);
+  }
+  Tableau projected = t.Apply(rename);
+  VIEWCAP_RETURN_NOT_OK(projected.Validate(catalog));
+  return projected;
+}
+
+Result<Tableau> JoinTableaux(const Catalog& catalog, const Tableau& t1,
+                             const Tableau& t2, SymbolPool& pool) {
+  if (t1.universe() != t2.universe()) {
+    return Status::IllFormed("joined templates must share a universe");
+  }
+  t1.ReserveSymbols(pool);
+  t2.ReserveSymbols(pool);
+  // Relabel every nondistinguished symbol of t2 that also occurs in t1.
+  SymbolMap rename;
+  std::vector<Symbol> t1_symbols = t1.Symbols();
+  for (const Symbol& s : t2.Symbols()) {
+    if (s.IsDistinguished()) continue;
+    if (std::binary_search(t1_symbols.begin(), t1_symbols.end(), s)) {
+      rename[s] = pool.Fresh(s.attr);
+    }
+  }
+  Tableau relabelled = t2.Apply(rename);
+  std::vector<TaggedTuple> rows = t1.rows();
+  rows.insert(rows.end(), relabelled.rows().begin(), relabelled.rows().end());
+  return Tableau::Create(catalog, t1.universe(), std::move(rows));
+}
+
+}  // namespace viewcap

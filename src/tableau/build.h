@@ -1,0 +1,42 @@
+// Algorithm 2.1.1: converting m.r. expressions to equivalent m.r. templates.
+#ifndef VIEWCAP_TABLEAU_BUILD_H_
+#define VIEWCAP_TABLEAU_BUILD_H_
+
+#include "algebra/expr.h"
+#include "tableau/tableau.h"
+
+namespace viewcap {
+
+/// Builds a template T over `universe` with T == E (Proposition 2.1.2).
+/// Every relation name in `expr` must have its type contained in
+/// `universe`. Fresh nondistinguished symbols are minted from `pool`;
+/// passing one pool across several builds guarantees pairwise-disjoint
+/// nondistinguished symbols between the resulting templates (the
+/// relabelling step (iii) of the algorithm).
+Result<Tableau> BuildTableau(const Catalog& catalog, const AttrSet& universe,
+                             const Expr& expr, SymbolPool& pool);
+
+/// Same with a private symbol pool.
+Result<Tableau> BuildTableau(const Catalog& catalog, const AttrSet& universe,
+                             const Expr& expr);
+
+/// CHECK-failing convenience.
+Tableau MustBuildTableau(const Catalog& catalog, const AttrSet& universe,
+                         const Expr& expr);
+
+/// The template realizing the expression mapping pi_X o T for a template T
+/// (step (ii) of Algorithm 2.1.1 applied directly to a template): every
+/// distinguished symbol 0_A with A in TRS(T) - X is replaced by one fresh
+/// nondistinguished symbol shared by all rows. X must be a nonempty subset
+/// of TRS(T).
+Result<Tableau> ProjectTableau(const Catalog& catalog, const Tableau& t,
+                               const AttrSet& x, SymbolPool& pool);
+
+/// The template realizing T1 |x| T2 (step (iii)): the union after
+/// relabelling `t2`'s nondistinguished symbols away from `t1`'s.
+Result<Tableau> JoinTableaux(const Catalog& catalog, const Tableau& t1,
+                             const Tableau& t2, SymbolPool& pool);
+
+}  // namespace viewcap
+
+#endif  // VIEWCAP_TABLEAU_BUILD_H_

@@ -1,0 +1,106 @@
+#include "tableau/canonical.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "base/strings.h"
+
+namespace viewcap {
+
+namespace {
+
+// Renders rows in the order given by `perm`, renaming nondistinguished
+// symbols to n0, n1, ... by first occurrence.
+std::string RenderWithOrder(const Tableau& t,
+                            const std::vector<std::size_t>& perm) {
+  std::map<Symbol, int> names;
+  std::string out;
+  for (std::size_t i : perm) {
+    const TaggedTuple& row = t.rows()[i];
+    out += StrCat("r", row.rel, "|");
+    for (std::size_t k = 0; k < row.tuple.size(); ++k) {
+      const Symbol& s = row.tuple.ValueAt(k);
+      if (s.IsDistinguished()) {
+        out += "D,";
+      } else {
+        auto [it, inserted] =
+            names.emplace(s, static_cast<int>(names.size()));
+        out += StrCat("n", it->second, ",");
+      }
+    }
+    out += ";";
+  }
+  return out;
+}
+
+// Invariant signature: per-row strings built from the tag and, per cell,
+// either "D" or a color of the cell's symbol refined over two rounds of
+// neighborhood hashing (a tiny Weisfeiler-Leman pass). Isomorphic templates
+// always produce equal signatures; collisions between non-isomorphic ones
+// are possible and must be resolved by the caller.
+std::string Signature(const Tableau& t) {
+  // Round 0: color = number of occurrences of the symbol in the template.
+  std::map<Symbol, std::size_t> color;
+  for (const TaggedTuple& row : t.rows()) {
+    for (std::size_t k = 0; k < row.tuple.size(); ++k) {
+      ++color[row.tuple.ValueAt(k)];
+    }
+  }
+  std::vector<std::string> row_sigs;
+  for (int round = 0; round < 2; ++round) {
+    // Render rows under current colors.
+    row_sigs.clear();
+    row_sigs.reserve(t.size());
+    for (const TaggedTuple& row : t.rows()) {
+      std::string sig = StrCat("r", row.rel, "|");
+      for (std::size_t k = 0; k < row.tuple.size(); ++k) {
+        const Symbol& s = row.tuple.ValueAt(k);
+        sig += s.IsDistinguished() ? "D," : StrCat("x", color[s], ",");
+      }
+      row_sigs.push_back(std::move(sig));
+    }
+    if (round == 1) break;
+    // Refine: a symbol's new color is the multiset of row signatures it
+    // appears in, interned to a small integer.
+    std::map<Symbol, std::vector<std::string>> neighborhoods;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      const TaggedTuple& row = t.rows()[i];
+      for (std::size_t k = 0; k < row.tuple.size(); ++k) {
+        const Symbol& s = row.tuple.ValueAt(k);
+        if (!s.IsDistinguished()) neighborhoods[s].push_back(row_sigs[i]);
+      }
+    }
+    std::map<std::string, std::size_t> intern;
+    std::map<Symbol, std::size_t> next_color;
+    for (auto& [s, neighborhood] : neighborhoods) {
+      std::sort(neighborhood.begin(), neighborhood.end());
+      std::string joined = StrJoin(neighborhood, "&");
+      auto [it, inserted] = intern.emplace(joined, intern.size());
+      next_color[s] = it->second;
+    }
+    color.clear();
+    for (const auto& [s, c] : next_color) color[s] = c;
+  }
+  std::sort(row_sigs.begin(), row_sigs.end());
+  return StrJoin(row_sigs, ";");
+}
+
+}  // namespace
+
+std::string CanonicalKey(const Tableau& t) {
+  const std::size_t n = t.size();
+  if (n <= kMaxRowsForExactCanonicalKey) {
+    std::vector<std::size_t> perm(n);
+    std::iota(perm.begin(), perm.end(), std::size_t{0});
+    std::string best = RenderWithOrder(t, perm);
+    while (std::next_permutation(perm.begin(), perm.end())) {
+      std::string candidate = RenderWithOrder(t, perm);
+      if (candidate < best) best = std::move(candidate);
+    }
+    return StrCat("X:", best);
+  }
+  return StrCat("S:", Signature(t));
+}
+
+}  // namespace viewcap

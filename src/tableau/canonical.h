@@ -1,0 +1,31 @@
+// Canonical keys for templates: deduplication up to renaming of
+// nondistinguished symbols.
+#ifndef VIEWCAP_TABLEAU_CANONICAL_H_
+#define VIEWCAP_TABLEAU_CANONICAL_H_
+
+#include <string>
+
+#include "tableau/tableau.h"
+
+namespace viewcap {
+
+/// Row-count threshold for the exact canonical form; beyond it an
+/// invariant-based signature is used instead (see CanonicalKey). Kept low:
+/// the exact form scans every row permutation (n! of them) and the closure
+/// search computes keys on hot paths.
+inline constexpr std::size_t kMaxRowsForExactCanonicalKey = 5;
+
+/// Returns a string key such that two templates over the same universe that
+/// are identical up to a renaming of nondistinguished symbols get the same
+/// key. For templates with at most kMaxRowsForExactCanonicalKey rows the key
+/// is exact (equal keys iff isomorphic as symbol structures): the
+/// lexicographically least rendering over all row orders, with
+/// nondistinguished symbols renamed in first-occurrence order. Larger
+/// templates get a sound invariant signature (isomorphic templates always
+/// collide; non-isomorphic ones may too), so callers must confirm key hits
+/// with EquivalentTableaux.
+std::string CanonicalKey(const Tableau& t);
+
+}  // namespace viewcap
+
+#endif  // VIEWCAP_TABLEAU_CANONICAL_H_

@@ -1,0 +1,55 @@
+#include "tableau/counterexample.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+#include "tableau/evaluate.h"
+
+namespace viewcap {
+
+Instantiation FreezeTableau(const Catalog& catalog, const Tableau& t) {
+  Instantiation alpha(&catalog);
+  std::unordered_map<RelId, Relation> relations;
+  for (const TaggedTuple& row : t.rows()) {
+    const AttrSet& type = catalog.RelationScheme(row.rel);
+    auto [it, inserted] = relations.try_emplace(row.rel, Relation(type));
+    it->second.Insert(row.tuple.Project(type));
+  }
+  for (auto& [rel, relation] : relations) {
+    Status st = alpha.Set(rel, std::move(relation));
+    VIEWCAP_CHECK(st.ok());
+  }
+  return alpha;
+}
+
+std::optional<Instantiation> FindDistinguishingInstance(
+    const Catalog& catalog, const Tableau& a, const Tableau& b,
+    const InstanceOptions& options, std::size_t random_trials, Random& rng) {
+  auto differs = [&](const Instantiation& alpha) {
+    return EvaluateTableau(a, alpha) != EvaluateTableau(b, alpha);
+  };
+  if (a.Trs() != b.Trs()) {
+    // Different target schemes: any instance making either nonempty
+    // distinguishes them; the frozen instances do.
+    Instantiation frozen = FreezeTableau(catalog, a);
+    return frozen;
+  }
+  {
+    Instantiation frozen_a = FreezeTableau(catalog, a);
+    if (differs(frozen_a)) return frozen_a;
+    Instantiation frozen_b = FreezeTableau(catalog, b);
+    if (differs(frozen_b)) return frozen_b;
+  }
+  std::vector<RelId> names = a.RelNames();
+  std::vector<RelId> b_names = b.RelNames();
+  names.insert(names.end(), b_names.begin(), b_names.end());
+  DbSchema schema(catalog, std::move(names));
+  InstanceGenerator generator(&catalog, options);
+  for (std::size_t i = 0; i < random_trials; ++i) {
+    Instantiation alpha = generator.Generate(schema, rng);
+    if (differs(alpha)) return alpha;
+  }
+  return std::nullopt;
+}
+
+}  // namespace viewcap

@@ -1,0 +1,33 @@
+// Canonical ("frozen") instances and semantic distinguishing search.
+#ifndef VIEWCAP_TABLEAU_COUNTEREXAMPLE_H_
+#define VIEWCAP_TABLEAU_COUNTEREXAMPLE_H_
+
+#include <optional>
+
+#include "base/random.h"
+#include "relation/generator.h"
+#include "relation/instantiation.h"
+#include "tableau/tableau.h"
+
+namespace viewcap {
+
+/// The canonical instance of a template: each tagged tuple (t, eta)
+/// contributes t[R(eta)] to alpha(eta), with the template's symbols read as
+/// constants. Evaluating any template S on FreezeTableau(T) yields the
+/// distinguished tuple of T iff there is a homomorphism from S to T —
+/// the Chandra-Merlin reading of Proposition 2.4.1 that the property tests
+/// use to cross-validate the homomorphism search.
+Instantiation FreezeTableau(const Catalog& catalog, const Tableau& t);
+
+/// Searches for an instantiation on which `a` and `b` produce different
+/// relations: first both frozen instances (which are guaranteed to witness
+/// any inequivalence of valid templates), then `random_trials` random
+/// instances over the names of both templates. Returns nullopt when none
+/// found (i.e. the templates appear equivalent).
+std::optional<Instantiation> FindDistinguishingInstance(
+    const Catalog& catalog, const Tableau& a, const Tableau& b,
+    const InstanceOptions& options, std::size_t random_trials, Random& rng);
+
+}  // namespace viewcap
+
+#endif  // VIEWCAP_TABLEAU_COUNTEREXAMPLE_H_

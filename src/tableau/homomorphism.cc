@@ -1,0 +1,193 @@
+#include "tableau/homomorphism.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "base/check.h"
+
+namespace viewcap {
+
+namespace {
+
+// Backtracking matcher. Rows of `from` are matched, in a
+// most-constrained-first order, against same-tagged rows of `to`;
+// the binding unifies full universe-wide tuples, which is exactly the
+// definition (f(tau) must literally be a row of `to`). Distinguished
+// symbols are pre-bound to themselves.
+class HomSearch {
+ public:
+  // With fix_distinguished (a true homomorphism), f(0_A) = 0_A is enforced;
+  // without it the search looks for a row embedding (see header). With
+  // injective, the symbol map must be one-to-one and map nondistinguished
+  // symbols to nondistinguished ones (the isomorphism search).
+  HomSearch(const Catalog& catalog, const Tableau& from, const Tableau& to,
+            bool fix_distinguished, bool injective = false)
+      : from_(from),
+        to_(to),
+        fix_distinguished_(fix_distinguished),
+        injective_(injective) {
+    (void)catalog;
+    candidates_.resize(from.size());
+    for (std::size_t i = 0; i < from.size(); ++i) {
+      const TaggedTuple& row = from.rows()[i];
+      for (std::size_t j = 0; j < to.size(); ++j) {
+        const TaggedTuple& target = to.rows()[j];
+        if (target.rel != row.rel) continue;
+        // A homomorphism fixes distinguished symbols, so wherever the
+        // source row is distinguished the target must be too.
+        bool compatible = true;
+        if (fix_distinguished_) {
+          for (std::size_t k = 0; k < row.tuple.size(); ++k) {
+            if (row.tuple.ValueAt(k).IsDistinguished() &&
+                !target.tuple.ValueAt(k).IsDistinguished()) {
+              compatible = false;
+              break;
+            }
+          }
+        }
+        if (compatible) candidates_[i].push_back(j);
+      }
+    }
+    order_.resize(from.size());
+    for (std::size_t i = 0; i < from.size(); ++i) order_[i] = i;
+    std::sort(order_.begin(), order_.end(), [&](std::size_t a, std::size_t b) {
+      return candidates_[a].size() < candidates_[b].size();
+    });
+  }
+
+  std::optional<SymbolMap> Run() {
+    binding_.clear();
+    if (Recurse(0)) {
+      // Complete the map with identity on distinguished symbols so the
+      // result is a bona fide valuation restriction.
+      for (const Symbol& s : from_.Symbols()) {
+        if (s.IsDistinguished()) binding_.emplace(s, s);
+      }
+      return binding_;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  bool Recurse(std::size_t depth) {
+    if (depth == order_.size()) return true;
+    const std::size_t i = order_[depth];
+    const TaggedTuple& row = from_.rows()[i];
+    for (std::size_t j : candidates_[i]) {
+      const TaggedTuple& target = to_.rows()[j];
+      std::vector<std::pair<Symbol, Symbol>> bound;  // Trail for undo.
+      bool ok = true;
+      for (std::size_t k = 0; k < row.tuple.size(); ++k) {
+        const Symbol& var = row.tuple.ValueAt(k);
+        const Symbol& value = target.tuple.ValueAt(k);
+        if (fix_distinguished_ && var.IsDistinguished()) {
+          if (var != value) {  // f(0_A) = 0_A.
+            ok = false;
+            break;
+          }
+          continue;
+        }
+        auto it = binding_.find(var);
+        if (it != binding_.end()) {
+          if (it->second != value) {
+            ok = false;
+            break;
+          }
+        } else {
+          // For isomorphisms, nondistinguished symbols must map one-to-one
+          // onto nondistinguished symbols.
+          if (injective_ &&
+              (value.IsDistinguished() || used_values_.count(value) > 0)) {
+            ok = false;
+            break;
+          }
+          binding_.emplace(var, value);
+          if (injective_) used_values_.insert(value);
+          bound.push_back({var, value});
+        }
+      }
+      if (ok && Recurse(depth + 1)) return true;
+      for (const auto& [var, value] : bound) {
+        binding_.erase(var);
+        if (injective_) used_values_.erase(value);
+      }
+    }
+    return false;
+  }
+
+  const Tableau& from_;
+  const Tableau& to_;
+  bool fix_distinguished_;
+  bool injective_;
+  std::vector<std::vector<std::size_t>> candidates_;
+  std::vector<std::size_t> order_;
+  SymbolMap binding_;
+  std::unordered_set<Symbol, SymbolHash> used_values_;
+};
+
+}  // namespace
+
+std::optional<SymbolMap> FindHomomorphism(const Catalog& catalog,
+                                          const Tableau& from,
+                                          const Tableau& to) {
+  if (from.universe() != to.universe()) return std::nullopt;
+  return HomSearch(catalog, from, to, /*fix_distinguished=*/true).Run();
+}
+
+bool HasRowEmbedding(const Catalog& catalog, const Tableau& from,
+                     const Tableau& to) {
+  if (from.universe() != to.universe()) return false;
+  return HomSearch(catalog, from, to, /*fix_distinguished=*/false)
+      .Run()
+      .has_value();
+}
+
+std::optional<SymbolMap> FindIsomorphism(const Catalog& catalog,
+                                         const Tableau& a, const Tableau& b) {
+  if (a.universe() != b.universe()) return std::nullopt;
+  if (a.size() != b.size()) return std::nullopt;
+  if (a.Symbols().size() != b.Symbols().size()) return std::nullopt;
+  // An injective, nondistinguished-preserving homomorphism between
+  // templates with equally many rows and symbols is a bijection on the
+  // symbols occurring in them; it maps rows injectively (two rows with the
+  // same image would be identified by an injective symbol map, but rows of
+  // a template are distinct), hence bijectively, and its inverse fixes
+  // distinguished symbols and maps rows of b onto rows of a: an
+  // isomorphism.
+  return HomSearch(catalog, a, b, /*fix_distinguished=*/true,
+                   /*injective=*/true)
+      .Run();
+}
+
+bool HasHomomorphism(const Catalog& catalog, const Tableau& from,
+                     const Tableau& to) {
+  return FindHomomorphism(catalog, from, to).has_value();
+}
+
+bool EquivalentTableaux(const Catalog& catalog, const Tableau& a,
+                        const Tableau& b) {
+  if (a.Trs() != b.Trs()) return false;
+  return HasHomomorphism(catalog, a, b) && HasHomomorphism(catalog, b, a);
+}
+
+std::vector<std::size_t> RowImage(const Catalog& catalog, const Tableau& from,
+                                  const Tableau& to, const SymbolMap& hom) {
+  (void)catalog;
+  std::vector<std::size_t> image(from.size());
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    const TaggedTuple& row = from.rows()[i];
+    TaggedTuple mapped{row.rel, row.tuple.Apply(hom)};
+    bool found = false;
+    for (std::size_t j = 0; j < to.size(); ++j) {
+      if (to.rows()[j] == mapped) {
+        image[i] = j;
+        found = true;
+        break;
+      }
+    }
+    VIEWCAP_CHECK(found && "RowImage: not a homomorphism into `to`");
+  }
+  return image;
+}
+
+}  // namespace viewcap

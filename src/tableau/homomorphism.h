@@ -1,0 +1,62 @@
+// Template homomorphisms (Section 2.4): the containment and equivalence
+// tests of Propositions 2.4.1-2.4.3.
+#ifndef VIEWCAP_TABLEAU_HOMOMORPHISM_H_
+#define VIEWCAP_TABLEAU_HOMOMORPHISM_H_
+
+#include <optional>
+
+#include "tableau/tableau.h"
+
+namespace viewcap {
+
+/// Searches for a homomorphism from `from` to `to`: a valuation f with
+/// f(0_A) = 0_A for every attribute and f(tau) a tagged tuple of `to` for
+/// every tagged tuple tau of `from`. By Proposition 2.4.1 such an f exists
+/// iff to(alpha) is contained in from(alpha) for every instantiation.
+///
+/// The returned map is defined on every symbol occurring in `from`
+/// (identity elsewhere); distinguished symbols are included, mapped to
+/// themselves.
+std::optional<SymbolMap> FindHomomorphism(const Catalog& catalog,
+                                          const Tableau& from,
+                                          const Tableau& to);
+
+/// True when a homomorphism `from` -> `to` exists.
+bool HasHomomorphism(const Catalog& catalog, const Tableau& from,
+                     const Tableau& to);
+
+/// Corollary 2.4.2 / Proposition 2.4.3: templates realize the same mapping
+/// iff homomorphisms exist in both directions. Decidable, and decided here.
+bool EquivalentTableaux(const Catalog& catalog, const Tableau& a,
+                        const Tableau& b);
+
+/// Searches for an isomorphism of templates (Section 2.4's definition): a
+/// bijective valuation that is a homomorphism in both directions. Decided
+/// by searching for an injective, nondistinguished-preserving homomorphism
+/// between same-size templates with equally many symbols — its inverse is
+/// then automatically a homomorphism. Reduced equivalent templates are
+/// always isomorphic (the core is unique), which the uniqueness results of
+/// Section 4.2 lean on.
+std::optional<SymbolMap> FindIsomorphism(const Catalog& catalog,
+                                         const Tableau& a, const Tableau& b);
+
+/// A row embedding is a weakening of homomorphism: a consistent symbol map
+/// sending every row of `from` onto a same-tagged row of `to`, WITHOUT the
+/// requirement that distinguished symbols stay fixed. If a template C
+/// appears as a subexpression of an expression W whose template maps
+/// homomorphically into Q, then C row-embeds into Q (the projections above
+/// C inside W rename distinguished symbols, so the restriction of the
+/// homomorphism is exactly such an embedding). The capacity search uses
+/// this as a completeness-preserving prune.
+bool HasRowEmbedding(const Catalog& catalog, const Tableau& from,
+                     const Tableau& to);
+
+/// For each row index of `from`, the index in `to` of the row it maps to
+/// under homomorphism `hom`. CHECK-fails if `hom` is not a homomorphism
+/// from `from` to `to` (used to trace T-blocks in Section 3).
+std::vector<std::size_t> RowImage(const Catalog& catalog, const Tableau& from,
+                                  const Tableau& to, const SymbolMap& hom);
+
+}  // namespace viewcap
+
+#endif  // VIEWCAP_TABLEAU_HOMOMORPHISM_H_

@@ -1,0 +1,56 @@
+// Expression-template recognition (Proposition 2.4.6) and expression
+// minimization (the classic application of templates from reference [2],
+// Aho-Sagiv-Ullman).
+#ifndef VIEWCAP_TABLEAU_RECOGNIZE_H_
+#define VIEWCAP_TABLEAU_RECOGNIZE_H_
+
+#include "algebra/enumerator.h"
+#include "tableau/tableau.h"
+
+namespace viewcap {
+
+/// Outcome of expression-template recognition.
+struct RecognitionResult {
+  /// Non-null when a PJ expression realizing the template's mapping was
+  /// found; its Algorithm 2.1.1 template is equivalent to the input.
+  ExprPtr expression;
+  /// True when the search stopped on its candidate cap: a null
+  /// `expression` is then inconclusive rather than a disproof.
+  bool budget_exhausted = false;
+  std::size_t candidates_tried = 0;
+  std::size_t leaf_budget = 0;
+};
+
+/// Proposition 2.4.6, budgeted: decides whether `t` is an m.r.e. template
+/// by searching for a realizing PJ expression over RN(t). The leaf budget
+/// is the reduced row count plus `limits.extra_leaves` (every expression's
+/// template has one row per leaf occurrence, so a realizer of the reduced
+/// core needs at least that many; see DESIGN.md for the completeness
+/// discussion of the upper bound).
+Result<RecognitionResult> RecognizeExpressionTemplate(
+    const Catalog& catalog, const Tableau& t, SearchLimits limits = {});
+
+/// Outcome of expression minimization.
+struct MinimizeResult {
+  /// An expression with the fewest leaf occurrences realizing the input's
+  /// mapping that the search found; never null (falls back to the input).
+  ExprPtr expression;
+  /// True when the minimizer proved no smaller realization exists within
+  /// the (default-complete) budget; false when the candidate cap was hit.
+  bool minimal = false;
+  std::size_t leaves_before = 0;
+  std::size_t leaves_after = 0;
+};
+
+/// Tableau-based query minimization: builds the template of `expr`,
+/// reduces it to its core (Proposition 2.4.4), and synthesizes a realizing
+/// expression of core size via RecognizeExpressionTemplate. The result is
+/// equivalent to the input (checked by homomorphisms before returning).
+Result<MinimizeResult> MinimizeExpression(const Catalog& catalog,
+                                          const AttrSet& universe,
+                                          const ExprPtr& expr,
+                                          SearchLimits limits = {});
+
+}  // namespace viewcap
+
+#endif  // VIEWCAP_TABLEAU_RECOGNIZE_H_

@@ -1,0 +1,41 @@
+#include "tableau/reduce.h"
+
+#include <numeric>
+
+#include "base/check.h"
+#include "tableau/homomorphism.h"
+
+namespace viewcap {
+
+Tableau Reduce(const Catalog& catalog, const Tableau& t) {
+  Tableau current = t;
+  bool changed = true;
+  while (changed && current.size() > 1) {
+    changed = false;
+    for (std::size_t drop = 0; drop < current.size(); ++drop) {
+      std::vector<std::size_t> keep;
+      keep.reserve(current.size() - 1);
+      for (std::size_t i = 0; i < current.size(); ++i) {
+        if (i != drop) keep.push_back(i);
+      }
+      Tableau sub = current.SubsetRows(keep);
+      // sub is a subset, so current(alpha) is contained in sub(alpha) for
+      // every alpha; equivalence therefore needs exactly a homomorphism
+      // current -> sub. That homomorphism fixes distinguished symbols, so
+      // TRS and condition (iii) survive automatically.
+      if (HasHomomorphism(catalog, current, sub)) {
+        current = std::move(sub);
+        changed = true;
+        break;
+      }
+    }
+  }
+  VIEWCAP_DCHECK(current.Validate(catalog).ok());
+  return current;
+}
+
+bool IsReduced(const Catalog& catalog, const Tableau& t) {
+  return Reduce(catalog, t).size() == t.size();
+}
+
+}  // namespace viewcap

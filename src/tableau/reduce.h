@@ -1,0 +1,23 @@
+// Template reduction (Proposition 2.4.4): computing the minimal equivalent
+// subtemplate (the "core").
+#ifndef VIEWCAP_TABLEAU_REDUCE_H_
+#define VIEWCAP_TABLEAU_REDUCE_H_
+
+#include "tableau/tableau.h"
+
+namespace viewcap {
+
+/// Returns a reduced template S with S contained in T and S == T. A row is
+/// droppable exactly when a homomorphism from the current template into the
+/// remainder exists; single-row greedy removal is complete because a
+/// homomorphism into a smaller subset is also one into any superset.
+/// The result is minimum-size in T's equivalence class, matching the
+/// paper's definition of reduced (#(T) <= #(S) for every S == T).
+Tableau Reduce(const Catalog& catalog, const Tableau& t);
+
+/// True when no proper subtemplate of `t` is equivalent to `t`.
+bool IsReduced(const Catalog& catalog, const Tableau& t);
+
+}  // namespace viewcap
+
+#endif  // VIEWCAP_TABLEAU_REDUCE_H_

@@ -1,0 +1,82 @@
+#include "tableau/substitution.h"
+
+#include "base/check.h"
+#include "base/strings.h"
+#include "tableau/evaluate.h"
+
+namespace viewcap {
+
+Result<SubstitutionOutcome> Substitute(const Catalog& catalog,
+                                       const Tableau& t,
+                                       const TemplateAssignment& beta,
+                                       SymbolPool& pool) {
+  // Guard against mark collisions with any symbol already in play.
+  t.ReserveSymbols(pool);
+  for (const auto& [rel, assigned] : beta) assigned.ReserveSymbols(pool);
+
+  for (RelId rel : t.RelNames()) {
+    auto it = beta.find(rel);
+    if (it == beta.end()) {
+      return Status::NotFound(StrCat("no template assigned to '",
+                                     catalog.RelationName(rel), "'"));
+    }
+    if (it->second.universe() != t.universe()) {
+      return Status::IllFormed(
+          StrCat("template assigned to '", catalog.RelationName(rel),
+                 "' is over a different universe"));
+    }
+    if (it->second.Trs() != catalog.RelationScheme(rel)) {
+      return Status::IllFormed(
+          StrCat("TRS of the template assigned to '",
+                 catalog.RelationName(rel), "' differs from R(",
+                 catalog.RelationName(rel), ")"));
+    }
+  }
+
+  SubstitutionOutcome outcome;
+  std::vector<TaggedTuple> all_rows;
+  outcome.blocks.reserve(t.size());
+  for (const TaggedTuple& tau : t.rows()) {
+    const Tableau& assigned = beta.at(tau.rel);
+    // The tau symbol-replacement function p_tau: distinguished symbols 0_A
+    // become t(A); every nondistinguished symbol gets a fresh mark unique
+    // to (tau, symbol).
+    SymbolMap replacement;
+    for (AttrId a : t.universe()) {
+      replacement[Symbol::Distinguished(a)] = tau.tuple.At(a);
+    }
+    for (const Symbol& s : assigned.Symbols()) {
+      if (!s.IsDistinguished()) replacement[s] = pool.Fresh(s.attr);
+    }
+    std::vector<TaggedTuple> block;
+    block.reserve(assigned.size());
+    for (const TaggedTuple& sigma : assigned.rows()) {
+      block.push_back(TaggedTuple{sigma.rel, sigma.tuple.Apply(replacement)});
+    }
+    all_rows.insert(all_rows.end(), block.begin(), block.end());
+    outcome.blocks.push_back(std::move(block));
+  }
+  VIEWCAP_ASSIGN_OR_RETURN(
+      outcome.result, Tableau::Create(catalog, t.universe(), all_rows));
+  return outcome;
+}
+
+Result<Tableau> SubstituteTableau(const Catalog& catalog, const Tableau& t,
+                                  const TemplateAssignment& beta,
+                                  SymbolPool& pool) {
+  VIEWCAP_ASSIGN_OR_RETURN(SubstitutionOutcome outcome,
+                           Substitute(catalog, t, beta, pool));
+  return std::move(outcome.result);
+}
+
+Instantiation ApplyAssignment(const TemplateAssignment& beta,
+                              const Instantiation& alpha) {
+  Instantiation out = alpha;
+  for (const auto& [rel, assigned] : beta) {
+    Status st = out.Set(rel, EvaluateTableau(assigned, alpha));
+    VIEWCAP_CHECK(st.ok());
+  }
+  return out;
+}
+
+}  // namespace viewcap

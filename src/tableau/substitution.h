@@ -1,0 +1,56 @@
+// Template substitution T -> beta (Section 2.2), the paper's key tool.
+#ifndef VIEWCAP_TABLEAU_SUBSTITUTION_H_
+#define VIEWCAP_TABLEAU_SUBSTITUTION_H_
+
+#include <unordered_map>
+
+#include "relation/instantiation.h"
+#include "tableau/tableau.h"
+
+namespace viewcap {
+
+/// A template(-over-U) assignment beta restricted to the finitely many
+/// names that matter: beta(eta) must be defined for every eta in RN(T) and
+/// satisfy TRS(beta(eta)) = R(eta).
+using TemplateAssignment = std::unordered_map<RelId, Tableau>;
+
+/// The outcome of a substitution, with enough provenance to identify
+/// blocks: block(i) is the set of result rows forming <tau_i, beta(eta_i)>
+/// for source row tau_i (the "T-blocks" of Section 3.2 when
+/// beta(eta_i) = T).
+struct SubstitutionOutcome {
+  Tableau result;
+  /// blocks[i][j]: the image under the tau_i symbol-replacement function of
+  /// the j-th row of beta(eta_i). Note the result's rows are the sorted
+  /// dedup of all block rows; use Tableau::ContainsRow / row equality to
+  /// relate them.
+  std::vector<std::vector<TaggedTuple>> blocks;
+};
+
+/// Computes T -> beta: for each tagged tuple tau = (t, eta) of `t`, a copy
+/// of beta(eta) in which distinguished symbols 0_A are replaced by t(A) and
+/// nondistinguished symbols are replaced by fresh symbols "marked by tau"
+/// (minted from `pool`, unique per (tau, symbol) pair). The union of these
+/// copies is the substitution (Definition, Section 2.2); by Theorem 2.2.3
+/// its mapping satisfies [T -> beta](alpha) = T(beta -> alpha).
+///
+/// Fails with NotFound when some name of RN(T) has no assignment and with
+/// IllFormed when an assigned template has the wrong TRS or universe.
+Result<SubstitutionOutcome> Substitute(const Catalog& catalog,
+                                       const Tableau& t,
+                                       const TemplateAssignment& beta,
+                                       SymbolPool& pool);
+
+/// Convenience returning just the template.
+Result<Tableau> SubstituteTableau(const Catalog& catalog, const Tableau& t,
+                                  const TemplateAssignment& beta,
+                                  SymbolPool& pool);
+
+/// beta -> alpha (Section 2.2): the instantiation mapping eta to
+/// beta(eta)(alpha) for assigned names and to alpha(eta) otherwise.
+Instantiation ApplyAssignment(const TemplateAssignment& beta,
+                              const Instantiation& alpha);
+
+}  // namespace viewcap
+
+#endif  // VIEWCAP_TABLEAU_SUBSTITUTION_H_

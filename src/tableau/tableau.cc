@@ -1,0 +1,160 @@
+#include "tableau/tableau.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+#include "base/strings.h"
+
+namespace viewcap {
+
+Tableau::Tableau(AttrSet universe, std::vector<TaggedTuple> rows)
+    : universe_(std::move(universe)), rows_(std::move(rows)) {
+  std::sort(rows_.begin(), rows_.end());
+  rows_.erase(std::unique(rows_.begin(), rows_.end()), rows_.end());
+}
+
+Result<Tableau> Tableau::Create(const Catalog& catalog, AttrSet universe,
+                                std::vector<TaggedTuple> rows) {
+  Tableau t(std::move(universe), std::move(rows));
+  VIEWCAP_RETURN_NOT_OK(t.Validate(catalog));
+  return t;
+}
+
+Tableau Tableau::MustCreate(const Catalog& catalog, AttrSet universe,
+                            std::vector<TaggedTuple> rows) {
+  Result<Tableau> r = Create(catalog, std::move(universe), std::move(rows));
+  if (!r.ok()) {
+    VIEWCAP_CHECK(false && "Tableau::MustCreate on ill-formed template");
+  }
+  return std::move(r).value();
+}
+
+AttrSet Tableau::Trs() const {
+  AttrSet out;
+  for (const TaggedTuple& row : rows_) {
+    out = out.Union(row.tuple.DistinguishedAttrs());
+  }
+  return out;
+}
+
+std::vector<RelId> Tableau::RelNames() const {
+  std::vector<RelId> out;
+  out.reserve(rows_.size());
+  for (const TaggedTuple& row : rows_) out.push_back(row.rel);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool Tableau::ContainsRow(const TaggedTuple& row) const {
+  return std::binary_search(rows_.begin(), rows_.end(), row);
+}
+
+Tableau Tableau::SubsetRows(const std::vector<std::size_t>& keep) const {
+  std::vector<TaggedTuple> rows;
+  rows.reserve(keep.size());
+  for (std::size_t i : keep) {
+    VIEWCAP_CHECK(i < rows_.size());
+    rows.push_back(rows_[i]);
+  }
+  return Tableau(universe_, std::move(rows));
+}
+
+Tableau Tableau::Apply(const SymbolMap& map) const {
+  std::vector<TaggedTuple> rows;
+  rows.reserve(rows_.size());
+  for (const TaggedTuple& row : rows_) {
+    rows.push_back(TaggedTuple{row.rel, row.tuple.Apply(map)});
+  }
+  return Tableau(universe_, std::move(rows));
+}
+
+Status Tableau::Validate(const Catalog& catalog) const {
+  if (rows_.empty()) {
+    return Status::IllFormed("a template must be nonempty");
+  }
+  for (const TaggedTuple& row : rows_) {
+    if (!catalog.HasRelation(row.rel)) {
+      return Status::IllFormed(StrCat("row tagged with unknown relation id ",
+                                      row.rel));
+    }
+    const AttrSet& type = catalog.RelationScheme(row.rel);
+    if (!type.SubsetOf(universe_)) {
+      return Status::IllFormed(
+          StrCat("type of '", catalog.RelationName(row.rel),
+                 "' is not contained in the template universe"));
+    }
+    if (row.tuple.scheme() != universe_) {
+      return Status::IllFormed("row tuple is not over the universe U");
+    }
+    // Condition (i): {A | t(A) = 0_A} subset of R(eta).
+    if (!row.tuple.DistinguishedAttrs().SubsetOf(type)) {
+      return Status::IllFormed(
+          StrCat("condition (i) violated: row tagged '",
+                 catalog.RelationName(row.rel),
+                 "' has a distinguished symbol outside its type"));
+    }
+  }
+  // Condition (ii): distinct rows agree only within both types.
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    for (std::size_t j = i + 1; j < rows_.size(); ++j) {
+      const AttrSet both = catalog.RelationScheme(rows_[i].rel)
+                               .Intersect(catalog.RelationScheme(rows_[j].rel));
+      for (AttrId a : universe_) {
+        if (rows_[i].tuple.At(a) == rows_[j].tuple.At(a) &&
+            !both.Contains(a)) {
+          return Status::IllFormed(
+              StrCat("condition (ii) violated: rows ", i, " and ", j,
+                     " share a symbol at attribute '",
+                     catalog.AttributeName(a),
+                     "' outside both rows' types"));
+        }
+      }
+    }
+  }
+  // Condition (iii): TRS nonempty.
+  if (Trs().empty()) {
+    return Status::IllFormed(
+        "condition (iii) violated: no distinguished symbol in any row");
+  }
+  return Status::OK();
+}
+
+void Tableau::ReserveSymbols(SymbolPool& pool) const {
+  for (const TaggedTuple& row : rows_) {
+    for (std::size_t i = 0; i < row.tuple.size(); ++i) {
+      const Symbol& s = row.tuple.ValueAt(i);
+      if (!s.IsDistinguished()) pool.Reserve(s.attr, s.ordinal);
+    }
+  }
+}
+
+std::vector<Symbol> Tableau::Symbols() const {
+  std::vector<Symbol> out;
+  for (const TaggedTuple& row : rows_) {
+    for (std::size_t i = 0; i < row.tuple.size(); ++i) {
+      out.push_back(row.tuple.ValueAt(i));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::string Tableau::ToString(const Catalog& catalog) const {
+  std::vector<std::string> header;
+  for (AttrId a : universe_) header.push_back(catalog.AttributeName(a));
+  std::string out = StrCat("[", StrJoin(header, ", "), "]\n");
+  for (const TaggedTuple& row : rows_) {
+    std::vector<std::string> type_names;
+    for (AttrId a : catalog.RelationScheme(row.rel)) {
+      type_names.push_back(catalog.AttributeName(a));
+    }
+    out += StrCat("  ", row.tuple.ToString(catalog), " , ",
+                  catalog.RelationName(row.rel), ":",
+                  StrJoin(type_names, ""), "\n");
+  }
+  return out;
+}
+
+}  // namespace viewcap

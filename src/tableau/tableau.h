@@ -1,0 +1,96 @@
+// Multirelational templates ("tagged tableaux", Section 2.1).
+#ifndef VIEWCAP_TABLEAU_TABLEAU_H_
+#define VIEWCAP_TABLEAU_TABLEAU_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "relation/catalog.h"
+#include "relation/tuple.h"
+
+namespace viewcap {
+
+/// A tagged tuple (t, eta): a tuple t over the universe U paired with a
+/// relation name eta with R(eta) contained in U (Section 2.1).
+struct TaggedTuple {
+  RelId rel = kInvalidRel;
+  Tuple tuple;  ///< Over the full universe U of the owning tableau.
+
+  bool operator==(const TaggedTuple& other) const = default;
+  bool operator<(const TaggedTuple& other) const {
+    return rel != other.rel ? rel < other.rel : tuple < other.tuple;
+  }
+};
+
+/// An m.r. template over U: a finite nonempty set of tagged tuples
+/// satisfying the three well-formedness conditions of Section 2.1:
+///  (i)  distinguished symbols of a row occur only at attributes of R(eta);
+///  (ii) two distinct rows agree only at attributes in both rows' types;
+///  (iii) some row carries some distinguished symbol (TRS nonempty).
+///
+/// Rows are kept sorted and unique (templates are sets).
+class Tableau {
+ public:
+  Tableau() = default;
+
+  /// Validating constructor; IllFormed when any Section 2.1 condition
+  /// fails, any row's tuple is not over `universe`, or any tag's type is
+  /// not contained in `universe`.
+  static Result<Tableau> Create(const Catalog& catalog, AttrSet universe,
+                                std::vector<TaggedTuple> rows);
+
+  /// CHECK-failing convenience for code where ill-formedness is a bug.
+  static Tableau MustCreate(const Catalog& catalog, AttrSet universe,
+                            std::vector<TaggedTuple> rows);
+
+  const AttrSet& universe() const { return universe_; }
+  const std::vector<TaggedTuple>& rows() const { return rows_; }
+  std::size_t size() const { return rows_.size(); }
+
+  /// TRS(T) = {A in U | tau(A) = 0_A for some row tau} (Section 2.1).
+  AttrSet Trs() const;
+
+  /// RN(T): the sorted set of relation names tagging rows.
+  std::vector<RelId> RelNames() const;
+
+  /// True when `row` is one of this template's rows.
+  bool ContainsRow(const TaggedTuple& row) const;
+
+  /// The subtemplate keeping rows at `keep` indices. The result may violate
+  /// condition (iii); callers needing a valid template must re-validate
+  /// (Validate) — reduction only keeps subsets that stay equivalent, which
+  /// implies validity.
+  Tableau SubsetRows(const std::vector<std::size_t>& keep) const;
+
+  /// Applies a valuation to every row (tags unchanged). The image of a
+  /// template under an arbitrary valuation need not satisfy the template
+  /// conditions; use Validate when the result must be a template.
+  Tableau Apply(const SymbolMap& map) const;
+
+  /// Re-checks the Section 2.1 conditions.
+  Status Validate(const Catalog& catalog) const;
+
+  /// Registers every nondistinguished ordinal present into `pool`, so
+  /// freshly minted symbols cannot collide with this template's.
+  void ReserveSymbols(SymbolPool& pool) const;
+
+  /// Sorted list of all distinct symbols appearing in rows.
+  std::vector<Symbol> Symbols() const;
+
+  /// Grid rendering mirroring the paper's figures: one line per tagged
+  /// tuple, annotated with its relation name and type.
+  std::string ToString(const Catalog& catalog) const;
+
+  bool operator==(const Tableau& other) const = default;
+
+ private:
+  Tableau(AttrSet universe, std::vector<TaggedTuple> rows);
+
+  AttrSet universe_;
+  std::vector<TaggedTuple> rows_;  // Sorted, unique.
+};
+
+}  // namespace viewcap
+
+#endif  // VIEWCAP_TABLEAU_TABLEAU_H_

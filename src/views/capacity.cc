@@ -1,0 +1,368 @@
+#include "views/capacity.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "algebra/enumerator.h"
+#include "base/check.h"
+#include "base/strings.h"
+#include "tableau/build.h"
+#include "tableau/canonical.h"
+#include "tableau/homomorphism.h"
+#include "tableau/reduce.h"
+
+namespace viewcap {
+
+Result<QuerySet> QuerySet::Create(const Catalog* catalog, AttrSet universe,
+                                  std::vector<Member> members) {
+  QuerySet set;
+  set.catalog_ = catalog;
+  set.universe_ = std::move(universe);
+  for (Member& m : members) {
+    if (!catalog->HasRelation(m.handle)) {
+      return Status::NotFound(StrCat("handle id ", m.handle));
+    }
+    if (m.query.universe() != set.universe_) {
+      return Status::IllFormed("query set member over a different universe");
+    }
+    if (m.query.Trs() != catalog->RelationScheme(m.handle)) {
+      return Status::IllFormed(
+          StrCat("handle '", catalog->RelationName(m.handle),
+                 "' has a type different from its query's TRS"));
+    }
+    VIEWCAP_RETURN_NOT_OK(m.query.Validate(*catalog));
+  }
+  set.members_ = std::move(members);
+  return set;
+}
+
+Result<QuerySet> QuerySet::FromTableaux(Catalog* catalog, AttrSet universe,
+                                        std::vector<Tableau> queries) {
+  std::vector<Member> members;
+  members.reserve(queries.size());
+  for (Tableau& q : queries) {
+    RelId handle = catalog->MintRelation("__q", q.Trs());
+    members.push_back(Member{handle, std::move(q)});
+  }
+  return Create(catalog, std::move(universe), std::move(members));
+}
+
+QuerySet QuerySet::FromView(const View& view) {
+  std::vector<Member> members;
+  members.reserve(view.size());
+  for (const ViewDefinition& d : view.definitions()) {
+    members.push_back(Member{d.rel, d.tableau});
+  }
+  Result<QuerySet> set =
+      Create(&view.catalog(), view.universe(), std::move(members));
+  VIEWCAP_CHECK(set.ok());
+  return std::move(set).value();
+}
+
+QuerySet QuerySet::Without(std::size_t index) const {
+  VIEWCAP_CHECK(index < members_.size());
+  QuerySet out;
+  out.catalog_ = catalog_;
+  out.universe_ = universe_;
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (i != index) out.members_.push_back(members_[i]);
+  }
+  return out;
+}
+
+QuerySet QuerySet::With(std::vector<Member> extra) const {
+  QuerySet out = *this;
+  for (Member& m : extra) out.members_.push_back(std::move(m));
+  return out;
+}
+
+TemplateAssignment QuerySet::AsAssignment() const {
+  TemplateAssignment beta;
+  for (const Member& m : members_) beta.emplace(m.handle, m.query);
+  return beta;
+}
+
+std::vector<RelId> QuerySet::Handles() const {
+  std::vector<RelId> out;
+  out.reserve(members_.size());
+  for (const Member& m : members_) out.push_back(m.handle);
+  return out;
+}
+
+CapacityOracle::CapacityOracle(const Catalog* catalog, QuerySet set,
+                               SearchLimits limits)
+    : catalog_(catalog), set_(std::move(set)), limits_(limits) {}
+
+CapacityOracle::CapacityOracle(const View& view, SearchLimits limits)
+    : CapacityOracle(&view.catalog(), QuerySet::FromView(view), limits) {}
+
+namespace {
+
+// Equivalence-class registry keyed by canonical form; key collisions fall
+// back to a full homomorphism check.
+class SeenSet {
+ public:
+  explicit SeenSet(const Catalog* catalog) : catalog_(catalog) {}
+
+  // Returns true when an equivalent template was already recorded;
+  // otherwise records `reduced` and returns false.
+  bool CheckAndInsert(const Tableau& reduced) {
+    return CheckAndInsert(CanonicalKey(reduced), reduced);
+  }
+
+  // Same with a precomputed canonical key.
+  bool CheckAndInsert(const std::string& key, const Tableau& reduced) {
+    auto& bucket = buckets_[key];
+    for (const Tableau& existing : bucket) {
+      if (EquivalentTableaux(*catalog_, existing, reduced)) return true;
+    }
+    bucket.push_back(reduced);
+    return false;
+  }
+
+ private:
+  const Catalog* catalog_;
+  std::unordered_map<std::string, std::vector<Tableau>> buckets_;
+};
+
+}  // namespace
+
+namespace {
+
+// Fast path: the canonical single-copy witness. If Q is equivalent to
+// pi_TRS(Q)(join of one copy of every member whose query row-embeds into
+// Q), return that witness immediately. Sound (the witness is checked by
+// homomorphisms) but not complete — queries needing several copies of a
+// member or partial projections inside the join fall through to the full
+// enumeration.
+Result<std::optional<ExprPtr>> TryCanonicalWitness(
+    const Catalog& catalog, const QuerySet& set,
+    const TemplateAssignment& beta, const Tableau& reduced_query) {
+  std::vector<ExprPtr> parts;
+  AttrSet joined_trs;
+  for (const QuerySet::Member& m : set.members()) {
+    if (HasRowEmbedding(catalog, m.query, reduced_query)) {
+      parts.push_back(Expr::Rel(catalog, m.handle));
+      joined_trs = joined_trs.Union(m.query.Trs());
+    }
+  }
+  if (parts.empty()) return std::optional<ExprPtr>();
+  const AttrSet query_trs = reduced_query.Trs();
+  if (!query_trs.SubsetOf(joined_trs)) return std::optional<ExprPtr>();
+  ExprPtr candidate =
+      parts.size() == 1 ? parts[0] : Expr::MustJoin(std::move(parts));
+  if (candidate->trs() != query_trs) {
+    candidate = Expr::MustProject(query_trs, std::move(candidate));
+  }
+  SymbolPool pool;
+  VIEWCAP_ASSIGN_OR_RETURN(
+      Tableau level, BuildTableau(catalog, set.universe(), *candidate, pool));
+  VIEWCAP_ASSIGN_OR_RETURN(Tableau expansion,
+                           SubstituteTableau(catalog, level, beta, pool));
+  if (expansion.Trs() == query_trs &&
+      EquivalentTableaux(catalog, expansion, reduced_query)) {
+    return std::optional(candidate);
+  }
+  return std::optional<ExprPtr>();
+}
+
+}  // namespace
+
+Result<MembershipResult> CapacityOracle::Contains(const Tableau& query) const {
+  if (query.universe() != set_.universe()) {
+    return Status::IllFormed(
+        "query is over a different universe than the query set");
+  }
+  VIEWCAP_RETURN_NOT_OK(query.Validate(*catalog_));
+  const Tableau reduced_query = Reduce(*catalog_, query);
+  const AttrSet query_trs = reduced_query.Trs();
+
+  MembershipResult result;
+  result.leaf_budget =
+      std::min(limits_.max_leaves,
+               reduced_query.size() + limits_.extra_leaves);
+
+  const TemplateAssignment beta = set_.AsAssignment();
+
+  VIEWCAP_ASSIGN_OR_RETURN(
+      std::optional<ExprPtr> canonical,
+      TryCanonicalWitness(*catalog_, set_, beta, reduced_query));
+  if (canonical.has_value()) {
+    result.member = true;
+    result.witness = std::move(*canonical);
+    return result;
+  }
+  SeenSet seen(catalog_);
+  SeenSet seen_levels(catalog_);
+  ExprEnumerator enumerator(catalog_, set_.Handles());
+  Status failure = Status::OK();
+
+  ExprEnumerator::Stats stats = enumerator.Enumerate(
+      result.leaf_budget, limits_.max_candidates,
+      [&](const ExprPtr& candidate) -> ExprEnumerator::Verdict {
+        SymbolPool pool;
+        Result<Tableau> level =
+            BuildTableau(*catalog_, set_.universe(), *candidate, pool);
+        if (!level.ok()) {
+          failure = level.status();
+          return ExprEnumerator::Verdict::kStop;
+        }
+        // Cheap pre-substitution dedup: candidates whose handle-level
+        // templates coincide (commuted joins etc.) expand identically.
+        std::string level_key = CanonicalKey(*level);
+        if (seen_levels.CheckAndInsert(level_key, *level)) {
+          return ExprEnumerator::Verdict::kSkip;
+        }
+        // Reuse the (query-independent) reduced expansion across Contains
+        // calls on this oracle.
+        Tableau reduced;
+        auto cached = expansion_cache_.find(level_key);
+        if (cached != expansion_cache_.end()) {
+          reduced = cached->second;
+        } else {
+          Result<Tableau> expansion =
+              SubstituteTableau(*catalog_, *level, beta, pool);
+          if (!expansion.ok()) {
+            failure = expansion.status();
+            return ExprEnumerator::Verdict::kStop;
+          }
+          reduced = Reduce(*catalog_, *expansion);
+          expansion_cache_.emplace(level_key, reduced);
+        }
+        // Completeness-preserving prune: a witness's expansion maps
+        // homomorphically onto the query, and every subexpression's
+        // expansion therefore row-embeds into it (see HasRowEmbedding).
+        // Candidates failing the embedding can appear in no witness.
+        // (Checked on the reduced expansion: embeddings compose with the
+        // core homomorphism, so reducibility does not affect the test.)
+        if (!HasRowEmbedding(*catalog_, reduced, reduced_query)) {
+          return ExprEnumerator::Verdict::kSkip;
+        }
+        if (seen.CheckAndInsert(reduced)) {
+          return ExprEnumerator::Verdict::kSkip;
+        }
+        if (reduced.Trs() == query_trs &&
+            EquivalentTableaux(*catalog_, reduced, reduced_query)) {
+          result.member = true;
+          result.witness = candidate;
+          return ExprEnumerator::Verdict::kStop;
+        }
+        return ExprEnumerator::Verdict::kKeep;
+      });
+
+  VIEWCAP_RETURN_NOT_OK(failure);
+  result.candidates_tried = stats.generated;
+  result.budget_exhausted = stats.exhausted_budget;
+  return result;
+}
+
+Result<MembershipResult> CapacityOracle::Contains(const ExprPtr& query) const {
+  if (query == nullptr) {
+    return Status::InvalidArgument("query expression is null");
+  }
+  VIEWCAP_ASSIGN_OR_RETURN(
+      Tableau tableau, BuildTableau(*catalog_, set_.universe(), *query));
+  return Contains(tableau);
+}
+
+Result<std::vector<ExhibitedConstruction>> CapacityOracle::FindConstructions(
+    const Tableau& query, std::size_t max_results) const {
+  if (query.universe() != set_.universe()) {
+    return Status::IllFormed(
+        "query is over a different universe than the query set");
+  }
+  const Tableau reduced_query = Reduce(*catalog_, query);
+  const AttrSet query_trs = query.Trs();
+  const std::size_t leaf_budget =
+      std::min(limits_.max_leaves,
+               reduced_query.size() + limits_.extra_leaves);
+
+  const TemplateAssignment beta = set_.AsAssignment();
+  std::vector<ExhibitedConstruction> found;
+  ExprEnumerator enumerator(catalog_, set_.Handles());
+  Status failure = Status::OK();
+
+  enumerator.Enumerate(
+      leaf_budget, limits_.max_candidates,
+      [&](const ExprPtr& candidate) -> ExprEnumerator::Verdict {
+        SymbolPool pool;
+        Result<Tableau> level =
+            BuildTableau(*catalog_, set_.universe(), *candidate, pool);
+        if (!level.ok()) {
+          failure = level.status();
+          return ExprEnumerator::Verdict::kStop;
+        }
+        Result<SubstitutionOutcome> outcome =
+            Substitute(*catalog_, *level, beta, pool);
+        if (!outcome.ok()) {
+          failure = outcome.status();
+          return ExprEnumerator::Verdict::kStop;
+        }
+        // Same completeness-preserving prune as Contains.
+        if (!HasRowEmbedding(*catalog_, outcome->result, reduced_query)) {
+          return ExprEnumerator::Verdict::kSkip;
+        }
+        // A construction of `query` needs equivalence in both directions;
+        // the exhibited homomorphism is the query-to-substitution one.
+        if (outcome->result.Trs() == query_trs &&
+            HasHomomorphism(*catalog_, outcome->result, query)) {
+          std::optional<SymbolMap> hom =
+              FindHomomorphism(*catalog_, query, outcome->result);
+          if (hom.has_value()) {
+            found.push_back(ExhibitedConstruction{
+                candidate, std::move(*level), beta, std::move(*outcome),
+                std::move(*hom)});
+            if (found.size() >= max_results) {
+              return ExprEnumerator::Verdict::kStop;
+            }
+          }
+        }
+        // No semantic dedup here: distinct constructions of the same
+        // mapping are exactly what Section 3.2 quantifies over.
+        return ExprEnumerator::Verdict::kKeep;
+      });
+
+  VIEWCAP_RETURN_NOT_OK(failure);
+  return found;
+}
+
+Result<std::vector<CapacityOracle::CapacityEntry>>
+CapacityOracle::EnumerateCapacity(std::size_t max_leaves,
+                                  std::size_t max_entries) const {
+  const TemplateAssignment beta = set_.AsAssignment();
+  std::vector<CapacityEntry> entries;
+  SeenSet seen(catalog_);
+  ExprEnumerator enumerator(catalog_, set_.Handles());
+  Status failure = Status::OK();
+
+  enumerator.Enumerate(
+      std::min(max_leaves, limits_.max_leaves), limits_.max_candidates,
+      [&](const ExprPtr& candidate) -> ExprEnumerator::Verdict {
+        SymbolPool pool;
+        Result<Tableau> level =
+            BuildTableau(*catalog_, set_.universe(), *candidate, pool);
+        if (!level.ok()) {
+          failure = level.status();
+          return ExprEnumerator::Verdict::kStop;
+        }
+        Result<Tableau> expansion =
+            SubstituteTableau(*catalog_, *level, beta, pool);
+        if (!expansion.ok()) {
+          failure = expansion.status();
+          return ExprEnumerator::Verdict::kStop;
+        }
+        Tableau reduced = Reduce(*catalog_, *expansion);
+        if (seen.CheckAndInsert(reduced)) {
+          return ExprEnumerator::Verdict::kSkip;
+        }
+        entries.push_back(CapacityEntry{candidate, std::move(reduced)});
+        if (entries.size() >= max_entries) {
+          return ExprEnumerator::Verdict::kStop;
+        }
+        return ExprEnumerator::Verdict::kKeep;
+      });
+  VIEWCAP_RETURN_NOT_OK(failure);
+  return entries;
+}
+
+}  // namespace viewcap

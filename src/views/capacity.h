@@ -1,0 +1,162 @@
+// Query capacity: closure membership (Theorems 1.5.2, 2.3.2, 2.4.11).
+#ifndef VIEWCAP_VIEWS_CAPACITY_H_
+#define VIEWCAP_VIEWS_CAPACITY_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "algebra/enumerator.h"
+#include "algebra/expr.h"
+#include "tableau/substitution.h"
+#include "views/view.h"
+
+namespace viewcap {
+
+/// Outcome of a membership test.
+struct MembershipResult {
+  /// True when the query was shown to be in the closure.
+  bool member = false;
+  /// When member: an expression over the query-set handles whose expansion
+  /// is equivalent to the query — the paper's construction T -> beta with
+  /// T the witness's template (Theorem 2.3.2).
+  ExprPtr witness;
+  /// True when the enumeration stopped on max_candidates before either
+  /// finding a witness or exhausting the leaf budget; a negative verdict is
+  /// then inconclusive.
+  bool budget_exhausted = false;
+  std::size_t candidates_tried = 0;
+  std::size_t leaf_budget = 0;
+};
+
+/// A finite named query set F of a database schema. Each member query
+/// (a template over the schema's universe) is paired with a "handle"
+/// relation name of type TRS(query); constructions are substitutions
+/// through these handles, exactly as a view's capacity is generated through
+/// its schema names (Theorem 1.5.2: Cap(V) = closure of F).
+class QuerySet {
+ public:
+  struct Member {
+    RelId handle = kInvalidRel;
+    Tableau query;
+  };
+
+  QuerySet() = default;
+
+  /// From explicit handle/query pairs; each handle's type must equal the
+  /// query's TRS and every query must be over `universe`.
+  static Result<QuerySet> Create(const Catalog* catalog, AttrSet universe,
+                                 std::vector<Member> members);
+
+  /// Mints fresh handles (Catalog::MintRelation) for `queries`.
+  static Result<QuerySet> FromTableaux(Catalog* catalog, AttrSet universe,
+                                       std::vector<Tableau> queries);
+
+  /// The defining query set of a view, with the view relation names as
+  /// handles.
+  static QuerySet FromView(const View& view);
+
+  const std::vector<Member>& members() const { return members_; }
+  const AttrSet& universe() const { return universe_; }
+  std::size_t size() const { return members_.size(); }
+
+  /// The set without member `index` (for redundancy, Section 3.1).
+  QuerySet Without(std::size_t index) const;
+
+  /// This set plus extra members (for simplicity testing, Section 4.1).
+  QuerySet With(std::vector<Member> extra) const;
+
+  /// handle -> query template, the template assignment of constructions.
+  TemplateAssignment AsAssignment() const;
+
+  /// The handle names, in member order.
+  std::vector<RelId> Handles() const;
+
+ private:
+  const Catalog* catalog_ = nullptr;
+  AttrSet universe_;
+  std::vector<Member> members_;
+};
+
+/// A construction T -> beta of a query Q from a query set, together with
+/// the exhibited homomorphism from Q to T -> beta (Section 3.2's "exhibited
+/// construction").
+struct ExhibitedConstruction {
+  /// The handle-level expression E whose Algorithm 2.1.1 template is T.
+  /// May be null for hand-built constructions (the Section 3 machinery
+  /// never reads it).
+  ExprPtr expr;
+  /// T: the handle-level template.
+  Tableau level_template;
+  /// The template assignment beta of the construction. The Section 3.2
+  /// notion of a "T-block" compares assigned templates (beta(lambda) = T),
+  /// not names: one construction may route several names to one member.
+  TemplateAssignment beta;
+  /// T -> beta; blocks[i] is the <tau_i, beta(eta_i)> block of T's i-th
+  /// row.
+  SubstitutionOutcome substitution;
+  /// Homomorphism from the query Q into substitution.result.
+  SymbolMap hom;
+};
+
+/// Decides membership in the closure of a query set, and with it membership
+/// in Cap(V) (Theorem 2.4.11). Enumeration follows Lemma 2.4.10 organized
+/// by handle-level expressions; candidates are deduplicated by equivalence
+/// of their (reduced) expansions, which is a congruence for projection and
+/// join (Lemma 2.3.1), so pruning preserves completeness.
+class CapacityOracle {
+ public:
+  CapacityOracle(const Catalog* catalog, QuerySet set,
+                 SearchLimits limits = {});
+
+  /// Cap(V) membership for a view's capacity.
+  explicit CapacityOracle(const View& view, SearchLimits limits = {});
+
+  /// Is `query` (a template over the set's universe) in the closure?
+  Result<MembershipResult> Contains(const Tableau& query) const;
+
+  /// Expression convenience: converts with Algorithm 2.1.1 first.
+  Result<MembershipResult> Contains(const ExprPtr& query) const;
+
+  /// Collects up to `max_results` exhibited constructions of `query` from
+  /// the set (for the Section 3.2 essentiality machinery). Returns an empty
+  /// vector when the query is not a member within limits.
+  Result<std::vector<ExhibitedConstruction>> FindConstructions(
+      const Tableau& query, std::size_t max_results) const;
+
+  /// One pairwise-inequivalent member of the closure.
+  struct CapacityEntry {
+    /// Expression over the set's handles deriving the member.
+    ExprPtr witness;
+    /// The member's reduced template over the base schema.
+    Tableau query;
+  };
+
+  /// Materializes the distinct (up to mapping equivalence) members of the
+  /// closure derivable by handle-level expressions with at most
+  /// `max_leaves` leaves, stopping after `max_entries` members or the
+  /// oracle's candidate cap. Closures are infinite in general
+  /// (Section 3.1's categories); this enumerates the finite size-bounded
+  /// fragment — the shapes a view's users can actually write down — which
+  /// is what the security auditing workflow inspects.
+  Result<std::vector<CapacityEntry>> EnumerateCapacity(
+      std::size_t max_leaves, std::size_t max_entries) const;
+
+  const QuerySet& set() const { return set_; }
+  const SearchLimits& limits() const { return limits_; }
+
+ private:
+  const Catalog* catalog_;
+  QuerySet set_;
+  SearchLimits limits_;
+  // Memo of reduced expansions keyed by the handle-level template's
+  // canonical key: the substitute+reduce pipeline is query-independent, so
+  // repeated Contains calls on one oracle (dominance tests every defining
+  // query; the lattice and report run many) reuse it. Not thread-safe.
+  mutable std::unordered_map<std::string, Tableau> expansion_cache_;
+};
+
+}  // namespace viewcap
+
+#endif  // VIEWCAP_VIEWS_CAPACITY_H_

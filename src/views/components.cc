@@ -1,0 +1,66 @@
+#include "views/components.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "base/check.h"
+
+namespace viewcap {
+
+namespace {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  std::size_t Find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Merge(std::size_t a, std::size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+std::vector<std::vector<std::size_t>> ConnectedComponents(const Tableau& t) {
+  UnionFind uf(t.size());
+  std::map<Symbol, std::size_t> first_owner;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const TaggedTuple& row = t.rows()[i];
+    for (std::size_t k = 0; k < row.tuple.size(); ++k) {
+      const Symbol& s = row.tuple.ValueAt(k);
+      if (s.IsDistinguished()) continue;
+      auto [it, inserted] = first_owner.emplace(s, i);
+      if (!inserted) uf.Merge(i, it->second);
+    }
+  }
+  std::map<std::size_t, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < t.size(); ++i) groups[uf.Find(i)].push_back(i);
+  std::vector<std::vector<std::size_t>> out;
+  out.reserve(groups.size());
+  for (auto& [root, rows] : groups) out.push_back(std::move(rows));
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a[0] < b[0]; });
+  return out;
+}
+
+AttrSet ComponentTrs(const Tableau& t, const std::vector<std::size_t>& rows) {
+  AttrSet out;
+  for (std::size_t i : rows) {
+    VIEWCAP_CHECK(i < t.size());
+    out = out.Union(t.rows()[i].tuple.DistinguishedAttrs());
+  }
+  return out;
+}
+
+}  // namespace viewcap

@@ -1,0 +1,24 @@
+// Connected components of templates (Section 3.3): equivalence classes of
+// the reflexive-transitive closure of "shares a nondistinguished symbol".
+#ifndef VIEWCAP_VIEWS_COMPONENTS_H_
+#define VIEWCAP_VIEWS_COMPONENTS_H_
+
+#include <vector>
+
+#include "tableau/tableau.h"
+
+namespace viewcap {
+
+/// Returns the connected components of `t` as sorted lists of row indices;
+/// components are ordered by smallest member. Two rows are linked when they
+/// share a nondistinguished symbol (distinguished symbols do not link —
+/// the relation L_T of Section 3.3 is on nondistinguished symbols only).
+std::vector<std::vector<std::size_t>> ConnectedComponents(const Tableau& t);
+
+/// The attributes where some row of the component (given by row indices)
+/// carries a distinguished symbol: TRS restricted to the component.
+AttrSet ComponentTrs(const Tableau& t, const std::vector<std::size_t>& rows);
+
+}  // namespace viewcap
+
+#endif  // VIEWCAP_VIEWS_COMPONENTS_H_

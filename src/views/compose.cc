@@ -1,0 +1,57 @@
+#include "views/compose.h"
+
+#include "algebra/printer.h"
+#include "base/strings.h"
+
+namespace viewcap {
+
+Result<View> Compose(const View& inner, const View& outer) {
+  if (&inner.catalog() != &outer.catalog()) {
+    return Status::IllFormed("views must share a catalog");
+  }
+  DbSchema inner_schema = inner.ViewSchema();
+  for (const ViewDefinition& d : outer.definitions()) {
+    for (RelId rel : d.query->RelNames()) {
+      if (!inner_schema.Contains(rel)) {
+        return Status::IllFormed(
+            StrCat("outer view query mentions '",
+                   inner.catalog().RelationName(rel),
+                   "', which is not in the inner view's schema"));
+      }
+    }
+  }
+  const Definitions inner_defs = inner.AsDefinitions();
+  std::vector<std::pair<RelId, ExprPtr>> defs;
+  defs.reserve(outer.size());
+  for (const ViewDefinition& d : outer.definitions()) {
+    VIEWCAP_ASSIGN_OR_RETURN(ExprPtr expanded,
+                             Expand(inner.catalog(), d.query, inner_defs));
+    defs.push_back({d.rel, std::move(expanded)});
+  }
+  std::string name = StrCat(outer.name(), "_over_", inner.name());
+  return View::Create(&inner.catalog(), inner.base(), std::move(defs),
+                      std::move(name));
+}
+
+std::string ExportProgram(const View& view) {
+  const Catalog& catalog = view.catalog();
+  std::string out = "schema {\n";
+  for (RelId rel : view.base().relations()) {
+    std::vector<std::string> attrs;
+    for (AttrId a : catalog.RelationScheme(rel)) {
+      attrs.push_back(catalog.AttributeName(a));
+    }
+    out += StrCat("  ", catalog.RelationName(rel), "(", StrJoin(attrs, ", "),
+                  ");\n");
+  }
+  out += "}\n";
+  out += StrCat("view ", view.name().empty() ? "V" : view.name(), " {\n");
+  for (const ViewDefinition& d : view.definitions()) {
+    out += StrCat("  ", catalog.RelationName(d.rel), " := ",
+                  ToString(*d.query, catalog), ";\n");
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace viewcap

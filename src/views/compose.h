@@ -1,0 +1,27 @@
+// View composition: views of views (the Section 1.3 observation that a
+// view schema is itself a database schema, closed under taking views).
+#ifndef VIEWCAP_VIEWS_COMPOSE_H_
+#define VIEWCAP_VIEWS_COMPOSE_H_
+
+#include "views/view.h"
+
+namespace viewcap {
+
+/// Flattens a view `outer` whose underlying schema is `inner`'s view
+/// schema into an equivalent view over `inner`'s base: every defining
+/// query of `outer` is expanded through `inner`'s definitions
+/// (Lemma 1.4.1), so that for every instantiation alpha of the base,
+///   alpha_{Compose(inner,outer)} and (alpha_{inner})_{outer}
+/// agree on outer's view schema. By construction
+/// Cap(Compose(inner, outer)) is contained in Cap(inner): composition can
+/// only lose capacity, never gain it.
+Result<View> Compose(const View& inner, const View& outer);
+
+/// Renders a view (plus its underlying schema) back into the textual
+/// program syntax of algebra/parser.h; Analyzer::Load on the output
+/// recreates an identical view. Useful for persisting Simplify results.
+std::string ExportProgram(const View& view);
+
+}  // namespace viewcap
+
+#endif  // VIEWCAP_VIEWS_COMPOSE_H_

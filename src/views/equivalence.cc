@@ -1,0 +1,44 @@
+#include "views/equivalence.h"
+
+#include "base/strings.h"
+
+namespace viewcap {
+
+Result<DominanceResult> Dominates(const View& v, const View& w,
+                                  SearchLimits limits) {
+  if (v.universe() != w.universe()) {
+    return Status::IllFormed(
+        "views are not over the same underlying universe");
+  }
+  CapacityOracle oracle(v, limits);
+  DominanceResult result;
+  result.dominates = true;
+  result.witnesses.resize(w.size());
+  for (std::size_t j = 0; j < w.size(); ++j) {
+    VIEWCAP_ASSIGN_OR_RETURN(
+        MembershipResult membership,
+        oracle.Contains(w.definitions()[j].tableau));
+    if (membership.member) {
+      result.witnesses[j] = membership.witness;
+    } else {
+      result.dominates = false;
+      result.missing.push_back(j);
+      if (membership.budget_exhausted) result.inconclusive = true;
+    }
+  }
+  return result;
+}
+
+Result<EquivalenceResult> AreEquivalent(const View& v, const View& w,
+                                        SearchLimits limits) {
+  EquivalenceResult result;
+  VIEWCAP_ASSIGN_OR_RETURN(result.v_over_w, Dominates(v, w, limits));
+  VIEWCAP_ASSIGN_OR_RETURN(result.w_over_v, Dominates(w, v, limits));
+  result.equivalent =
+      result.v_over_w.dominates && result.w_over_v.dominates;
+  result.inconclusive =
+      result.v_over_w.inconclusive || result.w_over_v.inconclusive;
+  return result;
+}
+
+}  // namespace viewcap

@@ -1,0 +1,44 @@
+// View dominance and equivalence (Sections 1.4-1.5, Theorem 2.4.12).
+#ifndef VIEWCAP_VIEWS_EQUIVALENCE_H_
+#define VIEWCAP_VIEWS_EQUIVALENCE_H_
+
+#include "views/capacity.h"
+
+namespace viewcap {
+
+/// Outcome of a dominance test "does `v` dominate `w`", i.e. is
+/// Cap(W) contained in Cap(V)? Decided via Lemma 1.5.4: every defining
+/// query of W must lie in Cap(V).
+struct DominanceResult {
+  bool dominates = false;
+  /// True when some membership test hit its candidate budget: a negative
+  /// answer is then not a proof of non-dominance.
+  bool inconclusive = false;
+  /// For each definition of `w` (by index) that was found in Cap(V): an
+  /// expression over V's schema whose expansion answers it.
+  std::vector<ExprPtr> witnesses;
+  /// Indices of `w` definitions not found in Cap(V).
+  std::vector<std::size_t> missing;
+};
+
+/// Tests whether `v` dominates `w`. The views must share the underlying
+/// universe.
+Result<DominanceResult> Dominates(const View& v, const View& w,
+                                  SearchLimits limits = {});
+
+/// Outcome of the equivalence test (Theorem 1.5.5 / 2.4.12).
+struct EquivalenceResult {
+  bool equivalent = false;
+  bool inconclusive = false;
+  DominanceResult v_over_w;  ///< Does v dominate w?
+  DominanceResult w_over_v;  ///< Does w dominate v?
+};
+
+/// Theorem 2.4.12: decides whether `v` and `w` are equivalent
+/// (Cap(V) = Cap(W)).
+Result<EquivalenceResult> AreEquivalent(const View& v, const View& w,
+                                        SearchLimits limits = {});
+
+}  // namespace viewcap
+
+#endif  // VIEWCAP_VIEWS_EQUIVALENCE_H_

@@ -1,0 +1,82 @@
+// Essential tagged tuples, lineage and self-descendence (Sections 3.2-3.3).
+#ifndef VIEWCAP_VIEWS_ESSENTIAL_H_
+#define VIEWCAP_VIEWS_ESSENTIAL_H_
+
+#include <optional>
+#include <string>
+
+#include "views/capacity.h"
+#include "views/components.h"
+
+namespace viewcap {
+
+/// The immediate-descendant structure of one exhibited construction
+/// (E -> beta, f) of a query Q from a query set, relative to a
+/// distinguished member T (Section 3.2).
+struct DescendantAnalysis {
+  /// For each row index of Q: the T-row index of its immediate descendant
+  /// when f maps it into a T-block, or nullopt when its child is a
+  /// non-T-block child.
+  std::vector<std::optional<std::size_t>> immediate_descendant;
+};
+
+/// Computes immediate descendants of every row of `q` w.r.t. the template
+/// `t` and the exhibited construction `c` (whose hom must map `q` into
+/// c.substitution.result). A block of `c` is a T-block when its assigned
+/// template c.beta(lambda) equals `t` (template identity — a construction
+/// may assign `t` to several names, as in Figure 2). A row's image can
+/// coincide with rows of several blocks only when block rows collapse to
+/// identical tagged tuples; the first matching block is used (DESIGN.md).
+DescendantAnalysis AnalyzeDescendants(const Tableau& q, const Tableau& t,
+                                      const ExhibitedConstruction& c);
+
+/// The lineage tau_1, tau_2, ... of row `row` (Section 3.2): iterated
+/// immediate descendants, truncated at the first repetition (templates are
+/// finite, so infinite lineages are eventually periodic).
+std::vector<std::size_t> Lineage(const DescendantAnalysis& analysis,
+                                 std::size_t row);
+
+/// True when `row` is a member of its own lineage (self-descendence).
+bool IsSelfDescendent(const DescendantAnalysis& analysis, std::size_t row);
+
+/// Verdicts for the (in general search-bounded) essentiality question.
+enum class EssentialVerdict {
+  /// Proven essential (the uniqueness criterion of Example 3.2.2,
+  /// generalized, applies: every construction must route the row through a
+  /// T-block copy of itself).
+  kEssential,
+  /// Proven not essential: a construction of T was found in which the row
+  /// is not self-descendent (Proposition 3.2.5).
+  kNotEssential,
+  /// Neither criterion fired within the search budget.
+  kUnknown,
+};
+
+struct EssentialResult {
+  EssentialVerdict verdict = EssentialVerdict::kUnknown;
+  /// Human-readable explanation of which rule decided.
+  std::string reason;
+  /// Constructions examined during the refutation search.
+  std::size_t constructions_examined = 0;
+};
+
+/// Classifies row `row_index` of member `member_index` of `set`.
+/// `max_constructions` bounds the refutation search.
+Result<EssentialResult> ClassifyEssential(const Catalog* catalog,
+                                          const QuerySet& set,
+                                          std::size_t member_index,
+                                          std::size_t row_index,
+                                          SearchLimits limits = {},
+                                          std::size_t max_constructions = 64);
+
+/// Checks whether member `member_index` has a connected component whose
+/// rows are all (provably) essential — the Corollary 3.3.6 certificate that
+/// the member is nonredundant in the set. Returns the component's row
+/// indices, or nullopt if none is provable within budget.
+Result<std::optional<std::vector<std::size_t>>> FindEssentialComponent(
+    const Catalog* catalog, const QuerySet& set, std::size_t member_index,
+    SearchLimits limits = {}, std::size_t max_constructions = 64);
+
+}  // namespace viewcap
+
+#endif  // VIEWCAP_VIEWS_ESSENTIAL_H_

@@ -1,0 +1,102 @@
+#include "views/redundancy.h"
+
+#include <numeric>
+
+#include "base/check.h"
+#include "tableau/homomorphism.h"
+#include "tableau/reduce.h"
+
+namespace viewcap {
+
+Result<RedundancyResult> IsRedundant(const Catalog* catalog,
+                                     const QuerySet& set, std::size_t index,
+                                     SearchLimits limits) {
+  if (index >= set.size()) {
+    return Status::InvalidArgument("query set member index out of range");
+  }
+  RedundancyResult result;
+  if (set.size() == 1) {
+    // The closure of the empty query set is empty: a singleton is never
+    // redundant.
+    return result;
+  }
+  CapacityOracle oracle(catalog, set.Without(index), limits);
+  VIEWCAP_ASSIGN_OR_RETURN(result.membership,
+                           oracle.Contains(set.members()[index].query));
+  result.redundant = result.membership.member;
+  return result;
+}
+
+Result<bool> IsNonredundantSet(const Catalog* catalog, const QuerySet& set,
+                               SearchLimits limits, bool* inconclusive) {
+  if (inconclusive != nullptr) *inconclusive = false;
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    VIEWCAP_ASSIGN_OR_RETURN(RedundancyResult r,
+                             IsRedundant(catalog, set, i, limits));
+    if (r.redundant) return false;
+    if (r.membership.budget_exhausted && inconclusive != nullptr) {
+      *inconclusive = true;
+    }
+  }
+  return true;
+}
+
+Result<NonredundantViewResult> MakeNonredundant(const View& view,
+                                                SearchLimits limits) {
+  const Catalog* catalog = &view.catalog();
+  NonredundantViewResult result;
+  result.kept.resize(view.size());
+  std::iota(result.kept.begin(), result.kept.end(), std::size_t{0});
+
+  // Pass 1: drop definitions whose query duplicates an earlier one's
+  // mapping (the #(F) < n case of Section 3.1).
+  {
+    std::vector<std::size_t> unique;
+    for (std::size_t i : result.kept) {
+      bool duplicate = false;
+      for (std::size_t j : unique) {
+        if (EquivalentTableaux(*catalog, view.definitions()[i].tableau,
+                               view.definitions()[j].tableau)) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) unique.push_back(i);
+    }
+    result.kept = std::move(unique);
+  }
+
+  // Pass 2: greedily drop redundant members until a fixpoint. Dropping one
+  // redundant member keeps the closure intact, so re-testing against the
+  // shrunken set stays correct.
+  bool changed = true;
+  while (changed && result.kept.size() > 1) {
+    changed = false;
+    View current = view.Restrict(result.kept);
+    QuerySet set = QuerySet::FromView(current);
+    for (std::size_t pos = 0; pos < result.kept.size(); ++pos) {
+      VIEWCAP_ASSIGN_OR_RETURN(RedundancyResult r,
+                               IsRedundant(catalog, set, pos, limits));
+      if (r.membership.budget_exhausted) result.inconclusive = true;
+      if (r.redundant) {
+        result.kept.erase(result.kept.begin() +
+                          static_cast<std::ptrdiff_t>(pos));
+        changed = true;
+        break;
+      }
+    }
+  }
+  result.view = view.Restrict(result.kept);
+  return result;
+}
+
+std::size_t NonredundantSizeBound(const Catalog& catalog,
+                                  const QuerySet& set) {
+  std::size_t bound = 0;
+  for (const QuerySet::Member& m : set.members()) {
+    bound += Reduce(catalog, m.query).size();
+  }
+  return bound;
+}
+
+}  // namespace viewcap

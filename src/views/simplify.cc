@@ -1,0 +1,211 @@
+#include "views/simplify.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+#include "base/strings.h"
+#include "tableau/build.h"
+#include "tableau/homomorphism.h"
+#include "tableau/reduce.h"
+
+namespace viewcap {
+
+namespace {
+
+Result<std::vector<QuerySet::Member>> ProjectionMembers(
+    Catalog* catalog, const Tableau& t, const std::vector<AttrSet>& subsets) {
+  std::vector<QuerySet::Member> members;
+  SymbolPool pool;
+  t.ReserveSymbols(pool);
+  for (const AttrSet& x : subsets) {
+    VIEWCAP_ASSIGN_OR_RETURN(Tableau projected,
+                             ProjectTableau(*catalog, t, x, pool));
+    RelId handle = catalog->MintRelation("__proj", x);
+    members.push_back(QuerySet::Member{handle, std::move(projected)});
+  }
+  return members;
+}
+
+std::vector<AttrSet> MaximalProperSubsets(const AttrSet& trs) {
+  std::vector<AttrSet> out;
+  for (AttrId a : trs) {
+    AttrSet x = trs.Difference(AttrSet{a});
+    if (!x.empty()) out.push_back(std::move(x));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<QuerySet::Member>> ProperProjectionMembers(
+    Catalog* catalog, const Tableau& t) {
+  return ProjectionMembers(catalog, t, t.Trs().NonemptyProperSubsets());
+}
+
+Result<std::vector<QuerySet::Member>> MaximalProperProjectionMembers(
+    Catalog* catalog, const Tableau& t) {
+  return ProjectionMembers(catalog, t, MaximalProperSubsets(t.Trs()));
+}
+
+Result<SimplicityResult> IsSimple(Catalog* catalog, const QuerySet& set,
+                                  std::size_t index, SearchLimits limits) {
+  if (index >= set.size()) {
+    return Status::InvalidArgument("query set member index out of range");
+  }
+  const Tableau& t = set.members()[index].query;
+  // Maximal projections generate the same closure as all proper
+  // projections, so the verdict is identical and the search much smaller.
+  VIEWCAP_ASSIGN_OR_RETURN(std::vector<QuerySet::Member> projections,
+                           MaximalProperProjectionMembers(catalog, t));
+  QuerySet test_set = set.Without(index).With(std::move(projections));
+  SimplicityResult result;
+  if (test_set.size() == 0) {
+    // Single member with a one-attribute TRS: the closure of the empty set
+    // is empty, so the member is trivially simple.
+    result.simple = true;
+    return result;
+  }
+  CapacityOracle oracle(catalog, std::move(test_set), limits);
+  VIEWCAP_ASSIGN_OR_RETURN(result.membership, oracle.Contains(t));
+  result.simple = !result.membership.member;
+  return result;
+}
+
+Result<bool> IsSimplifiedView(Catalog* catalog, const View& view,
+                              SearchLimits limits, bool* inconclusive) {
+  if (inconclusive != nullptr) *inconclusive = false;
+  QuerySet set = QuerySet::FromView(view);
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    VIEWCAP_ASSIGN_OR_RETURN(SimplicityResult r,
+                             IsSimple(catalog, set, i, limits));
+    if (!r.simple) return false;
+    if (r.membership.budget_exhausted && inconclusive != nullptr) {
+      *inconclusive = true;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+struct WorkingQuery {
+  ExprPtr expr;     // Over the base schema; stays in lockstep with tableau.
+  Tableau tableau;  // Reduced.
+};
+
+}  // namespace
+
+Result<SimplifyOutcome> Simplify(Catalog* catalog, const View& view,
+                                 SearchLimits limits) {
+  SimplifyOutcome outcome;
+  std::vector<WorkingQuery> working;
+  working.reserve(view.size());
+  for (const ViewDefinition& d : view.definitions()) {
+    working.push_back(
+        WorkingQuery{d.query, Reduce(*catalog, d.tableau)});
+  }
+
+  // Replacement loop; terminates because replacing a query by proper
+  // projections strictly decreases the multiset of TRS sizes
+  // (Dershowitz-Manna order). The round cap is a defensive backstop.
+  constexpr std::size_t kMaxRounds = 256;
+  for (outcome.rounds = 0; outcome.rounds < kMaxRounds; ++outcome.rounds) {
+    // Drop mapping-duplicates.
+    std::vector<WorkingQuery> unique;
+    for (WorkingQuery& w : working) {
+      bool duplicate = false;
+      for (const WorkingQuery& u : unique) {
+        if (EquivalentTableaux(*catalog, w.tableau, u.tableau)) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) unique.push_back(std::move(w));
+    }
+    working = std::move(unique);
+
+    // Build the current query set.
+    std::vector<Tableau> tableaux;
+    tableaux.reserve(working.size());
+    for (const WorkingQuery& w : working) tableaux.push_back(w.tableau);
+    VIEWCAP_ASSIGN_OR_RETURN(
+        QuerySet set,
+        QuerySet::FromTableaux(catalog, view.universe(), std::move(tableaux)));
+
+    // Find a non-simple member and replace it by its proper projections.
+    std::optional<std::size_t> replace;
+    for (std::size_t i = 0; i < working.size(); ++i) {
+      VIEWCAP_ASSIGN_OR_RETURN(SimplicityResult r,
+                               IsSimple(catalog, set, i, limits));
+      if (r.membership.budget_exhausted) outcome.inconclusive = true;
+      if (!r.simple) {
+        replace = i;
+        break;
+      }
+    }
+    if (!replace.has_value()) break;  // All simple: normal form reached.
+
+    WorkingQuery victim = std::move(working[*replace]);
+    working.erase(working.begin() + static_cast<std::ptrdiff_t>(*replace));
+    SymbolPool pool;
+    victim.tableau.ReserveSymbols(pool);
+    // Maximal projections suffice (same closure as all proper projections);
+    // any that are themselves non-simple get decomposed in later rounds.
+    for (const AttrSet& x : MaximalProperSubsets(victim.tableau.Trs())) {
+      VIEWCAP_ASSIGN_OR_RETURN(
+          Tableau projected,
+          ProjectTableau(*catalog, victim.tableau, x, pool));
+      working.push_back(WorkingQuery{Expr::MustProject(x, victim.expr),
+                                     Reduce(*catalog, projected)});
+    }
+  }
+  if (outcome.rounds >= kMaxRounds) {
+    return Status::BudgetExhausted("Simplify exceeded its round cap");
+  }
+  VIEWCAP_CHECK(!working.empty());
+
+  // Materialize the normal form as a view with freshly minted names.
+  std::string prefix =
+      StrCat(view.name().empty() ? "view" : view.name(), "_s");
+  std::vector<std::pair<RelId, ExprPtr>> definitions;
+  definitions.reserve(working.size());
+  for (const WorkingQuery& w : working) {
+    RelId rel = catalog->MintRelation(prefix, w.expr->trs());
+    definitions.push_back({rel, w.expr});
+  }
+  VIEWCAP_ASSIGN_OR_RETURN(
+      outcome.view,
+      View::Create(catalog, view.base(), std::move(definitions),
+                   StrCat(view.name(), "_simplified")));
+  return outcome;
+}
+
+Result<bool> SameQueriesUpToRenaming(const View& a, const View& b) {
+  if (a.size() != b.size()) return false;
+  if (a.universe() != b.universe()) return false;
+  const Catalog& catalog = a.catalog();
+  const std::size_t n = a.size();
+  // Exact bipartite matching by backtracking (views are small).
+  std::vector<bool> used(n, false);
+  std::vector<std::vector<bool>> compatible(n, std::vector<bool>(n, false));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      compatible[i][j] = EquivalentTableaux(
+          catalog, a.definitions()[i].tableau, b.definitions()[j].tableau);
+    }
+  }
+  std::function<bool(std::size_t)> match = [&](std::size_t i) -> bool {
+    if (i == n) return true;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!used[j] && compatible[i][j]) {
+        used[j] = true;
+        if (match(i + 1)) return true;
+        used[j] = false;
+      }
+    }
+    return false;
+  };
+  return match(0);
+}
+
+}  // namespace viewcap

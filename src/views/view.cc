@@ -1,0 +1,136 @@
+#include "views/view.h"
+
+#include <unordered_set>
+
+#include "algebra/eval.h"
+#include "algebra/printer.h"
+#include "base/check.h"
+#include "base/strings.h"
+#include "tableau/build.h"
+
+namespace viewcap {
+
+Result<View> View::Create(const Catalog* catalog, DbSchema base,
+                          std::vector<std::pair<RelId, ExprPtr>> definitions,
+                          std::string name) {
+  if (definitions.empty()) {
+    return Status::IllFormed("a view must have at least one definition");
+  }
+  View view;
+  view.catalog_ = catalog;
+  view.base_ = std::move(base);
+  view.name_ = std::move(name);
+  std::unordered_set<RelId> seen;
+  SymbolPool pool;
+  for (auto& [rel, query] : definitions) {
+    if (!catalog->HasRelation(rel)) {
+      return Status::NotFound(StrCat("view relation id ", rel));
+    }
+    if (!seen.insert(rel).second) {
+      return Status::IllFormed(StrCat("view relation '",
+                                      catalog->RelationName(rel),
+                                      "' defined twice"));
+    }
+    if (view.base_.Contains(rel)) {
+      return Status::IllFormed(StrCat("view relation '",
+                                      catalog->RelationName(rel),
+                                      "' shadows a base relation"));
+    }
+    if (query == nullptr) {
+      return Status::InvalidArgument("view definition query is null");
+    }
+    if (query->trs() != catalog->RelationScheme(rel)) {
+      return Status::IllFormed(
+          StrCat("TRS of the query defining '", catalog->RelationName(rel),
+                 "' differs from the relation's type"));
+    }
+    for (RelId base_rel : query->RelNames()) {
+      if (!view.base_.Contains(base_rel)) {
+        return Status::IllFormed(
+            StrCat("query defining '", catalog->RelationName(rel),
+                   "' mentions '", catalog->RelationName(base_rel),
+                   "', which is not in the underlying database schema"));
+      }
+    }
+    VIEWCAP_ASSIGN_OR_RETURN(
+        Tableau tableau,
+        BuildTableau(*catalog, view.base_.universe(), *query, pool));
+    view.defs_.push_back(ViewDefinition{rel, query, std::move(tableau)});
+  }
+  return view;
+}
+
+DbSchema View::ViewSchema() const {
+  std::vector<RelId> rels;
+  rels.reserve(defs_.size());
+  for (const ViewDefinition& d : defs_) rels.push_back(d.rel);
+  return DbSchema(*catalog_, std::move(rels));
+}
+
+Instantiation View::Induce(const Instantiation& alpha) const {
+  Instantiation induced = alpha;
+  for (const ViewDefinition& d : defs_) {
+    Status st = induced.Set(d.rel, Evaluate(*d.query, alpha));
+    VIEWCAP_CHECK(st.ok());
+  }
+  return induced;
+}
+
+Result<ExprPtr> View::Surrogate(const ExprPtr& view_query) const {
+  if (view_query == nullptr) {
+    return Status::InvalidArgument("view query is null");
+  }
+  DbSchema schema = ViewSchema();
+  for (RelId rel : view_query->RelNames()) {
+    if (!schema.Contains(rel)) {
+      return Status::IllFormed(
+          StrCat("'", catalog_->RelationName(rel),
+                 "' is not a relation of the view schema"));
+    }
+  }
+  return Expand(*catalog_, view_query, AsDefinitions());
+}
+
+Definitions View::AsDefinitions() const {
+  Definitions defs;
+  for (const ViewDefinition& d : defs_) defs.emplace(d.rel, d.query);
+  return defs;
+}
+
+TemplateAssignment View::AsAssignment() const {
+  TemplateAssignment beta;
+  for (const ViewDefinition& d : defs_) beta.emplace(d.rel, d.tableau);
+  return beta;
+}
+
+std::vector<Tableau> View::QueryTableaux() const {
+  std::vector<Tableau> out;
+  out.reserve(defs_.size());
+  for (const ViewDefinition& d : defs_) out.push_back(d.tableau);
+  return out;
+}
+
+View View::Restrict(const std::vector<std::size_t>& keep) const {
+  View out;
+  out.catalog_ = catalog_;
+  out.base_ = base_;
+  out.name_ = name_;
+  for (std::size_t i : keep) {
+    VIEWCAP_CHECK(i < defs_.size());
+    out.defs_.push_back(defs_[i]);
+  }
+  VIEWCAP_CHECK(!out.defs_.empty());
+  return out;
+}
+
+std::string View::ToString() const {
+  std::string out = StrCat("view ", name_.empty() ? "<anon>" : name_, " {\n");
+  for (const ViewDefinition& d : defs_) {
+    out += StrCat("  ", catalog_->RelationName(d.rel), " := ",
+                  viewcap::ToString(*d.query, *catalog_), ";\n");
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace viewcap

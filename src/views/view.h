@@ -1,0 +1,87 @@
+// Database views and induced instantiations (Sections 1.3-1.4).
+#ifndef VIEWCAP_VIEWS_VIEW_H_
+#define VIEWCAP_VIEWS_VIEW_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "algebra/expand.h"
+#include "algebra/expr.h"
+#include "relation/instantiation.h"
+#include "tableau/substitution.h"
+#include "tableau/tableau.h"
+
+namespace viewcap {
+
+/// One (E_i, eta_i) pair of a view, carrying both the expression form and
+/// its template realization over the base universe.
+struct ViewDefinition {
+  RelId rel = kInvalidRel;  ///< The view relation name eta_i.
+  ExprPtr query;            ///< The defining query E_i (over the base).
+  Tableau tableau;          ///< Algorithm 2.1.1 template with tableau == E_i.
+};
+
+/// A view of a database schema: a finite set of pairs {(E_i, eta_i)} with
+/// TRS(E_i) = R(eta_i) and pairwise-distinct eta_i (Section 1.3). This
+/// implementation additionally requires the view schema to be disjoint from
+/// the base schema, so that induced instantiations never shadow a base
+/// relation a defining query reads.
+class View {
+ public:
+  View() = default;
+
+  /// Validates and constructs. `definitions` pairs each view relation name
+  /// with its defining query; queries must mention only base relations.
+  static Result<View> Create(const Catalog* catalog, DbSchema base,
+                             std::vector<std::pair<RelId, ExprPtr>> definitions,
+                             std::string name = "");
+
+  const Catalog& catalog() const { return *catalog_; }
+  const DbSchema& base() const { return base_; }
+  /// The universe U of the underlying database schema; all templates here
+  /// are templates over this U.
+  const AttrSet& universe() const { return base_.universe(); }
+  const std::vector<ViewDefinition>& definitions() const { return defs_; }
+  std::size_t size() const { return defs_.size(); }
+  const std::string& name() const { return name_; }
+
+  /// The view schema {eta_i} — itself a database schema.
+  DbSchema ViewSchema() const;
+
+  /// alpha_V: the induced instantiation with alpha_V(eta_i) = E_i(alpha)
+  /// and alpha_V(eta) = alpha(eta) otherwise (Section 1.3).
+  Instantiation Induce(const Instantiation& alpha) const;
+
+  /// Theorem 1.4.2: the unique surrogate query E-hat of the underlying
+  /// schema with E-hat(alpha) = E(alpha_V) for every alpha, obtained by
+  /// expression expansion (Lemma 1.4.1). `view_query` must be a query of
+  /// the view schema.
+  Result<ExprPtr> Surrogate(const ExprPtr& view_query) const;
+
+  /// eta_i -> E_i, the map Expand consumes.
+  Definitions AsDefinitions() const;
+
+  /// eta_i -> template(E_i), the template assignment beta used by the
+  /// substitution machinery (Section 2.3 constructions of Cap(V)).
+  TemplateAssignment AsAssignment() const;
+
+  /// The defining query set F = {E_i} as templates; Cap(V) is its closure
+  /// (Theorem 1.5.2).
+  std::vector<Tableau> QueryTableaux() const;
+
+  /// A view with only the definitions at `keep` indices.
+  View Restrict(const std::vector<std::size_t>& keep) const;
+
+  std::string ToString() const;
+
+ private:
+  const Catalog* catalog_ = nullptr;
+  DbSchema base_;
+  std::vector<ViewDefinition> defs_;
+  std::string name_;
+};
+
+}  // namespace viewcap
+
+#endif  // VIEWCAP_VIEWS_VIEW_H_

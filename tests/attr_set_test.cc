@@ -1,0 +1,98 @@
+// Unit tests for relation/attr_set.h.
+#include "relation/attr_set.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace viewcap {
+namespace {
+
+TEST(AttrSetTest, DefaultIsEmpty) {
+  AttrSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(AttrSetTest, DeduplicatesAndSorts) {
+  AttrSet s{3, 1, 2, 1, 3};
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.attrs(), (std::vector<AttrId>{1, 2, 3}));
+}
+
+TEST(AttrSetTest, Contains) {
+  AttrSet s{1, 4, 9};
+  EXPECT_TRUE(s.Contains(4));
+  EXPECT_FALSE(s.Contains(5));
+  EXPECT_FALSE(AttrSet{}.Contains(0));
+}
+
+TEST(AttrSetTest, SubsetRelations) {
+  AttrSet small{1, 2}, big{1, 2, 3};
+  EXPECT_TRUE(small.SubsetOf(big));
+  EXPECT_TRUE(small.SubsetOf(small));
+  EXPECT_FALSE(big.SubsetOf(small));
+  EXPECT_TRUE(small.ProperSubsetOf(big));
+  EXPECT_FALSE(small.ProperSubsetOf(small));
+  EXPECT_TRUE(AttrSet{}.SubsetOf(small));
+}
+
+TEST(AttrSetTest, UnionIntersectDifference) {
+  AttrSet a{1, 2, 3}, b{2, 3, 4};
+  EXPECT_EQ(a.Union(b), (AttrSet{1, 2, 3, 4}));
+  EXPECT_EQ(a.Intersect(b), (AttrSet{2, 3}));
+  EXPECT_EQ(a.Difference(b), (AttrSet{1}));
+  EXPECT_EQ(b.Difference(a), (AttrSet{4}));
+  EXPECT_EQ(a.Union(AttrSet{}), a);
+  EXPECT_EQ(a.Intersect(AttrSet{}), AttrSet{});
+}
+
+TEST(AttrSetTest, InsertKeepsOrderAndUniqueness) {
+  AttrSet s{5, 1};
+  s.Insert(3);
+  EXPECT_EQ(s.attrs(), (std::vector<AttrId>{1, 3, 5}));
+  s.Insert(3);
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(AttrSetTest, IndexOf) {
+  AttrSet s{10, 20, 30};
+  EXPECT_EQ(s.IndexOf(10), 0u);
+  EXPECT_EQ(s.IndexOf(20), 1u);
+  EXPECT_EQ(s.IndexOf(30), 2u);
+}
+
+TEST(AttrSetTest, NonemptyProperSubsetsCount) {
+  AttrSet s{1, 2, 3};
+  std::vector<AttrSet> subsets = s.NonemptyProperSubsets();
+  EXPECT_EQ(subsets.size(), 6u);  // 2^3 - 2.
+  for (const AttrSet& x : subsets) {
+    EXPECT_FALSE(x.empty());
+    EXPECT_TRUE(x.ProperSubsetOf(s));
+  }
+  // All distinct.
+  std::sort(subsets.begin(), subsets.end());
+  EXPECT_TRUE(std::adjacent_find(subsets.begin(), subsets.end()) ==
+              subsets.end());
+}
+
+TEST(AttrSetTest, NonemptySubsetsIncludesSelf) {
+  AttrSet s{1, 2};
+  std::vector<AttrSet> subsets = s.NonemptySubsets();
+  EXPECT_EQ(subsets.size(), 3u);
+  EXPECT_TRUE(std::find(subsets.begin(), subsets.end(), s) != subsets.end());
+}
+
+TEST(AttrSetTest, SubsetsOfSingletonAndEmpty) {
+  EXPECT_TRUE((AttrSet{7}).NonemptyProperSubsets().empty());
+  EXPECT_TRUE(AttrSet{}.NonemptyProperSubsets().empty());
+  EXPECT_TRUE(AttrSet{}.NonemptySubsets().empty());
+}
+
+TEST(AttrSetTest, Ordering) {
+  EXPECT_LT((AttrSet{1}), (AttrSet{1, 2}));
+  EXPECT_LT((AttrSet{1, 2}), (AttrSet{2}));
+}
+
+}  // namespace
+}  // namespace viewcap

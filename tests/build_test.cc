@@ -1,0 +1,194 @@
+// Tests for tableau/build.h: Algorithm 2.1.1 on hand-worked cases plus the
+// Proposition 2.1.2 semantic property (template == expression) on random
+// instances.
+#include <gtest/gtest.h>
+
+#include "algebra/eval.h"
+#include "algebra/parser.h"
+#include "relation/generator.h"
+#include "tableau/build.h"
+#include "tableau/evaluate.h"
+#include "tests/test_util.h"
+
+namespace viewcap {
+namespace {
+
+using testing::MustParse;
+using testing::Unwrap;
+
+class BuildTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    u_ = catalog_.MakeScheme({"A", "B", "C"});
+    r_ = Unwrap(catalog_.AddRelation("r", catalog_.MakeScheme({"A", "B"})));
+    s_ = Unwrap(catalog_.AddRelation("s", catalog_.MakeScheme({"B", "C"})));
+    a_ = Unwrap(catalog_.FindAttribute("A"));
+    b_ = Unwrap(catalog_.FindAttribute("B"));
+    c_ = Unwrap(catalog_.FindAttribute("C"));
+  }
+  Catalog catalog_;
+  AttrSet u_;
+  RelId r_ = kInvalidRel, s_ = kInvalidRel;
+  AttrId a_ = 0, b_ = 0, c_ = 0;
+};
+
+TEST_F(BuildTest, LeafTemplateStep) {
+  // Step (i): 0_A exactly at the attributes of the type; fresh
+  // nondistinguished padding elsewhere.
+  Tableau t = MustBuildTableau(catalog_, u_, *MustParse(catalog_, "r"));
+  ASSERT_EQ(t.size(), 1u);
+  const TaggedTuple& row = t.rows()[0];
+  EXPECT_EQ(row.rel, r_);
+  EXPECT_EQ(row.tuple.At(a_), Symbol::Distinguished(a_));
+  EXPECT_EQ(row.tuple.At(b_), Symbol::Distinguished(b_));
+  EXPECT_FALSE(row.tuple.At(c_).IsDistinguished());
+  EXPECT_EQ(t.Trs(), catalog_.MakeScheme({"A", "B"}));
+}
+
+TEST_F(BuildTest, ProjectionStepRenamesUniformly) {
+  // Step (ii): all occurrences of 0_B are replaced by ONE fresh symbol.
+  Tableau t =
+      MustBuildTableau(catalog_, u_, *MustParse(catalog_, "pi{A}(r * s)"));
+  ASSERT_EQ(t.size(), 2u);
+  // Exactly one row (the r-row) has 0_A; no row has 0_B or 0_C.
+  EXPECT_EQ(t.Trs(), AttrSet{a_});
+  // The two rows still share their B symbol (the join link survives the
+  // projection's renaming).
+  const Symbol b0 = t.rows()[0].tuple.At(b_);
+  const Symbol b1 = t.rows()[1].tuple.At(b_);
+  EXPECT_EQ(b0, b1);
+  EXPECT_FALSE(b0.IsDistinguished());
+}
+
+TEST_F(BuildTest, JoinStepDisjointSymbols) {
+  // Step (iii): pairwise disjoint nondistinguished symbols across operands.
+  Tableau t =
+      MustBuildTableau(catalog_, u_,
+                       *MustParse(catalog_, "pi{A}(r) * pi{C}(s)"));
+  ASSERT_EQ(t.size(), 2u);
+  const TaggedTuple& row_r = t.rows()[0].rel == r_ ? t.rows()[0] : t.rows()[1];
+  const TaggedTuple& row_s = t.rows()[0].rel == r_ ? t.rows()[1] : t.rows()[0];
+  // Neither B symbol is shared: the projections severed the join link.
+  EXPECT_NE(row_r.tuple.At(b_), row_s.tuple.At(b_));
+  EXPECT_EQ(t.Trs(), catalog_.MakeScheme({"A", "C"}));
+}
+
+TEST_F(BuildTest, JoinSharesDistinguished) {
+  Tableau t = MustBuildTableau(catalog_, u_, *MustParse(catalog_, "r * s"));
+  ASSERT_EQ(t.size(), 2u);
+  // Both rows carry 0_B: the join variable.
+  EXPECT_EQ(t.rows()[0].tuple.At(b_), Symbol::Distinguished(b_));
+  EXPECT_EQ(t.rows()[1].tuple.At(b_), Symbol::Distinguished(b_));
+  EXPECT_EQ(t.Trs(), u_);
+}
+
+TEST_F(BuildTest, RowCountEqualsLeafCount) {
+  const char* cases[] = {"r", "r * s", "pi{B}(r) * pi{B}(s) * r",
+                         "pi{A, C}(r * s) * (r * s)"};
+  for (const char* text : cases) {
+    ExprPtr e = MustParse(catalog_, text);
+    Tableau t = MustBuildTableau(catalog_, u_, *e);
+    EXPECT_EQ(t.size(), e->LeafCount()) << text;
+  }
+}
+
+TEST_F(BuildTest, SelfJoinOfFullTypeRelationMergesRows) {
+  // eta |x| eta where R(eta) = U: both leaf rows are all-distinguished and
+  // merge — the one duplicate-row case (see DESIGN.md).
+  RelId full = Unwrap(catalog_.AddRelation("full", u_));
+  ExprPtr e = Expr::MustJoin2(Expr::Rel(catalog_, full),
+                              Expr::Rel(catalog_, full));
+  Tableau t = MustBuildTableau(catalog_, u_, *e);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST_F(BuildTest, BuildRejectsTypeOutsideUniverse) {
+  Unwrap(catalog_.AddRelation("wide", catalog_.MakeScheme({"A", "D"})));
+  Result<Tableau> bad =
+      BuildTableau(catalog_, u_, *MustParse(catalog_, "wide"));
+  EXPECT_EQ(bad.status().code(), StatusCode::kIllFormed);
+}
+
+TEST_F(BuildTest, SharedPoolKeepsTemplatesDisjoint) {
+  SymbolPool pool;
+  Tableau t1 =
+      Unwrap(BuildTableau(catalog_, u_, *MustParse(catalog_, "pi{A}(r)"),
+                          pool));
+  Tableau t2 =
+      Unwrap(BuildTableau(catalog_, u_, *MustParse(catalog_, "pi{A}(r)"),
+                          pool));
+  for (const Symbol& s1 : t1.Symbols()) {
+    if (s1.IsDistinguished()) continue;
+    for (const Symbol& s2 : t2.Symbols()) {
+      EXPECT_NE(s1, s2);
+    }
+  }
+}
+
+TEST_F(BuildTest, ProjectTableauDirect) {
+  SymbolPool pool;
+  Tableau t = MustBuildTableau(catalog_, u_, *MustParse(catalog_, "r * s"));
+  t.ReserveSymbols(pool);
+  Tableau p = Unwrap(ProjectTableau(catalog_, t,
+                                    catalog_.MakeScheme({"A", "C"}), pool));
+  EXPECT_EQ(p.Trs(), catalog_.MakeScheme({"A", "C"}));
+  // Projection list must be nonempty subset of TRS.
+  EXPECT_FALSE(ProjectTableau(catalog_, t, AttrSet{}, pool).ok());
+  EXPECT_FALSE(
+      ProjectTableau(catalog_, p, catalog_.MakeScheme({"B"}), pool).ok());
+}
+
+TEST_F(BuildTest, JoinTableauxRelabelsCollidingSymbols) {
+  SymbolPool pool_a, pool_b;
+  // Built from separate pools, these share nondistinguished ordinals.
+  Tableau t1 = Unwrap(
+      BuildTableau(catalog_, u_, *MustParse(catalog_, "pi{A}(r)"), pool_a));
+  Tableau t2 = Unwrap(
+      BuildTableau(catalog_, u_, *MustParse(catalog_, "pi{B}(r)"), pool_b));
+  SymbolPool join_pool;
+  Tableau joined = Unwrap(JoinTableaux(catalog_, t1, t2, join_pool));
+  EXPECT_EQ(joined.size(), 2u);
+  VIEWCAP_EXPECT_OK(joined.Validate(catalog_));
+  EXPECT_EQ(joined.Trs(), catalog_.MakeScheme({"A", "B"}));
+}
+
+TEST_F(BuildTest, JoinTableauxRequiresSameUniverse) {
+  SymbolPool pool;
+  Tableau t1 = MustBuildTableau(catalog_, u_, *MustParse(catalog_, "r"));
+  AttrSet small = catalog_.MakeScheme({"A", "B"});
+  Tableau t2 = MustBuildTableau(catalog_, small, *MustParse(catalog_, "r"));
+  EXPECT_FALSE(JoinTableaux(catalog_, t1, t2, pool).ok());
+}
+
+// Proposition 2.1.2: the built template realizes the same mapping as the
+// expression, on random instances.
+TEST_F(BuildTest, TemplateAgreesWithExpressionOnRandomInstances) {
+  const char* cases[] = {
+      "r",
+      "pi{A}(r)",
+      "r * s",
+      "pi{A, C}(r * s)",
+      "pi{A, B}(r) * pi{B, C}(s)",
+      "pi{B}(pi{A, B}(r * s)) * s",
+      "pi{A}(r) * pi{C}(s)",
+      "r * r",
+  };
+  DbSchema schema(catalog_, {r_, s_});
+  InstanceOptions options;
+  options.tuples_per_relation = 6;
+  options.domain_size = 3;
+  InstanceGenerator generator(&catalog_, options);
+  Random rng(7);
+  for (const char* text : cases) {
+    ExprPtr e = MustParse(catalog_, text);
+    Tableau t = MustBuildTableau(catalog_, u_, *e);
+    for (int trial = 0; trial < 15; ++trial) {
+      Instantiation alpha = generator.Generate(schema, rng);
+      EXPECT_EQ(EvaluateTableau(t, alpha), Evaluate(*e, alpha))
+          << text << " trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace viewcap

@@ -1,0 +1,103 @@
+// Tests for tableau/canonical.h.
+#include <gtest/gtest.h>
+
+#include "algebra/parser.h"
+#include "tableau/build.h"
+#include "tableau/canonical.h"
+#include "tableau/homomorphism.h"
+#include "tests/test_util.h"
+
+namespace viewcap {
+namespace {
+
+using testing::MustParse;
+using testing::Unwrap;
+
+class CanonicalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    u_ = catalog_.MakeScheme({"A", "B", "C"});
+    Unwrap(catalog_.AddRelation("r", catalog_.MakeScheme({"A", "B"})));
+    Unwrap(catalog_.AddRelation("s", catalog_.MakeScheme({"B", "C"})));
+  }
+
+  Tableau T(const std::string& text) {
+    // A private pool per build: same expression yields differently-named
+    // nondistinguished symbols across calls only when pools are shared;
+    // with fresh pools the names coincide, so rename below to decouple.
+    return MustBuildTableau(catalog_, u_, *MustParse(catalog_, text));
+  }
+
+  Tableau TRenamed(const std::string& text, std::uint32_t offset) {
+    Tableau t = T(text);
+    SymbolMap rename;
+    for (const Symbol& s : t.Symbols()) {
+      if (!s.IsDistinguished()) {
+        rename[s] = Symbol::Nondistinguished(s.attr, s.ordinal + offset);
+      }
+    }
+    return t.Apply(rename);
+  }
+
+  Catalog catalog_;
+  AttrSet u_;
+};
+
+TEST_F(CanonicalTest, InvariantUnderSymbolRenaming) {
+  EXPECT_EQ(CanonicalKey(T("pi{A}(r * s)")),
+            CanonicalKey(TRenamed("pi{A}(r * s)", 40)));
+}
+
+TEST_F(CanonicalTest, InvariantUnderRowOrder) {
+  // Join order permutes rows; small templates get the exact canonical key.
+  EXPECT_EQ(CanonicalKey(T("r * s")), CanonicalKey(T("s * r")));
+  EXPECT_EQ(CanonicalKey(T("pi{A}(r) * s * r")),
+            CanonicalKey(T("r * s * pi{A}(r)")));
+}
+
+TEST_F(CanonicalTest, DistinguishesDifferentStructures) {
+  EXPECT_NE(CanonicalKey(T("r")), CanonicalKey(T("pi{A}(r)")));
+  EXPECT_NE(CanonicalKey(T("r * s")), CanonicalKey(T("pi{A}(r) * s")));
+  EXPECT_NE(CanonicalKey(T("pi{A}(r * s)")),
+            CanonicalKey(T("pi{A}(r) * pi{B}(s)")));
+}
+
+TEST_F(CanonicalTest, SharedVsUnsharedSymbolsDiffer) {
+  // r |x| s (shared 0_B) vs pi_A-style severed link.
+  Tableau linked = T("pi{A, C}(r * s)");
+  Tableau severed = T("pi{A}(r) * pi{C}(s)");
+  EXPECT_NE(CanonicalKey(linked), CanonicalKey(severed));
+}
+
+TEST_F(CanonicalTest, LargeTemplatesUseSignature) {
+  // Build a template with more rows than the exact-canonicalization cap.
+  std::string text = "r * s";
+  for (std::size_t i = 2; i * 2 <= 2 * (kMaxRowsForExactCanonicalKey + 2);
+       ++i) {
+    text += " * pi{A}(r * s)";
+  }
+  Tableau big = T(text);
+  ASSERT_GT(big.size(), kMaxRowsForExactCanonicalKey);
+  std::string key = CanonicalKey(big);
+  EXPECT_EQ(key.substr(0, 2), "S:");
+  // Isomorphic copies still collide.
+  SymbolMap rename;
+  for (const Symbol& s : big.Symbols()) {
+    if (!s.IsDistinguished()) {
+      rename[s] = Symbol::Nondistinguished(s.attr, s.ordinal + 100);
+    }
+  }
+  EXPECT_EQ(key, CanonicalKey(big.Apply(rename)));
+}
+
+TEST_F(CanonicalTest, EqualKeysForEquivalentReducedRealizations) {
+  // Reduced equivalent templates are isomorphic (unique core), so their
+  // exact canonical keys coincide.
+  Tableau a = T("pi{A, B}(r * s)");
+  Tableau b = TRenamed("pi{A, B}(r * pi{B, C}(s))", 17);
+  ASSERT_TRUE(EquivalentTableaux(catalog_, a, b));
+  EXPECT_EQ(CanonicalKey(a), CanonicalKey(b));
+}
+
+}  // namespace
+}  // namespace viewcap

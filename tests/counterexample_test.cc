@@ -1,0 +1,106 @@
+// Tests for tableau/counterexample.h.
+#include <gtest/gtest.h>
+
+#include "algebra/parser.h"
+#include "tableau/build.h"
+#include "tableau/counterexample.h"
+#include "tableau/evaluate.h"
+#include "tableau/homomorphism.h"
+#include "tests/test_util.h"
+
+namespace viewcap {
+namespace {
+
+using testing::MustParse;
+using testing::Unwrap;
+
+class CounterexampleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    u_ = catalog_.MakeScheme({"A", "B", "C"});
+    r_ = Unwrap(catalog_.AddRelation("r", catalog_.MakeScheme({"A", "B"})));
+    s_ = Unwrap(catalog_.AddRelation("s", catalog_.MakeScheme({"B", "C"})));
+  }
+
+  Tableau T(const std::string& text) {
+    return MustBuildTableau(catalog_, u_, *MustParse(catalog_, text));
+  }
+
+  Catalog catalog_;
+  AttrSet u_;
+  RelId r_ = kInvalidRel, s_ = kInvalidRel;
+};
+
+TEST_F(CounterexampleTest, FreezeProjectsRowsOntoTypes) {
+  Tableau t = T("r * s");
+  Instantiation frozen = FreezeTableau(catalog_, t);
+  EXPECT_EQ(frozen.Get(r_).size(), 1u);
+  EXPECT_EQ(frozen.Get(s_).size(), 1u);
+  EXPECT_EQ(frozen.Get(r_).scheme(), catalog_.RelationScheme(r_));
+}
+
+TEST_F(CounterexampleTest, TemplateContainsItsDistinguishedTupleOnFreeze) {
+  // T(freeze(T)) always contains the all-distinguished tuple over TRS(T):
+  // the identity embedding witnesses it.
+  for (const char* text : {"r", "r * s", "pi{A, C}(r * s)", "pi{B}(s)"}) {
+    Tableau t = T(text);
+    Relation result = EvaluateTableau(t, FreezeTableau(catalog_, t));
+    EXPECT_TRUE(result.Contains(Tuple::AllDistinguished(t.Trs()))) << text;
+  }
+}
+
+TEST_F(CounterexampleTest, FrozenInstanceWitnessesNonEquivalence) {
+  // pi_A(r) vs pi_A(r |x| s): inequivalent, same TRS.
+  Tableau wide = T("pi{A}(r)");
+  Tableau narrow = T("pi{A}(r * s)");
+  InstanceOptions options;
+  Random rng(3);
+  std::optional<Instantiation> witness = FindDistinguishingInstance(
+      catalog_, wide, narrow, options, /*random_trials=*/0, rng);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_NE(EvaluateTableau(wide, *witness),
+            EvaluateTableau(narrow, *witness));
+}
+
+TEST_F(CounterexampleTest, NoWitnessForEquivalentTemplates) {
+  Tableau t1 = T("pi{A, B}(r * s)");
+  Tableau t2 = T("pi{A, B}(r * pi{B}(s))");
+  ASSERT_TRUE(EquivalentTableaux(catalog_, t1, t2));
+  InstanceOptions options;
+  options.tuples_per_relation = 4;
+  options.domain_size = 3;
+  Random rng(17);
+  EXPECT_FALSE(FindDistinguishingInstance(catalog_, t1, t2, options,
+                                          /*random_trials=*/30, rng)
+                   .has_value());
+}
+
+TEST_F(CounterexampleTest, DifferentTrsAlwaysDistinguished) {
+  Tableau t1 = T("pi{A}(r)");
+  Tableau t2 = T("r");
+  InstanceOptions options;
+  Random rng(5);
+  EXPECT_TRUE(FindDistinguishingInstance(catalog_, t1, t2, options, 0, rng)
+                  .has_value());
+}
+
+TEST_F(CounterexampleTest, FrozenWitnessesAreAlwaysEnoughForValidTemplates) {
+  // Exhaustive cross-check on a family: whenever homomorphic equivalence
+  // fails, one of the two frozen instances already distinguishes.
+  const char* exprs[] = {"r", "r * s", "pi{A, B}(r * s)", "pi{A}(r)",
+                         "pi{A}(r * s)", "r * pi{B}(s)"};
+  InstanceOptions options;
+  Random rng(11);
+  for (const char* x : exprs) {
+    for (const char* y : exprs) {
+      Tableau tx = T(x), ty = T(y);
+      bool equivalent = EquivalentTableaux(catalog_, tx, ty);
+      std::optional<Instantiation> witness = FindDistinguishingInstance(
+          catalog_, tx, ty, options, /*random_trials=*/0, rng);
+      EXPECT_EQ(witness.has_value(), !equivalent) << x << " vs " << y;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace viewcap

@@ -1,0 +1,103 @@
+// Tests for algebra/expand.h: Lemma 1.4.1 expression expansion and the
+// Theorem 1.4.2 surrogate property (checked semantically on instances).
+#include <gtest/gtest.h>
+
+#include "algebra/eval.h"
+#include "algebra/expand.h"
+#include "algebra/parser.h"
+#include "algebra/printer.h"
+#include "relation/generator.h"
+#include "tests/test_util.h"
+#include "views/view.h"
+
+namespace viewcap {
+namespace {
+
+using testing::MustParse;
+using testing::Unwrap;
+
+class ExpandTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    r_ = Unwrap(catalog_.AddRelation("r", catalog_.MakeScheme({"A", "B"})));
+    s_ = Unwrap(catalog_.AddRelation("s", catalog_.MakeScheme({"B", "C"})));
+    base_ = DbSchema(catalog_, {r_, s_});
+  }
+  Catalog catalog_;
+  RelId r_ = kInvalidRel, s_ = kInvalidRel;
+  DbSchema base_;
+};
+
+TEST_F(ExpandTest, ReplacesNamesByDefinitions) {
+  RelId v = Unwrap(catalog_.AddRelation("v", catalog_.MakeScheme({"A", "B"})));
+  Definitions defs{{v, MustParse(catalog_, "pi{A, B}(r * s)")}};
+  ExprPtr query = MustParse(catalog_, "pi{A}(v)");
+  ExprPtr expanded = Unwrap(Expand(catalog_, query, defs));
+  EXPECT_EQ(ToString(*expanded, catalog_), "pi{A}(pi{A, B}(r * s))");
+}
+
+TEST_F(ExpandTest, LeavesBaseNamesAlone) {
+  Definitions defs;
+  ExprPtr query = MustParse(catalog_, "r * s");
+  ExprPtr expanded = Unwrap(Expand(catalog_, query, defs));
+  EXPECT_TRUE(Expr::StructurallyEqual(*query, *expanded));
+}
+
+TEST_F(ExpandTest, ExpandsEveryOccurrence) {
+  RelId v = Unwrap(catalog_.AddRelation("v", catalog_.MakeScheme({"A", "B"})));
+  Definitions defs{{v, MustParse(catalog_, "pi{A, B}(r * s)")}};
+  ExprPtr query = MustParse(catalog_, "pi{A}(v) * pi{B}(v)");
+  ExprPtr expanded = Unwrap(Expand(catalog_, query, defs));
+  EXPECT_EQ(expanded->LeafCount(), 4u);  // Two copies of r * s.
+  for (RelId rel : expanded->RelNames()) {
+    EXPECT_TRUE(rel == r_ || rel == s_);
+  }
+}
+
+TEST_F(ExpandTest, RejectsTypeMismatchedDefinition) {
+  RelId v = Unwrap(catalog_.AddRelation("v2", catalog_.MakeScheme({"A", "B"})));
+  Definitions defs{{v, MustParse(catalog_, "pi{A}(r)")}};  // TRS {A} != {A,B}.
+  Result<ExprPtr> bad = Expand(catalog_, MustParse(catalog_, "v2"), defs);
+  EXPECT_EQ(bad.status().code(), StatusCode::kIllFormed);
+}
+
+// Theorem 1.4.2: for every view query E, the expanded query E-hat satisfies
+// E-hat(alpha) = E(alpha_V) on every instantiation alpha. Checked on random
+// instances across several view queries.
+TEST_F(ExpandTest, SurrogatePropertyOnRandomInstances) {
+  RelId v1 = Unwrap(catalog_.AddRelation("v1", catalog_.MakeScheme({"A", "B"})));
+  RelId v2 =
+      Unwrap(catalog_.AddRelation("v2", catalog_.MakeScheme({"B", "C"})));
+  View view = Unwrap(View::Create(
+      &catalog_, base_,
+      {{v1, MustParse(catalog_, "pi{A, B}(r * s)")},
+       {v2, MustParse(catalog_, "pi{B, C}(r * s)")}},
+      "V"));
+
+  const char* view_queries[] = {
+      "v1",
+      "v2",
+      "v1 * v2",
+      "pi{A}(v1)",
+      "pi{A, C}(v1 * v2)",
+      "pi{B}(v1) * pi{C}(v2)",
+  };
+  InstanceOptions options;
+  options.tuples_per_relation = 5;
+  options.domain_size = 3;
+  InstanceGenerator generator(&catalog_, options);
+  Random rng(2026);
+  for (int trial = 0; trial < 20; ++trial) {
+    Instantiation alpha = generator.Generate(base_, rng);
+    Instantiation induced = view.Induce(alpha);
+    for (const char* text : view_queries) {
+      ExprPtr query = MustParse(catalog_, text);
+      ExprPtr surrogate = Unwrap(view.Surrogate(query));
+      EXPECT_EQ(Evaluate(*surrogate, alpha), Evaluate(*query, induced))
+          << "query " << text << " trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace viewcap

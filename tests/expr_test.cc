@@ -1,0 +1,155 @@
+// Unit tests for algebra/expr.h and algebra/eval.h (Section 1.2).
+#include <gtest/gtest.h>
+
+#include "algebra/eval.h"
+#include "algebra/expr.h"
+#include "tests/test_util.h"
+
+namespace viewcap {
+namespace {
+
+using testing::Unwrap;
+
+class ExprTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ab_ = catalog_.MakeScheme({"A", "B"});
+    bc_ = catalog_.MakeScheme({"B", "C"});
+    abc_ = catalog_.MakeScheme({"A", "B", "C"});
+    r_ = Unwrap(catalog_.AddRelation("r", ab_));
+    s_ = Unwrap(catalog_.AddRelation("s", bc_));
+    a_ = Unwrap(catalog_.FindAttribute("A"));
+    b_ = Unwrap(catalog_.FindAttribute("B"));
+    c_ = Unwrap(catalog_.FindAttribute("C"));
+  }
+
+  Catalog catalog_;
+  AttrSet ab_, bc_, abc_;
+  RelId r_ = kInvalidRel, s_ = kInvalidRel;
+  AttrId a_ = 0, b_ = 0, c_ = 0;
+};
+
+TEST_F(ExprTest, RelNameLeaf) {
+  ExprPtr e = Expr::Rel(catalog_, r_);
+  EXPECT_EQ(e->kind(), Expr::Kind::kRelName);
+  EXPECT_EQ(e->rel(), r_);
+  EXPECT_EQ(e->trs(), ab_);
+  EXPECT_EQ(e->LeafCount(), 1u);
+  EXPECT_EQ(e->NodeCount(), 1u);
+  EXPECT_EQ(e->RelNames(), (std::vector<RelId>{r_}));
+}
+
+TEST_F(ExprTest, ProjectTyping) {
+  ExprPtr r = Expr::Rel(catalog_, r_);
+  ExprPtr p = Unwrap(Expr::Project(AttrSet{a_}, r));
+  EXPECT_EQ(p->trs(), AttrSet{a_});
+  EXPECT_EQ(p->kind(), Expr::Kind::kProject);
+  EXPECT_EQ(p->projection(), AttrSet{a_});
+
+  // Projection onto the full TRS is legal (X need only be nonempty subset).
+  EXPECT_TRUE(Expr::Project(ab_, r).ok());
+  // Empty projection is ill-formed.
+  EXPECT_EQ(Expr::Project(AttrSet{}, r).status().code(),
+            StatusCode::kIllFormed);
+  // Projection outside the TRS is ill-formed.
+  EXPECT_EQ(Expr::Project(AttrSet{c_}, r).status().code(),
+            StatusCode::kIllFormed);
+  // Null child is invalid.
+  EXPECT_EQ(Expr::Project(AttrSet{a_}, nullptr).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ExprTest, JoinTyping) {
+  ExprPtr r = Expr::Rel(catalog_, r_);
+  ExprPtr s = Expr::Rel(catalog_, s_);
+  ExprPtr j = Unwrap(Expr::Join({r, s}));
+  EXPECT_EQ(j->trs(), abc_);  // TRS is the union (Section 1.2(iii)).
+  EXPECT_EQ(j->LeafCount(), 2u);
+  EXPECT_EQ(j->RelNames(), (std::vector<RelId>{r_, s_}));
+
+  EXPECT_EQ(Expr::Join({r}).status().code(), StatusCode::kIllFormed);
+  EXPECT_EQ(Expr::Join({r, nullptr}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ExprTest, RelNamesDeduplicatesRepeatedOccurrences) {
+  ExprPtr r = Expr::Rel(catalog_, r_);
+  ExprPtr j = Expr::MustJoin2(Expr::MustProject(AttrSet{a_}, r), r);
+  EXPECT_EQ(j->LeafCount(), 2u);
+  EXPECT_EQ(j->RelNames(), (std::vector<RelId>{r_}));
+}
+
+TEST_F(ExprTest, StructuralEquality) {
+  ExprPtr e1 = Expr::MustProject(AttrSet{a_}, Expr::Rel(catalog_, r_));
+  ExprPtr e2 = Expr::MustProject(AttrSet{a_}, Expr::Rel(catalog_, r_));
+  ExprPtr e3 = Expr::MustProject(AttrSet{b_}, Expr::Rel(catalog_, r_));
+  EXPECT_TRUE(Expr::StructurallyEqual(*e1, *e2));
+  EXPECT_FALSE(Expr::StructurallyEqual(*e1, *e3));
+  EXPECT_FALSE(Expr::StructurallyEqual(*e1, *Expr::Rel(catalog_, r_)));
+}
+
+// --- Evaluation (the inductive semantics of Section 1.2). ---
+
+class EvalTest : public ExprTest {
+ protected:
+  void SetUp() override {
+    ExprTest::SetUp();
+    alpha_ = std::make_unique<Instantiation>(&catalog_);
+    Relation rel_r(ab_);
+    rel_r.Insert(MakeTuple(ab_, {1, 1}));
+    rel_r.Insert(MakeTuple(ab_, {2, 1}));
+    rel_r.Insert(MakeTuple(ab_, {3, 2}));
+    Relation rel_s(bc_);
+    rel_s.Insert(MakeTuple(bc_, {1, 5}));
+    rel_s.Insert(MakeTuple(bc_, {1, 6}));
+    VIEWCAP_ASSERT_OK(alpha_->Set(r_, rel_r));
+    VIEWCAP_ASSERT_OK(alpha_->Set(s_, rel_s));
+  }
+
+  Tuple MakeTuple(const AttrSet& scheme, std::vector<std::uint32_t> vals) {
+    std::vector<Symbol> symbols;
+    std::size_t i = 0;
+    for (AttrId attr : scheme) {
+      symbols.push_back(Symbol::Nondistinguished(attr, vals[i++]));
+    }
+    return Tuple(scheme, std::move(symbols));
+  }
+
+  std::unique_ptr<Instantiation> alpha_;
+};
+
+TEST_F(EvalTest, RelNameReturnsAssignment) {
+  EXPECT_EQ(Evaluate(*Expr::Rel(catalog_, r_), *alpha_), alpha_->Get(r_));
+}
+
+TEST_F(EvalTest, ProjectEvaluates) {
+  ExprPtr p = Expr::MustProject(AttrSet{b_}, Expr::Rel(catalog_, r_));
+  Relation result = Evaluate(*p, *alpha_);
+  EXPECT_EQ(result.size(), 2u);  // b values {1, 2}.
+}
+
+TEST_F(EvalTest, JoinEvaluates) {
+  ExprPtr j = Expr::MustJoin2(Expr::Rel(catalog_, r_),
+                              Expr::Rel(catalog_, s_));
+  Relation result = Evaluate(*j, *alpha_);
+  // r has two tuples with b=1, s has two with b=1: 4 combinations.
+  EXPECT_EQ(result.size(), 4u);
+  EXPECT_EQ(result.scheme(), abc_);
+}
+
+TEST_F(EvalTest, NestedExpressionEvaluates) {
+  // pi_A(r |x| s): the a-values of r-tuples whose b matches s.
+  ExprPtr e = Expr::MustProject(
+      AttrSet{a_},
+      Expr::MustJoin2(Expr::Rel(catalog_, r_), Expr::Rel(catalog_, s_)));
+  Relation result = Evaluate(*e, *alpha_);
+  EXPECT_EQ(result.size(), 2u);  // a in {1, 2}; a=3 has b=2 unmatched.
+}
+
+TEST_F(EvalTest, EvaluationOnUnsetNameIsEmpty) {
+  RelId t = Unwrap(catalog_.AddRelation("t", ab_));
+  EXPECT_TRUE(Evaluate(*Expr::Rel(catalog_, t), *alpha_).empty());
+}
+
+}  // namespace
+}  // namespace viewcap

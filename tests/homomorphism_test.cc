@@ -1,0 +1,218 @@
+// Tests for tableau/homomorphism.h: Propositions 2.4.1-2.4.3, cross
+// validated against the semantic containment reading on random instances.
+#include <gtest/gtest.h>
+
+#include "algebra/parser.h"
+#include "relation/generator.h"
+#include "tableau/build.h"
+#include "tableau/counterexample.h"
+#include "tableau/evaluate.h"
+#include "tableau/homomorphism.h"
+#include "tests/test_util.h"
+
+namespace viewcap {
+namespace {
+
+using testing::MustParse;
+using testing::Unwrap;
+
+class HomTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    u_ = catalog_.MakeScheme({"A", "B", "C"});
+    r_ = Unwrap(catalog_.AddRelation("r", catalog_.MakeScheme({"A", "B"})));
+    s_ = Unwrap(catalog_.AddRelation("s", catalog_.MakeScheme({"B", "C"})));
+  }
+
+  Tableau T(const std::string& text) {
+    return MustBuildTableau(catalog_, u_, *MustParse(catalog_, text));
+  }
+
+  Catalog catalog_;
+  AttrSet u_;
+  RelId r_ = kInvalidRel, s_ = kInvalidRel;
+};
+
+TEST_F(HomTest, IdentityHomomorphismExists) {
+  Tableau t = T("r * s");
+  EXPECT_TRUE(HasHomomorphism(catalog_, t, t));
+}
+
+TEST_F(HomTest, ProjectionDirection) {
+  // pi_A(r)(alpha) contains pi_A... : r's result projected is smaller than
+  // pi_A(r)? No: for templates P = template(pi_A(r)) and R = template(r),
+  // there is a homomorphism P -> R (P is "less constrained" on output but
+  // as mappings with different TRS they are incomparable). Use same-TRS
+  // pairs instead:
+  Tableau narrow = T("pi{A}(r)");
+  Tableau narrower = T("pi{A}(r * s)");
+  // [pi_A(r |x| s)](alpha) is contained in [pi_A(r)](alpha) for all alpha,
+  // so by Prop 2.4.1 there is a homomorphism narrow -> narrower.
+  EXPECT_TRUE(HasHomomorphism(catalog_, narrow, narrower));
+  // And not the other way (the semijoin genuinely filters).
+  EXPECT_FALSE(HasHomomorphism(catalog_, narrower, narrow));
+}
+
+TEST_F(HomTest, TagMismatchBlocksHomomorphism) {
+  Tableau t_r = T("pi{B}(r)");
+  Tableau t_s = T("pi{B}(s)");
+  EXPECT_FALSE(HasHomomorphism(catalog_, t_r, t_s));
+  EXPECT_FALSE(HasHomomorphism(catalog_, t_s, t_r));
+  EXPECT_FALSE(EquivalentTableaux(catalog_, t_r, t_s));
+}
+
+TEST_F(HomTest, EquivalenceOfDifferentRealizations) {
+  // pi_AB(r |x| s) and pi_AB(r |x| pi_B(s)) realize the same mapping.
+  Tableau t1 = T("pi{A, B}(r * s)");
+  Tableau t2 = T("pi{A, B}(r * pi{B}(s))");
+  EXPECT_TRUE(EquivalentTableaux(catalog_, t1, t2));
+}
+
+TEST_F(HomTest, IdempotentSelfJoin) {
+  EXPECT_TRUE(EquivalentTableaux(catalog_, T("r"), T("r * r")));
+  EXPECT_TRUE(EquivalentTableaux(catalog_, T("r * s"), T("r * s * r")));
+}
+
+TEST_F(HomTest, DifferentTrsNeverEquivalent) {
+  EXPECT_FALSE(EquivalentTableaux(catalog_, T("pi{A}(r)"), T("r")));
+}
+
+TEST_F(HomTest, HomomorphismFixesDistinguished) {
+  Tableau from = T("r");
+  Tableau to = T("r * s");
+  std::optional<SymbolMap> hom = FindHomomorphism(catalog_, from, to);
+  ASSERT_TRUE(hom.has_value());
+  for (const auto& [key, value] : *hom) {
+    if (key.IsDistinguished()) {
+      EXPECT_EQ(key, value);
+    }
+    EXPECT_EQ(key.attr, value.attr);  // Valuations preserve the domain.
+  }
+  // The map must send every `from` row onto a row of `to`.
+  std::vector<std::size_t> image = RowImage(catalog_, from, to, *hom);
+  EXPECT_EQ(image.size(), from.size());
+}
+
+TEST_F(HomTest, DifferentUniversesNeverMap) {
+  Tableau t1 = T("r");
+  AttrSet small = catalog_.MakeScheme({"A", "B"});
+  Tableau t2 = MustBuildTableau(catalog_, small, *MustParse(catalog_, "r"));
+  EXPECT_FALSE(HasHomomorphism(catalog_, t1, t2));
+}
+
+TEST_F(HomTest, IsomorphismBetweenRenamedCopies) {
+  Tableau t = T("pi{A, C}(r * s)");
+  SymbolMap rename;
+  for (const Symbol& sym : t.Symbols()) {
+    if (!sym.IsDistinguished()) {
+      rename[sym] = Symbol::Nondistinguished(sym.attr, sym.ordinal + 70);
+    }
+  }
+  Tableau copy = t.Apply(rename);
+  std::optional<SymbolMap> iso = FindIsomorphism(catalog_, t, copy);
+  ASSERT_TRUE(iso.has_value());
+  // The isomorphism maps nondistinguished symbols injectively onto
+  // nondistinguished symbols.
+  for (const auto& [key, value] : *iso) {
+    EXPECT_EQ(key.IsDistinguished(), value.IsDistinguished());
+  }
+}
+
+TEST_F(HomTest, NoIsomorphismAcrossSizes) {
+  EXPECT_FALSE(FindIsomorphism(catalog_, T("r"), T("r * s")).has_value());
+  // Equivalent but different row counts: homomorphic both ways, still not
+  // isomorphic.
+  EXPECT_TRUE(EquivalentTableaux(catalog_, T("r"), T("r * r")));
+  EXPECT_FALSE(FindIsomorphism(catalog_, T("r"), T("r * r")).has_value());
+}
+
+TEST_F(HomTest, ReducedEquivalentTemplatesAreIsomorphic) {
+  // The core is unique up to isomorphism: reduced equivalent templates
+  // must be isomorphic (the Section 4.2 uniqueness engine).
+  Tableau a = T("pi{A, B}(r * s)");
+  Tableau b = T("pi{A, B}(r * pi{B, C}(s))");
+  ASSERT_TRUE(EquivalentTableaux(catalog_, a, b));
+  EXPECT_TRUE(FindIsomorphism(catalog_, a, b).has_value());
+}
+
+TEST_F(HomTest, NonEquivalentSameSizeNotIsomorphic) {
+  Tableau a = T("pi{A}(r) * pi{B}(s)");
+  Tableau b = T("pi{A}(r) * pi{C}(s)");
+  EXPECT_FALSE(FindIsomorphism(catalog_, a, b).has_value());
+}
+
+TEST_F(HomTest, RowEmbeddingIgnoresDistinguishedness) {
+  // pi_A(r) does not map homomorphically into pi_B(r) (0_A must stay
+  // fixed), but it row-embeds (0_A may land anywhere).
+  Tableau pa = T("pi{A}(r)");
+  Tableau pb = T("pi{B}(r)");
+  EXPECT_FALSE(HasHomomorphism(catalog_, pa, pb));
+  EXPECT_TRUE(HasRowEmbedding(catalog_, pa, pb));
+}
+
+TEST_F(HomTest, RowEmbeddingStillRequiresTagsAndConsistency) {
+  EXPECT_FALSE(HasRowEmbedding(catalog_, T("pi{B}(s)"), T("pi{B}(r)")));
+  // Two r-rows sharing their B symbol cannot embed into a single row
+  // template if consistency breaks; but they can both land on one row.
+  EXPECT_TRUE(HasRowEmbedding(catalog_, T("r * r"), T("r")));
+}
+
+// Proposition 2.4.1 cross-validation: hom(T -> S) iff S(alpha) subset of
+// T(alpha) for all alpha. We check the forward direction on random
+// instances and the backward direction via the frozen canonical instance.
+TEST_F(HomTest, SemanticContainmentMatchesHomomorphism) {
+  const char* exprs[] = {
+      "r", "r * s", "pi{A, B}(r * s)", "pi{A}(r)", "pi{A}(r * s)",
+      "pi{B}(r)", "pi{B}(s)", "pi{B}(r * s)", "r * pi{B}(s)",
+  };
+  DbSchema schema(catalog_, {r_, s_});
+  InstanceOptions options;
+  options.tuples_per_relation = 5;
+  options.domain_size = 3;
+  InstanceGenerator generator(&catalog_, options);
+  Random rng(99);
+
+  for (const char* from_text : exprs) {
+    for (const char* to_text : exprs) {
+      Tableau from = T(from_text);
+      Tableau to = T(to_text);
+      if (from.Trs() != to.Trs()) continue;
+      const bool hom = HasHomomorphism(catalog_, from, to);
+      // Forward: hom implies containment everywhere.
+      for (int trial = 0; trial < 10; ++trial) {
+        Instantiation alpha = generator.Generate(schema, rng);
+        Relation from_result = EvaluateTableau(from, alpha);
+        Relation to_result = EvaluateTableau(to, alpha);
+        bool contained = true;
+        for (const Tuple& t : to_result) {
+          if (!from_result.Contains(t)) {
+            contained = false;
+            break;
+          }
+        }
+        if (hom) {
+          EXPECT_TRUE(contained)
+              << from_text << " -> " << to_text << " trial " << trial;
+        }
+      }
+      // Backward: no hom implies the frozen instance of `to` witnesses
+      // non-containment (Chandra-Merlin).
+      if (!hom) {
+        Instantiation frozen = FreezeTableau(catalog_, to);
+        Relation from_result = EvaluateTableau(from, frozen);
+        Relation to_result = EvaluateTableau(to, frozen);
+        bool contained = true;
+        for (const Tuple& t : to_result) {
+          if (!from_result.Contains(t)) {
+            contained = false;
+            break;
+          }
+        }
+        EXPECT_FALSE(contained) << from_text << " -> " << to_text;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace viewcap

@@ -1,0 +1,149 @@
+// Unit tests for algebra/parser.h and algebra/printer.h.
+#include <gtest/gtest.h>
+
+#include "algebra/parser.h"
+#include "algebra/printer.h"
+#include "tests/test_util.h"
+
+namespace viewcap {
+namespace {
+
+using testing::MustParse;
+using testing::Unwrap;
+
+class ParserTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_.AddRelation("r", catalog_.MakeScheme({"A", "B"})).value();
+    catalog_.AddRelation("s", catalog_.MakeScheme({"B", "C"})).value();
+  }
+  Catalog catalog_;
+};
+
+TEST_F(ParserTest, ParsesRelationName) {
+  ExprPtr e = MustParse(catalog_, "r");
+  EXPECT_EQ(e->kind(), Expr::Kind::kRelName);
+  EXPECT_EQ(catalog_.RelationName(e->rel()), "r");
+}
+
+TEST_F(ParserTest, ParsesProjection) {
+  ExprPtr e = MustParse(catalog_, "pi{A}(r)");
+  EXPECT_EQ(e->kind(), Expr::Kind::kProject);
+  EXPECT_EQ(e->trs(), catalog_.MakeScheme({"A"}));
+}
+
+TEST_F(ParserTest, ParsesNaryJoinFlat) {
+  ExprPtr e = MustParse(catalog_, "r * s * r");
+  EXPECT_EQ(e->kind(), Expr::Kind::kJoin);
+  EXPECT_EQ(e->children().size(), 3u);
+  EXPECT_EQ(e->LeafCount(), 3u);
+}
+
+TEST_F(ParserTest, ParenthesesGroup) {
+  ExprPtr e = MustParse(catalog_, "r * (s * r)");
+  EXPECT_EQ(e->children().size(), 2u);
+  EXPECT_EQ(e->children()[1]->kind(), Expr::Kind::kJoin);
+}
+
+TEST_F(ParserTest, WhitespaceAndCommentsIgnored) {
+  ExprPtr e = MustParse(catalog_, "  pi{A, B} ( # comment\n r )  ");
+  EXPECT_EQ(e->trs(), catalog_.MakeScheme({"A", "B"}));
+  ExprPtr e2 = MustParse(catalog_, "r // c++ style\n * s");
+  EXPECT_EQ(e2->LeafCount(), 2u);
+}
+
+TEST_F(ParserTest, ErrorsCarryPosition) {
+  Result<ExprPtr> bad = ParseExpr(catalog_, "pi{A}(unknown)");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kParseError);
+  EXPECT_NE(bad.status().message().find("unknown"), std::string::npos);
+
+  EXPECT_FALSE(ParseExpr(catalog_, "r *").ok());
+  EXPECT_FALSE(ParseExpr(catalog_, "pi{}(r)").ok());
+  EXPECT_FALSE(ParseExpr(catalog_, "(r").ok());
+  EXPECT_FALSE(ParseExpr(catalog_, "r s").ok());
+  EXPECT_FALSE(ParseExpr(catalog_, "r @ s").ok());
+  EXPECT_FALSE(ParseExpr(catalog_, "").ok());
+}
+
+TEST_F(ParserTest, IllTypedProjectionRejected) {
+  // C is not in TRS(r).
+  Result<ExprPtr> bad = ParseExpr(catalog_, "pi{C}(r)");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kIllFormed);
+}
+
+TEST_F(ParserTest, PrinterRoundTrips) {
+  const char* cases[] = {
+      "r",
+      "pi{A}(r)",
+      "r * s",
+      "pi{A, C}(r * s)",
+      "pi{A, B}(r) * pi{B, C}(s)",
+      "(r * s) * r",
+      "pi{B}(pi{A, B}(r * s))",
+  };
+  for (const char* text : cases) {
+    ExprPtr parsed = MustParse(catalog_, text);
+    std::string printed = ToString(*parsed, catalog_);
+    ExprPtr reparsed = MustParse(catalog_, printed);
+    EXPECT_TRUE(Expr::StructurallyEqual(*parsed, *reparsed))
+        << text << " -> " << printed;
+  }
+}
+
+TEST_F(ParserTest, AttrSetPrinting) {
+  EXPECT_EQ(ToString(catalog_.MakeScheme({"A", "B"}), catalog_), "{A, B}");
+  EXPECT_EQ(ToString(AttrSet{}, catalog_), "{}");
+}
+
+TEST(ProgramTest, ParsesSchemaAndViews) {
+  Catalog catalog;
+  ParsedProgram program = Unwrap(ParseProgram(catalog, R"(
+    schema { r(A, B); s(B, C); }
+    view V { v1 := pi{A, B}(r); v2 := r * s; }
+    view W { w := pi{A}(r); }
+  )"));
+  EXPECT_EQ(program.base_relations.size(), 2u);
+  ASSERT_EQ(program.views.size(), 2u);
+  EXPECT_EQ(program.views[0].name, "V");
+  EXPECT_EQ(program.views[0].definitions.size(), 2u);
+  EXPECT_EQ(program.views[1].definitions.size(), 1u);
+  // View relation names are interned with the TRS of their query.
+  RelId v2 = program.views[0].definitions[1].view_rel;
+  EXPECT_EQ(catalog.RelationScheme(v2), catalog.MakeScheme({"A", "B", "C"}));
+}
+
+TEST(ProgramTest, ViewsSeeEarlierSchemaBlocksAcrossText) {
+  Catalog catalog;
+  ParsedProgram program = Unwrap(ParseProgram(catalog, R"(
+    schema { r(A, B); }
+    view V { v := r; }
+    schema { s(B, C); }
+    view W { w := r * s; }
+  )"));
+  EXPECT_EQ(program.views.size(), 2u);
+}
+
+TEST(ProgramTest, Failures) {
+  Catalog catalog;
+  EXPECT_FALSE(ParseProgram(catalog, "view V { v := r; }").ok());
+  EXPECT_FALSE(ParseProgram(catalog, "schema { r(A,B) }").ok());
+  EXPECT_FALSE(ParseProgram(catalog, "bogus { }").ok());
+  EXPECT_FALSE(ParseProgram(catalog, "schema { r(); }").ok());
+  EXPECT_FALSE(
+      ParseProgram(catalog, "schema { r(A); } view V { v = r; }").ok());
+}
+
+TEST(ProgramTest, RedefiningViewRelationWithOtherTypeFails) {
+  Catalog catalog;
+  Result<ParsedProgram> bad = ParseProgram(catalog, R"(
+    schema { r(A, B); }
+    view V { v := r; }
+    view W { v := pi{A}(r); }
+  )");
+  EXPECT_FALSE(bad.ok());
+}
+
+}  // namespace
+}  // namespace viewcap

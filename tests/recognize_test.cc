@@ -1,0 +1,170 @@
+// Tests for tableau/recognize.h: Proposition 2.4.6 (expression-template
+// recognition) and tableau-based expression minimization.
+#include <gtest/gtest.h>
+
+#include "algebra/parser.h"
+#include "algebra/printer.h"
+#include "relation/generator.h"
+#include "algebra/eval.h"
+#include "tableau/build.h"
+#include "tableau/homomorphism.h"
+#include "tableau/recognize.h"
+#include "tableau/reduce.h"
+#include "tests/test_util.h"
+
+namespace viewcap {
+namespace {
+
+using testing::MustParse;
+using testing::Row;
+using testing::Unwrap;
+
+class RecognizeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    u_ = catalog_.MakeScheme({"A", "B", "C"});
+    r_ = Unwrap(catalog_.AddRelation("r", catalog_.MakeScheme({"A", "B"})));
+    s_ = Unwrap(catalog_.AddRelation("s", catalog_.MakeScheme({"B", "C"})));
+  }
+
+  Tableau T(const std::string& text) {
+    return MustBuildTableau(catalog_, u_, *MustParse(catalog_, text));
+  }
+
+  Catalog catalog_;
+  AttrSet u_;
+  RelId r_ = kInvalidRel, s_ = kInvalidRel;
+};
+
+TEST_F(RecognizeTest, RecognizesAlgorithmOutputs) {
+  // Every Algorithm 2.1.1 output is an expression template; recognition
+  // must find a realizer equivalent to it.
+  const char* cases[] = {"r", "pi{A}(r)", "r * s", "pi{A, C}(r * s)",
+                         "pi{A, B}(r) * pi{B, C}(s)"};
+  for (const char* text : cases) {
+    Tableau t = T(text);
+    RecognitionResult result =
+        Unwrap(RecognizeExpressionTemplate(catalog_, t));
+    ASSERT_NE(result.expression, nullptr) << text;
+    Tableau realized = MustBuildTableau(catalog_, u_, *result.expression);
+    EXPECT_TRUE(EquivalentTableaux(catalog_, realized, t)) << text;
+  }
+}
+
+TEST_F(RecognizeTest, RejectsZigzagTemplate) {
+  // The canonical non-PJ-expressible tableau over a binary relation: the
+  // length-3 zigzag
+  //   (0_A, b1), (a1, b1), (a1, 0_B)   all tagged r over U = {A, B}
+  // ("x, y such that x -R- b -R^-1- a -R- y"). Without renaming,
+  // projection and join cannot chain r with itself through alternating
+  // attributes, so no realizer exists; the recognizer exhausts its space
+  // and reports a clean negative.
+  Catalog catalog;
+  AttrSet ab = catalog.MakeScheme({"A", "B"});
+  Unwrap(catalog.AddRelation("r", ab));
+  Tableau zigzag = Unwrap(Tableau::Create(
+      catalog, ab,
+      {Row(catalog, ab, "r", {"0", "b1"}),
+       Row(catalog, ab, "r", {"a1", "b1"}),
+       Row(catalog, ab, "r", {"a1", "0"})}));
+  ASSERT_TRUE(IsReduced(catalog, zigzag));
+
+  RecognitionResult result =
+      Unwrap(RecognizeExpressionTemplate(catalog, zigzag));
+  EXPECT_EQ(result.expression, nullptr);
+  EXPECT_FALSE(result.budget_exhausted);
+}
+
+TEST_F(RecognizeTest, StarvedBudgetIsReported) {
+  // A template the canonical fast path cannot answer (the zigzag) under a
+  // zero-candidate cap: the inconclusive verdict must be flagged.
+  Catalog catalog;
+  AttrSet ab = catalog.MakeScheme({"A", "B"});
+  Unwrap(catalog.AddRelation("r", ab));
+  Tableau zigzag = Unwrap(Tableau::Create(
+      catalog, ab,
+      {Row(catalog, ab, "r", {"0", "b1"}),
+       Row(catalog, ab, "r", {"a1", "b1"}),
+       Row(catalog, ab, "r", {"a1", "0"})}));
+  SearchLimits starved;
+  starved.max_candidates = 0;
+  RecognitionResult result =
+      Unwrap(RecognizeExpressionTemplate(catalog, zigzag, starved));
+  EXPECT_EQ(result.expression, nullptr);
+  EXPECT_TRUE(result.budget_exhausted);
+}
+
+TEST_F(RecognizeTest, RecognizesUpToEquivalenceNotSyntax) {
+  // The found realizer need not be syntactically the source expression.
+  Tableau t = T("pi{A, B}(r * s) * r");
+  RecognitionResult result =
+      Unwrap(RecognizeExpressionTemplate(catalog_, t));
+  ASSERT_NE(result.expression, nullptr);
+  // t reduces to 2 rows; the realizer has at most 2 leaves.
+  EXPECT_LE(result.expression->LeafCount(), 2u);
+  EXPECT_TRUE(EquivalentTableaux(
+      catalog_, MustBuildTableau(catalog_, u_, *result.expression), t));
+}
+
+TEST_F(RecognizeTest, MinimizeCollapsesSelfJoins) {
+  ExprPtr bloated = MustParse(catalog_, "r * r * r");
+  MinimizeResult result =
+      Unwrap(MinimizeExpression(catalog_, u_, bloated));
+  EXPECT_EQ(result.leaves_before, 3u);
+  EXPECT_EQ(result.leaves_after, 1u);
+  EXPECT_TRUE(result.minimal);
+  EXPECT_TRUE(EquivalentTableaux(
+      catalog_, MustBuildTableau(catalog_, u_, *result.expression),
+      MustBuildTableau(catalog_, u_, *bloated)));
+}
+
+TEST_F(RecognizeTest, MinimizeRemovesSubsumedSemijoins) {
+  // pi_AB(r * s) * (r * s): the projected copy is subsumed by the full
+  // join; minimal realization has 2 leaves.
+  ExprPtr bloated = MustParse(catalog_, "pi{A, B}(r * s) * (r * s)");
+  MinimizeResult result =
+      Unwrap(MinimizeExpression(catalog_, u_, bloated));
+  EXPECT_EQ(result.leaves_before, 4u);
+  EXPECT_EQ(result.leaves_after, 2u);
+  EXPECT_TRUE(result.minimal);
+}
+
+TEST_F(RecognizeTest, MinimizeKeepsAlreadyMinimal) {
+  for (const char* text : {"r", "r * s", "pi{A, C}(r * s)"}) {
+    ExprPtr e = MustParse(catalog_, text);
+    MinimizeResult result = Unwrap(MinimizeExpression(catalog_, u_, e));
+    EXPECT_EQ(result.leaves_after, e->LeafCount()) << text;
+    EXPECT_TRUE(result.minimal) << text;
+  }
+}
+
+TEST_F(RecognizeTest, MinimizePreservesSemanticsOnRandomInstances) {
+  const char* cases[] = {
+      "r * r * s",
+      "pi{A, B}(r * s) * (r * s) * pi{B}(s)",
+      "pi{A}(r) * r * s",
+  };
+  DbSchema schema(catalog_, {r_, s_});
+  InstanceOptions options;
+  options.tuples_per_relation = 5;
+  options.domain_size = 3;
+  InstanceGenerator generator(&catalog_, options);
+  Random rng(77);
+  for (const char* text : cases) {
+    ExprPtr e = MustParse(catalog_, text);
+    MinimizeResult result = Unwrap(MinimizeExpression(catalog_, u_, e));
+    EXPECT_LE(result.leaves_after, result.leaves_before);
+    for (int trial = 0; trial < 10; ++trial) {
+      Instantiation alpha = generator.Generate(schema, rng);
+      EXPECT_EQ(Evaluate(*result.expression, alpha), Evaluate(*e, alpha))
+          << text;
+    }
+  }
+}
+
+TEST_F(RecognizeTest, MinimizeRejectsNullAndForeign) {
+  EXPECT_FALSE(MinimizeExpression(catalog_, u_, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace viewcap

@@ -1,0 +1,123 @@
+// Tests for tableau/reduce.h: Proposition 2.4.4.
+#include <gtest/gtest.h>
+
+#include "algebra/parser.h"
+#include "relation/generator.h"
+#include "tableau/build.h"
+#include "tableau/evaluate.h"
+#include "tableau/homomorphism.h"
+#include "tableau/reduce.h"
+#include "tests/test_util.h"
+
+namespace viewcap {
+namespace {
+
+using testing::MustParse;
+using testing::Unwrap;
+
+class ReduceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    u_ = catalog_.MakeScheme({"A", "B", "C"});
+    r_ = Unwrap(catalog_.AddRelation("r", catalog_.MakeScheme({"A", "B"})));
+    s_ = Unwrap(catalog_.AddRelation("s", catalog_.MakeScheme({"B", "C"})));
+  }
+
+  Tableau T(const std::string& text) {
+    return MustBuildTableau(catalog_, u_, *MustParse(catalog_, text));
+  }
+
+  Catalog catalog_;
+  AttrSet u_;
+  RelId r_ = kInvalidRel, s_ = kInvalidRel;
+};
+
+TEST_F(ReduceTest, AlreadyReducedUnchanged) {
+  Tableau t = T("r * s");
+  Tableau reduced = Reduce(catalog_, t);
+  EXPECT_EQ(reduced, t);
+  EXPECT_TRUE(IsReduced(catalog_, t));
+}
+
+TEST_F(ReduceTest, SelfJoinCollapses) {
+  Tableau t = T("r * r");
+  EXPECT_EQ(Reduce(catalog_, t).size(), 1u);
+  EXPECT_FALSE(IsReduced(catalog_, t));
+}
+
+TEST_F(ReduceTest, SemijoinSubsumedByFullAtom) {
+  // pi_AB(r |x| s) |x| s: the pi-renamed s-row maps into the full s-row.
+  Tableau t = T("pi{A, B}(r * s) * s");
+  Tableau reduced = Reduce(catalog_, t);
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(reduced.size(), 2u);
+  EXPECT_TRUE(EquivalentTableaux(catalog_, t, reduced));
+}
+
+TEST_F(ReduceTest, ReducedIsSubsetOfInput) {
+  Tableau t = T("pi{A, B}(r * s) * s * r");
+  Tableau reduced = Reduce(catalog_, t);
+  for (const TaggedTuple& row : reduced.rows()) {
+    EXPECT_TRUE(t.ContainsRow(row));
+  }
+}
+
+TEST_F(ReduceTest, ReductionIsIdempotent) {
+  Tableau t = T("pi{A, B}(r * s) * s * r * r");
+  Tableau once = Reduce(catalog_, t);
+  Tableau twice = Reduce(catalog_, once);
+  EXPECT_EQ(once, twice);
+}
+
+TEST_F(ReduceTest, ReductionPreservesSemanticsOnRandomInstances) {
+  const char* cases[] = {
+      "r * r",
+      "pi{A, B}(r * s) * s",
+      "pi{A, B}(r * s) * (r * s)",
+      "pi{A}(r) * r",
+      "pi{B}(r) * pi{B}(s) * (r * s)",
+  };
+  DbSchema schema(catalog_, {r_, s_});
+  InstanceOptions options;
+  options.tuples_per_relation = 5;
+  options.domain_size = 3;
+  InstanceGenerator generator(&catalog_, options);
+  Random rng(5);
+  for (const char* text : cases) {
+    Tableau t = T(text);
+    Tableau reduced = Reduce(catalog_, t);
+    EXPECT_LE(reduced.size(), t.size());
+    VIEWCAP_EXPECT_OK(reduced.Validate(catalog_));
+    for (int trial = 0; trial < 10; ++trial) {
+      Instantiation alpha = generator.Generate(schema, rng);
+      EXPECT_EQ(EvaluateTableau(t, alpha), EvaluateTableau(reduced, alpha))
+          << text;
+    }
+  }
+}
+
+TEST_F(ReduceTest, EquivalentTemplatesReduceToSameSize) {
+  // Reduced templates are minimum-size in their equivalence class, so
+  // equivalent inputs always reduce to the same row count.
+  Tableau t1 = T("pi{A, B}(r * s)");
+  Tableau t2 = T("pi{A, B}(r * s) * pi{A, B}(r * s)");
+  Tableau t3 = T("pi{A, B}(r * s * s) * r");
+  Tableau r1 = Reduce(catalog_, t1);
+  Tableau r2 = Reduce(catalog_, t2);
+  EXPECT_TRUE(EquivalentTableaux(catalog_, t1, t2));
+  EXPECT_EQ(r1.size(), r2.size());
+  // t3 is also equivalent to t1: the extra s-atom inside is subsumed and
+  // the outer r is implied by the projected r-row... verify equivalence
+  // first, then the size equality.
+  if (EquivalentTableaux(catalog_, t1, t3)) {
+    EXPECT_EQ(Reduce(catalog_, t3).size(), r1.size());
+  }
+}
+
+TEST_F(ReduceTest, SingleRowIsAlwaysReduced) {
+  EXPECT_TRUE(IsReduced(catalog_, T("r")));
+  EXPECT_TRUE(IsReduced(catalog_, T("pi{A}(r)")));
+}
+
+}  // namespace
+}  // namespace viewcap

@@ -1,0 +1,171 @@
+// Unit tests for relation/relation.h, instantiation.h and generator.h:
+// the Section 1.1 operators.
+#include <gtest/gtest.h>
+
+#include "relation/generator.h"
+#include "relation/instantiation.h"
+#include "relation/relation.h"
+#include "tests/test_util.h"
+
+namespace viewcap {
+namespace {
+
+using testing::Unwrap;
+
+class RelationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    abc_ = catalog_.MakeScheme({"A", "B", "C"});
+    ab_ = catalog_.MakeScheme({"A", "B"});
+    bc_ = catalog_.MakeScheme({"B", "C"});
+    a_ = Unwrap(catalog_.FindAttribute("A"));
+    b_ = Unwrap(catalog_.FindAttribute("B"));
+    c_ = Unwrap(catalog_.FindAttribute("C"));
+  }
+
+  Tuple T2(const AttrSet& scheme, std::uint32_t v1, std::uint32_t v2) {
+    auto it = scheme.begin();
+    AttrId x = *it++, y = *it;
+    return Tuple(scheme, {Symbol::Nondistinguished(x, v1),
+                          Symbol::Nondistinguished(y, v2)});
+  }
+
+  Catalog catalog_;
+  AttrSet abc_, ab_, bc_;
+  AttrId a_ = 0, b_ = 0, c_ = 0;
+};
+
+TEST_F(RelationTest, InsertDeduplicates) {
+  Relation r(ab_);
+  EXPECT_TRUE(r.Insert(T2(ab_, 1, 1)));
+  EXPECT_FALSE(r.Insert(T2(ab_, 1, 1)));
+  EXPECT_TRUE(r.Insert(T2(ab_, 1, 2)));
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(r.Contains(T2(ab_, 1, 2)));
+  EXPECT_FALSE(r.Contains(T2(ab_, 9, 9)));
+}
+
+TEST_F(RelationTest, ConstructorSortsAndDeduplicates) {
+  Relation r(ab_, {T2(ab_, 2, 2), T2(ab_, 1, 1), T2(ab_, 2, 2)});
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(r.tuples().begin(), r.tuples().end()));
+}
+
+TEST_F(RelationTest, ProjectProducesSetSemantics) {
+  Relation r(ab_, {T2(ab_, 1, 1), T2(ab_, 1, 2), T2(ab_, 2, 1)});
+  Relation p = r.Project(AttrSet{a_});
+  // (1,1) and (1,2) collapse onto a=1.
+  EXPECT_EQ(p.size(), 2u);
+}
+
+TEST_F(RelationTest, NaturalJoinOnSharedAttribute) {
+  Relation left(ab_, {T2(ab_, 1, 1), T2(ab_, 2, 2)});
+  Relation right(bc_, {T2(bc_, 1, 5), T2(bc_, 1, 6), T2(bc_, 3, 7)});
+  Relation joined = Relation::NaturalJoin(left, right);
+  EXPECT_EQ(joined.scheme(), abc_);
+  // b=1 matches twice, b=2 and b=3 dangle.
+  EXPECT_EQ(joined.size(), 2u);
+  for (const Tuple& t : joined) {
+    EXPECT_EQ(t.At(a_), Symbol::Nondistinguished(a_, 1));
+    EXPECT_EQ(t.At(b_), Symbol::Nondistinguished(b_, 1));
+  }
+}
+
+TEST_F(RelationTest, JoinWithNoSharedAttributesIsCartesian) {
+  AttrSet aa{a_}, cc{c_};
+  Relation left(aa);
+  left.Insert(Tuple(aa, {Symbol::Nondistinguished(a_, 1)}));
+  left.Insert(Tuple(aa, {Symbol::Nondistinguished(a_, 2)}));
+  Relation right(cc);
+  right.Insert(Tuple(cc, {Symbol::Nondistinguished(c_, 1)}));
+  right.Insert(Tuple(cc, {Symbol::Nondistinguished(c_, 2)}));
+  right.Insert(Tuple(cc, {Symbol::Nondistinguished(c_, 3)}));
+  EXPECT_EQ(Relation::NaturalJoin(left, right).size(), 6u);
+}
+
+TEST_F(RelationTest, JoinWithEmptyIsEmpty) {
+  Relation left(ab_, {T2(ab_, 1, 1)});
+  Relation right(bc_);
+  EXPECT_TRUE(Relation::NaturalJoin(left, right).empty());
+}
+
+TEST_F(RelationTest, JoinIdenticalSchemesIsIntersection) {
+  Relation r1(ab_, {T2(ab_, 1, 1), T2(ab_, 2, 2)});
+  Relation r2(ab_, {T2(ab_, 2, 2), T2(ab_, 3, 3)});
+  Relation joined = Relation::NaturalJoin(r1, r2);
+  EXPECT_EQ(joined.size(), 1u);
+  EXPECT_TRUE(joined.Contains(T2(ab_, 2, 2)));
+}
+
+TEST_F(RelationTest, NaturalJoinAllAssociates) {
+  Relation r1(ab_, {T2(ab_, 1, 1)});
+  Relation r2(bc_, {T2(bc_, 1, 2)});
+  Relation lhs = Relation::NaturalJoinAll({r1, r2});
+  Relation rhs = Relation::NaturalJoin(r1, r2);
+  EXPECT_EQ(lhs, rhs);
+  EXPECT_EQ(Relation::NaturalJoinAll({r1}), r1);
+}
+
+TEST_F(RelationTest, InstantiationDefaultsToEmpty) {
+  RelId r = Unwrap(catalog_.AddRelation("r", ab_));
+  Instantiation alpha(&catalog_);
+  EXPECT_TRUE(alpha.Get(r).empty());
+  EXPECT_EQ(alpha.Get(r).scheme(), ab_);
+}
+
+TEST_F(RelationTest, InstantiationSetChecksScheme) {
+  RelId r = Unwrap(catalog_.AddRelation("r", ab_));
+  Instantiation alpha(&catalog_);
+  EXPECT_FALSE(alpha.Set(r, Relation(bc_)).ok());
+  VIEWCAP_EXPECT_OK(alpha.Set(r, Relation(ab_, {T2(ab_, 1, 1)})));
+  EXPECT_EQ(alpha.Get(r).size(), 1u);
+  EXPECT_EQ(alpha.TotalTuples(), 1u);
+}
+
+TEST_F(RelationTest, InstantiationWithOverrides) {
+  RelId r = Unwrap(catalog_.AddRelation("r", ab_));
+  Instantiation alpha(&catalog_);
+  VIEWCAP_EXPECT_OK(alpha.Set(r, Relation(ab_, {T2(ab_, 1, 1)})));
+  Instantiation beta = alpha.With(r, Relation(ab_, {T2(ab_, 2, 2)}));
+  EXPECT_EQ(alpha.Get(r).size(), 1u);
+  EXPECT_TRUE(alpha.Get(r).Contains(T2(ab_, 1, 1)));
+  EXPECT_TRUE(beta.Get(r).Contains(T2(ab_, 2, 2)));
+  EXPECT_FALSE(beta.Get(r).Contains(T2(ab_, 1, 1)));
+}
+
+TEST_F(RelationTest, GeneratorIsDeterministicAndWellTyped) {
+  RelId r = Unwrap(catalog_.AddRelation("r", ab_));
+  RelId s = Unwrap(catalog_.AddRelation("s", bc_));
+  DbSchema schema(catalog_, {r, s});
+  InstanceOptions options;
+  options.tuples_per_relation = 8;
+  InstanceGenerator generator(&catalog_, options);
+  Random rng1(42), rng2(42);
+  Instantiation i1 = generator.Generate(schema, rng1);
+  Instantiation i2 = generator.Generate(schema, rng2);
+  EXPECT_EQ(i1.Get(r), i2.Get(r));
+  EXPECT_EQ(i1.Get(s), i2.Get(s));
+  EXPECT_EQ(i1.Get(r).scheme(), ab_);
+  EXPECT_LE(i1.Get(r).size(), 8u);
+  EXPECT_FALSE(i1.Get(r).empty());
+}
+
+TEST_F(RelationTest, GeneratorDomainBounds) {
+  InstanceOptions options;
+  options.tuples_per_relation = 50;
+  options.domain_size = 2;
+  options.distinguished_probability = 0.0;
+  InstanceGenerator generator(&catalog_, options);
+  Random rng(7);
+  Relation rel = generator.GenerateRelation(ab_, rng);
+  EXPECT_LE(rel.size(), 4u);  // Only 2x2 possible tuples.
+  for (const Tuple& t : rel) {
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      EXPECT_GE(t.ValueAt(i).ordinal, 1u);
+      EXPECT_LE(t.ValueAt(i).ordinal, 2u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace viewcap

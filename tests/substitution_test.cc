@@ -1,0 +1,224 @@
+// Tests for tableau/substitution.h: Figure 1 / Example 2.2.2 reproduced
+// cell-for-cell, the Theorem 2.2.3 semantic property, and error paths.
+#include <gtest/gtest.h>
+
+#include "algebra/parser.h"
+#include "relation/generator.h"
+#include "tableau/build.h"
+#include "tableau/evaluate.h"
+#include "tableau/homomorphism.h"
+#include "tableau/reduce.h"
+#include "tableau/substitution.h"
+#include "tests/test_util.h"
+
+namespace viewcap {
+namespace {
+
+using testing::MustParse;
+using testing::Row;
+using testing::Unwrap;
+
+// The Figure 1 setting: U = {A,B,C}; eta1:AB, eta2/eta3/eta4:ABC.
+class Figure1Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    u_ = catalog_.MakeScheme({"A", "B", "C"});
+    ab_ = catalog_.MakeScheme({"A", "B"});
+    eta1_ = Unwrap(catalog_.AddRelation("eta1", ab_));
+    eta2_ = Unwrap(catalog_.AddRelation("eta2", u_));
+    eta3_ = Unwrap(catalog_.AddRelation("eta3", u_));
+    eta4_ = Unwrap(catalog_.AddRelation("eta4", u_));
+    a_ = Unwrap(catalog_.FindAttribute("A"));
+    b_ = Unwrap(catalog_.FindAttribute("B"));
+    c_ = Unwrap(catalog_.FindAttribute("C"));
+
+    // T = { tau1=(0A,b1,c1):eta1, tau2=(a1,0B,c2):eta2,
+    //       tau3=(a1,b2,0C):eta2 }.
+    t_ = Unwrap(Tableau::Create(
+        catalog_, u_,
+        {Row(catalog_, u_, "eta1", {"0", "b1", "c1"}),
+         Row(catalog_, u_, "eta2", {"a1", "0", "c2"}),
+         Row(catalog_, u_, "eta2", {"a1", "b2", "0"})}));
+    // S1 = { (a3,0B,c3):eta3, (0A,b3,c3):eta3 }, TRS = {A,B} = R(eta1).
+    s1_ = Unwrap(Tableau::Create(
+        catalog_, u_,
+        {Row(catalog_, u_, "eta3", {"a3", "0", "c3"}),
+         Row(catalog_, u_, "eta3", {"0", "b3", "c3"})}));
+    // S2 = { (0A,0B,c4):eta4, (a4,b4,0C):eta4 }, TRS = {A,B,C} = R(eta2).
+    s2_ = Unwrap(Tableau::Create(
+        catalog_, u_,
+        {Row(catalog_, u_, "eta4", {"0", "0", "c4"}),
+         Row(catalog_, u_, "eta4", {"a4", "b4", "0"})}));
+    beta_.emplace(eta1_, *s1_);
+    beta_.emplace(eta2_, *s2_);
+  }
+
+  Catalog catalog_;
+  AttrSet u_, ab_;
+  RelId eta1_ = kInvalidRel, eta2_ = kInvalidRel, eta3_ = kInvalidRel,
+        eta4_ = kInvalidRel;
+  AttrId a_ = 0, b_ = 0, c_ = 0;
+  std::optional<Tableau> t_, s1_, s2_;
+  TemplateAssignment beta_;
+};
+
+TEST_F(Figure1Test, SubstitutionShape) {
+  SymbolPool pool;
+  SubstitutionOutcome outcome =
+      Unwrap(Substitute(catalog_, *t_, beta_, pool));
+  // Six rows: |S1| for tau1 + |S2| for tau2 + |S2| for tau3 (Figure 1).
+  EXPECT_EQ(outcome.result.size(), 6u);
+  ASSERT_EQ(outcome.blocks.size(), 3u);
+  EXPECT_EQ(outcome.blocks[0].size(), 2u);
+  EXPECT_EQ(outcome.blocks[1].size(), 2u);
+  EXPECT_EQ(outcome.blocks[2].size(), 2u);
+  VIEWCAP_EXPECT_OK(outcome.result.Validate(catalog_));
+  // TRS(T -> beta) = TRS(T) = {A,B,C}.
+  EXPECT_EQ(outcome.result.Trs(), u_);
+  // RN(T -> beta) = {eta3, eta4}.
+  EXPECT_EQ(outcome.result.RelNames(), (std::vector<RelId>{eta3_, eta4_}));
+}
+
+// Checks the six rows of Figure 1 cell-for-cell (up to the identity of
+// marked symbols, which the figure denotes <tau, a>): distinguished
+// symbols of S_i replaced by tau's values; nondistinguished marked fresh,
+// equal within a block iff equal in S_i, never shared across blocks.
+TEST_F(Figure1Test, SubstitutionCells) {
+  SymbolPool pool;
+  SubstitutionOutcome outcome =
+      Unwrap(Substitute(catalog_, *t_, beta_, pool));
+
+  const Symbol b1 = Symbol::Nondistinguished(b_, 1);
+  const Symbol c2 = Symbol::Nondistinguished(c_, 2);
+  const Symbol b2 = Symbol::Nondistinguished(b_, 2);
+  const Symbol a1 = Symbol::Nondistinguished(a_, 1);
+
+  // Block tau1 = <tau1, S1>: rows (<t1,a3>, b1, <t1,c3>) and
+  // (0A, <t1,b3>, <t1,c3>), both tagged eta3; the two <t1,c3> marks agree.
+  const auto& block1 = outcome.blocks[0];
+  ASSERT_EQ(block1.size(), 2u);
+  const TaggedTuple* row_m = nullptr;  // (mark, b1, mark)
+  const TaggedTuple* row_d = nullptr;  // (0A, mark, mark)
+  for (const TaggedTuple& row : block1) {
+    EXPECT_EQ(row.rel, eta3_);
+    if (row.tuple.At(a_).IsDistinguished()) {
+      row_d = &row;
+    } else {
+      row_m = &row;
+    }
+  }
+  ASSERT_NE(row_m, nullptr);
+  ASSERT_NE(row_d, nullptr);
+  EXPECT_EQ(row_m->tuple.At(b_), b1);             // 0_B -> tau1(B) = b1.
+  EXPECT_FALSE(row_m->tuple.At(a_).IsDistinguished());  // a3 marked.
+  EXPECT_FALSE(row_m->tuple.At(c_).IsDistinguished());  // c3 marked.
+  EXPECT_EQ(row_m->tuple.At(c_), row_d->tuple.At(c_));  // Same c3 mark.
+  EXPECT_FALSE(row_d->tuple.At(b_).IsDistinguished());  // b3 marked.
+  EXPECT_NE(row_d->tuple.At(b_), b1);
+
+  // Block tau2 = <tau2, S2>: rows (a1, 0B, <t2,c4>) and
+  // (<t2,a4>, <t2,b4>, c2), tagged eta4.
+  const auto& block2 = outcome.blocks[1];
+  const TaggedTuple* row_b = nullptr;
+  const TaggedTuple* row_c2 = nullptr;
+  for (const TaggedTuple& row : block2) {
+    EXPECT_EQ(row.rel, eta4_);
+    if (row.tuple.At(b_).IsDistinguished()) {
+      row_b = &row;
+    } else {
+      row_c2 = &row;
+    }
+  }
+  ASSERT_NE(row_b, nullptr);
+  ASSERT_NE(row_c2, nullptr);
+  EXPECT_EQ(row_b->tuple.At(a_), a1);    // 0_A -> tau2(A) = a1.
+  EXPECT_EQ(row_c2->tuple.At(c_), c2);   // 0_C -> tau2(C) = c2.
+
+  // Block tau3: rows (a1, b2, <t3,c4>) and (<t3,a4>, <t3,b4>, 0C).
+  const auto& block3 = outcome.blocks[2];
+  const TaggedTuple* row_ab = nullptr;
+  const TaggedTuple* row_0c = nullptr;
+  for (const TaggedTuple& row : block3) {
+    if (row.tuple.At(c_).IsDistinguished()) {
+      row_0c = &row;
+    } else {
+      row_ab = &row;
+    }
+  }
+  ASSERT_NE(row_ab, nullptr);
+  ASSERT_NE(row_0c, nullptr);
+  EXPECT_EQ(row_ab->tuple.At(a_), a1);  // Shared with block tau2!
+  EXPECT_EQ(row_ab->tuple.At(b_), b2);
+
+  // Marks are block-local: tau2's c4-mark differs from tau3's c4-mark.
+  EXPECT_NE(row_b->tuple.At(c_), row_ab->tuple.At(c_));
+}
+
+// Example 2.2.2 coda: T == pi_A(eta1) |x| pi_BC(pi_AB(eta2) |x|
+// pi_AC(eta2)), and T -> beta == pi_A(eta3) |x| pi_B(eta4) |x| pi_C(eta4).
+TEST_F(Figure1Test, EquivalentExpressions) {
+  ExprPtr t_expr = MustParse(
+      catalog_, "pi{A}(eta1) * pi{B, C}(pi{A, B}(eta2) * pi{A, C}(eta2))");
+  Tableau t_from_expr = MustBuildTableau(catalog_, u_, *t_expr);
+  EXPECT_TRUE(EquivalentTableaux(catalog_, *t_, t_from_expr));
+
+  SymbolPool pool;
+  Tableau substituted =
+      Unwrap(SubstituteTableau(catalog_, *t_, beta_, pool));
+  ExprPtr result_expr =
+      MustParse(catalog_, "pi{A}(eta3) * pi{B}(eta4) * pi{C}(eta4)");
+  Tableau result_from_expr = MustBuildTableau(catalog_, u_, *result_expr);
+  EXPECT_TRUE(
+      EquivalentTableaux(catalog_, substituted, result_from_expr));
+}
+
+// Theorem 2.2.3: [T -> beta](alpha) = T(beta -> alpha) for every alpha.
+TEST_F(Figure1Test, SubstitutionTheoremOnRandomInstances) {
+  SymbolPool pool;
+  Tableau substituted =
+      Unwrap(SubstituteTableau(catalog_, *t_, beta_, pool));
+  DbSchema schema(catalog_, {eta3_, eta4_});
+  InstanceOptions options;
+  options.tuples_per_relation = 5;
+  options.domain_size = 3;
+  InstanceGenerator generator(&catalog_, options);
+  Random rng(31);
+  for (int trial = 0; trial < 25; ++trial) {
+    Instantiation alpha = generator.Generate(schema, rng);
+    Instantiation effect = ApplyAssignment(beta_, alpha);
+    EXPECT_EQ(EvaluateTableau(substituted, alpha),
+              EvaluateTableau(*t_, effect))
+        << "trial " << trial;
+  }
+}
+
+TEST_F(Figure1Test, MissingAssignmentIsNotFound) {
+  TemplateAssignment partial;
+  partial.emplace(eta1_, *s1_);
+  SymbolPool pool;
+  Result<Tableau> bad = SubstituteTableau(catalog_, *t_, partial, pool);
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(Figure1Test, WrongTrsAssignmentIsIllFormed) {
+  TemplateAssignment wrong;
+  wrong.emplace(eta1_, *s2_);  // TRS {A,B,C} != R(eta1) = {A,B}.
+  wrong.emplace(eta2_, *s2_);
+  SymbolPool pool;
+  Result<Tableau> bad = SubstituteTableau(catalog_, *t_, wrong, pool);
+  EXPECT_EQ(bad.status().code(), StatusCode::kIllFormed);
+}
+
+TEST_F(Figure1Test, IdentitySubstitutionViaLeafTemplate) {
+  // Section 2.3's trick: {(t, eta)} -> beta == beta(eta) when t is all
+  // distinguished on R(eta).
+  SymbolPool pool;
+  Tableau leaf = Unwrap(Tableau::Create(
+      catalog_, u_, {Row(catalog_, u_, "eta2", {"0", "0", "0"})}));
+  Tableau substituted =
+      Unwrap(SubstituteTableau(catalog_, leaf, beta_, pool));
+  EXPECT_TRUE(EquivalentTableaux(catalog_, substituted, *s2_));
+}
+
+}  // namespace
+}  // namespace viewcap

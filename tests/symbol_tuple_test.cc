@@ -1,0 +1,160 @@
+// Unit tests for relation/symbol.h and relation/tuple.h.
+#include <gtest/gtest.h>
+
+#include "relation/symbol.h"
+#include "relation/tuple.h"
+#include "tests/test_util.h"
+
+namespace viewcap {
+namespace {
+
+using testing::Unwrap;
+
+TEST(SymbolTest, DistinguishedVsNondistinguished) {
+  Symbol d = Symbol::Distinguished(3);
+  Symbol n = Symbol::Nondistinguished(3, 7);
+  EXPECT_TRUE(d.IsDistinguished());
+  EXPECT_FALSE(n.IsDistinguished());
+  EXPECT_NE(d, n);
+  EXPECT_EQ(d, Symbol::Distinguished(3));
+}
+
+TEST(SymbolTest, DomainsAreDisjointByConstruction) {
+  // Same ordinal, different attributes: different symbols.
+  EXPECT_NE(Symbol::Nondistinguished(0, 1), Symbol::Nondistinguished(1, 1));
+  EXPECT_NE(Symbol::Distinguished(0), Symbol::Distinguished(1));
+}
+
+TEST(SymbolTest, OrderingAndHash) {
+  Symbol a = Symbol::Distinguished(0);
+  Symbol b = Symbol::Nondistinguished(0, 1);
+  Symbol c = Symbol::Nondistinguished(1, 1);
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_NE(SymbolHash{}(a), SymbolHash{}(b));
+}
+
+TEST(SymbolTest, ToStringUsesAttributeNames) {
+  Catalog catalog;
+  AttrId a = catalog.AddAttribute("A");
+  EXPECT_EQ(Symbol::Distinguished(a).ToString(catalog), "0_A");
+  EXPECT_EQ(Symbol::Nondistinguished(a, 3).ToString(catalog), "a3");
+}
+
+TEST(SymbolPoolTest, FreshNeverRepeats) {
+  SymbolPool pool;
+  Symbol s1 = pool.Fresh(0);
+  Symbol s2 = pool.Fresh(0);
+  Symbol s3 = pool.Fresh(1);
+  EXPECT_NE(s1, s2);
+  EXPECT_FALSE(s1.IsDistinguished());
+  EXPECT_EQ(s3.attr, 1u);
+}
+
+TEST(SymbolPoolTest, ReserveSkipsUsedOrdinals) {
+  SymbolPool pool;
+  pool.Reserve(0, 10);
+  Symbol s = pool.Fresh(0);
+  EXPECT_GT(s.ordinal, 10u);
+}
+
+TEST(SymbolPoolTest, ReserveAllCoversKeysAndValues) {
+  SymbolPool pool;
+  SymbolMap map;
+  map[Symbol::Nondistinguished(0, 5)] = Symbol::Nondistinguished(0, 9);
+  pool.ReserveAll(map);
+  EXPECT_GT(pool.Fresh(0).ordinal, 9u);
+}
+
+class TupleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    abc_ = catalog_.MakeScheme({"A", "B", "C"});
+    a_ = Unwrap(catalog_.FindAttribute("A"));
+    b_ = Unwrap(catalog_.FindAttribute("B"));
+    c_ = Unwrap(catalog_.FindAttribute("C"));
+  }
+  Catalog catalog_;
+  AttrSet abc_;
+  AttrId a_ = 0, b_ = 0, c_ = 0;
+};
+
+TEST_F(TupleTest, AllDistinguished) {
+  Tuple t = Tuple::AllDistinguished(abc_);
+  EXPECT_EQ(t.size(), 3u);
+  for (AttrId attr : abc_) {
+    EXPECT_EQ(t.At(attr), Symbol::Distinguished(attr));
+  }
+  EXPECT_EQ(t.DistinguishedAttrs(), abc_);
+}
+
+TEST_F(TupleTest, ProjectKeepsValues) {
+  Tuple t(abc_, {Symbol::Distinguished(a_), Symbol::Nondistinguished(b_, 1),
+                 Symbol::Nondistinguished(c_, 2)});
+  AttrSet ac{a_, c_};
+  Tuple p = t.Project(ac);
+  EXPECT_EQ(p.scheme(), ac);
+  EXPECT_EQ(p.At(a_), Symbol::Distinguished(a_));
+  EXPECT_EQ(p.At(c_), Symbol::Nondistinguished(c_, 2));
+}
+
+TEST_F(TupleTest, AgreesWithAndCombine) {
+  AttrSet ab{a_, b_}, bc{b_, c_};
+  Tuple left(ab, {Symbol::Nondistinguished(a_, 1),
+                  Symbol::Nondistinguished(b_, 2)});
+  Tuple right(bc, {Symbol::Nondistinguished(b_, 2),
+                   Symbol::Nondistinguished(c_, 3)});
+  EXPECT_TRUE(left.AgreesWith(right));
+  Tuple joined = left.CombineWith(right);
+  EXPECT_EQ(joined.scheme(), abc_);
+  EXPECT_EQ(joined.At(a_), Symbol::Nondistinguished(a_, 1));
+  EXPECT_EQ(joined.At(c_), Symbol::Nondistinguished(c_, 3));
+
+  Tuple conflicting(bc, {Symbol::Nondistinguished(b_, 9),
+                         Symbol::Nondistinguished(c_, 3)});
+  EXPECT_FALSE(left.AgreesWith(conflicting));
+}
+
+TEST_F(TupleTest, AgreesWithDisjointSchemes) {
+  AttrSet aa{a_}, cc{c_};
+  Tuple ta(aa, {Symbol::Nondistinguished(a_, 1)});
+  Tuple tc(cc, {Symbol::Nondistinguished(c_, 1)});
+  EXPECT_TRUE(ta.AgreesWith(tc));  // Nothing shared, vacuously true.
+}
+
+TEST_F(TupleTest, ApplyMapsOnlyListedSymbols) {
+  Tuple t(abc_, {Symbol::Distinguished(a_), Symbol::Nondistinguished(b_, 1),
+                 Symbol::Nondistinguished(c_, 2)});
+  SymbolMap map;
+  map[Symbol::Nondistinguished(b_, 1)] = Symbol::Nondistinguished(b_, 8);
+  Tuple mapped = t.Apply(map);
+  EXPECT_EQ(mapped.At(b_), Symbol::Nondistinguished(b_, 8));
+  EXPECT_EQ(mapped.At(a_), Symbol::Distinguished(a_));
+  EXPECT_EQ(mapped.At(c_), Symbol::Nondistinguished(c_, 2));
+}
+
+TEST_F(TupleTest, SetAndSetValueAt) {
+  Tuple t = Tuple::AllDistinguished(abc_);
+  t.Set(b_, Symbol::Nondistinguished(b_, 4));
+  EXPECT_EQ(t.At(b_), Symbol::Nondistinguished(b_, 4));
+  EXPECT_EQ(t.DistinguishedAttrs(), (AttrSet{a_, c_}));
+}
+
+TEST_F(TupleTest, EqualityAndOrdering) {
+  Tuple t1 = Tuple::AllDistinguished(abc_);
+  Tuple t2 = Tuple::AllDistinguished(abc_);
+  EXPECT_EQ(t1, t2);
+  t2.Set(c_, Symbol::Nondistinguished(c_, 1));
+  EXPECT_NE(t1, t2);
+  EXPECT_LT(t1, t2);  // Distinguished (ordinal 0) sorts first.
+  EXPECT_NE(TupleHash{}(t1), TupleHash{}(t2));
+}
+
+TEST_F(TupleTest, ToString) {
+  Tuple t(abc_, {Symbol::Distinguished(a_), Symbol::Nondistinguished(b_, 1),
+                 Symbol::Nondistinguished(c_, 2)});
+  EXPECT_EQ(t.ToString(catalog_), "(0_A, b1, c2)");
+}
+
+}  // namespace
+}  // namespace viewcap

@@ -1,0 +1,162 @@
+// Tests for tableau/tableau.h: the Section 2.1 template conditions,
+// including failure injection for each well-formedness rule.
+#include <gtest/gtest.h>
+
+#include "tableau/tableau.h"
+#include "tests/test_util.h"
+
+namespace viewcap {
+namespace {
+
+using testing::Row;
+using testing::Unwrap;
+
+class TableauTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    u_ = catalog_.MakeScheme({"A", "B", "C"});
+    ab_ = catalog_.MakeScheme({"A", "B"});
+    Unwrap(catalog_.AddRelation("r_ab", ab_));
+    Unwrap(catalog_.AddRelation("r_abc", u_));
+  }
+  Catalog catalog_;
+  AttrSet u_, ab_;
+};
+
+TEST_F(TableauTest, ValidSingleRow) {
+  Tableau t = Unwrap(Tableau::Create(
+      catalog_, u_, {Row(catalog_, u_, "r_ab", {"0", "0", "c1"})}));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.Trs(), ab_);
+  EXPECT_EQ(t.RelNames().size(), 1u);
+}
+
+TEST_F(TableauTest, RowsAreASet) {
+  TaggedTuple row = Row(catalog_, u_, "r_ab", {"0", "0", "c1"});
+  Tableau t = Unwrap(Tableau::Create(catalog_, u_, {row, row}));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_TRUE(t.ContainsRow(row));
+}
+
+TEST_F(TableauTest, EmptyTemplateRejected) {
+  Result<Tableau> bad = Tableau::Create(catalog_, u_, {});
+  EXPECT_EQ(bad.status().code(), StatusCode::kIllFormed);
+}
+
+TEST_F(TableauTest, ConditionOneRejectsDistinguishedOutsideType) {
+  // r_ab has type {A,B} but the row has 0_C.
+  Result<Tableau> bad = Tableau::Create(
+      catalog_, u_, {Row(catalog_, u_, "r_ab", {"0", "0", "0"})});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("condition (i)"), std::string::npos);
+}
+
+TEST_F(TableauTest, ConditionTwoRejectsSharingOutsideTypes) {
+  // Both rows share c1 at C, but C is not in r_ab's type.
+  Result<Tableau> bad = Tableau::Create(
+      catalog_, u_,
+      {Row(catalog_, u_, "r_ab", {"0", "b1", "c1"}),
+       Row(catalog_, u_, "r_ab", {"a1", "0", "c1"})});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("condition (ii)"), std::string::npos);
+}
+
+TEST_F(TableauTest, SharingInsideBothTypesAllowed) {
+  // Shared b1 at B, which is in both rows' types: fine.
+  Tableau t = Unwrap(Tableau::Create(
+      catalog_, u_,
+      {Row(catalog_, u_, "r_ab", {"0", "b1", "c1"}),
+       Row(catalog_, u_, "r_abc", {"a1", "b1", "0"})}));
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST_F(TableauTest, ConditionThreeRejectsNoDistinguished) {
+  Result<Tableau> bad = Tableau::Create(
+      catalog_, u_, {Row(catalog_, u_, "r_ab", {"a1", "b1", "c1"})});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("condition (iii)"),
+            std::string::npos);
+}
+
+TEST_F(TableauTest, RejectsRowNotOverUniverse) {
+  Tuple small(ab_, {Symbol::Distinguished(*ab_.begin()),
+                    Symbol::Distinguished(*(++ab_.begin()))});
+  RelId r_ab = Unwrap(catalog_.FindRelation("r_ab"));
+  Result<Tableau> bad =
+      Tableau::Create(catalog_, u_, {TaggedTuple{r_ab, small}});
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST_F(TableauTest, RejectsTypeOutsideUniverse) {
+  AttrSet with_d = catalog_.MakeScheme({"A", "D"});
+  Unwrap(catalog_.AddRelation("r_ad", with_d));
+  // Universe {A,B,C} does not include D.
+  Result<Tableau> bad = Tableau::Create(
+      catalog_, u_, {Row(catalog_, u_, "r_ad", {"0", "b1", "c1"})});
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST_F(TableauTest, TrsUnionsAcrossRows) {
+  Tableau t = Unwrap(Tableau::Create(
+      catalog_, u_,
+      {Row(catalog_, u_, "r_ab", {"0", "b1", "c1"}),
+       Row(catalog_, u_, "r_abc", {"a1", "b2", "0"})}));
+  EXPECT_EQ(t.Trs(), catalog_.MakeScheme({"A", "C"}));
+}
+
+TEST_F(TableauTest, SubsetRowsAndApply) {
+  Tableau t = Unwrap(Tableau::Create(
+      catalog_, u_,
+      {Row(catalog_, u_, "r_ab", {"0", "b1", "c1"}),
+       Row(catalog_, u_, "r_abc", {"a1", "b2", "0"})}));
+  Tableau sub = t.SubsetRows({0});
+  EXPECT_EQ(sub.size(), 1u);
+
+  SymbolMap map;
+  AttrId b = Unwrap(catalog_.FindAttribute("B"));
+  map[Symbol::Nondistinguished(b, 1)] = Symbol::Nondistinguished(b, 7);
+  Tableau mapped = t.Apply(map);
+  bool found = false;
+  for (const TaggedTuple& row : mapped.rows()) {
+    for (std::size_t i = 0; i < row.tuple.size(); ++i) {
+      if (row.tuple.ValueAt(i) == Symbol::Nondistinguished(b, 7)) {
+        found = true;
+      }
+      EXPECT_NE(row.tuple.ValueAt(i), Symbol::Nondistinguished(b, 1));
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(TableauTest, ReserveSymbolsPreventsCollisions) {
+  Tableau t = Unwrap(Tableau::Create(
+      catalog_, u_, {Row(catalog_, u_, "r_ab", {"0", "b3", "c5"})}));
+  SymbolPool pool;
+  t.ReserveSymbols(pool);
+  AttrId b = Unwrap(catalog_.FindAttribute("B"));
+  AttrId c = Unwrap(catalog_.FindAttribute("C"));
+  EXPECT_GT(pool.Fresh(b).ordinal, 3u);
+  EXPECT_GT(pool.Fresh(c).ordinal, 5u);
+}
+
+TEST_F(TableauTest, SymbolsAreSortedUnique) {
+  Tableau t = Unwrap(Tableau::Create(
+      catalog_, u_,
+      {Row(catalog_, u_, "r_ab", {"0", "b1", "c1"}),
+       Row(catalog_, u_, "r_abc", {"a1", "b1", "0"})}));
+  std::vector<Symbol> symbols = t.Symbols();
+  EXPECT_TRUE(std::is_sorted(symbols.begin(), symbols.end()));
+  // Row1: 0_A, b1, c1; Row2: a1, b1, 0_C -> {0_A, a1, b1, c1, 0_C}.
+  EXPECT_EQ(symbols.size(), 5u);
+}
+
+TEST_F(TableauTest, ToStringMentionsTagsAndTypes) {
+  Tableau t = Unwrap(Tableau::Create(
+      catalog_, u_, {Row(catalog_, u_, "r_ab", {"0", "0", "c1"})}));
+  std::string text = t.ToString(catalog_);
+  EXPECT_NE(text.find("r_ab"), std::string::npos);
+  EXPECT_NE(text.find("0_A"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace viewcap

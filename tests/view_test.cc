@@ -1,0 +1,137 @@
+// Tests for views/view.h: Sections 1.3-1.4.
+#include <gtest/gtest.h>
+
+#include "algebra/eval.h"
+#include "algebra/parser.h"
+#include "algebra/printer.h"
+#include "relation/generator.h"
+#include "tests/test_util.h"
+#include "views/view.h"
+
+namespace viewcap {
+namespace {
+
+using testing::MustParse;
+using testing::Unwrap;
+
+class ViewTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    r_ = Unwrap(catalog_.AddRelation("r", catalog_.MakeScheme({"A", "B"})));
+    s_ = Unwrap(catalog_.AddRelation("s", catalog_.MakeScheme({"B", "C"})));
+    base_ = DbSchema(catalog_, {r_, s_});
+    v1_ = Unwrap(catalog_.AddRelation("v1", catalog_.MakeScheme({"A", "B"})));
+    v2_ = Unwrap(catalog_.AddRelation("v2", catalog_.MakeScheme({"B", "C"})));
+  }
+
+  Catalog catalog_;
+  RelId r_ = kInvalidRel, s_ = kInvalidRel, v1_ = kInvalidRel,
+        v2_ = kInvalidRel;
+  DbSchema base_;
+};
+
+TEST_F(ViewTest, CreateValidView) {
+  View view = Unwrap(View::Create(
+      &catalog_, base_,
+      {{v1_, MustParse(catalog_, "pi{A, B}(r * s)")},
+       {v2_, MustParse(catalog_, "pi{B, C}(r * s)")}},
+      "V"));
+  EXPECT_EQ(view.size(), 2u);
+  EXPECT_EQ(view.name(), "V");
+  EXPECT_EQ(view.universe(), catalog_.MakeScheme({"A", "B", "C"}));
+  DbSchema schema = view.ViewSchema();
+  EXPECT_TRUE(schema.Contains(v1_));
+  EXPECT_TRUE(schema.Contains(v2_));
+  // Definition templates are Algorithm 2.1.1 outputs over the universe.
+  for (const ViewDefinition& d : view.definitions()) {
+    VIEWCAP_EXPECT_OK(d.tableau.Validate(catalog_));
+    EXPECT_EQ(d.tableau.Trs(), catalog_.RelationScheme(d.rel));
+  }
+}
+
+TEST_F(ViewTest, RejectsEmptyView) {
+  EXPECT_EQ(View::Create(&catalog_, base_, {}).status().code(),
+            StatusCode::kIllFormed);
+}
+
+TEST_F(ViewTest, RejectsDuplicateViewNames) {
+  Result<View> bad = View::Create(
+      &catalog_, base_,
+      {{v1_, MustParse(catalog_, "r")}, {v1_, MustParse(catalog_, "r")}});
+  EXPECT_EQ(bad.status().code(), StatusCode::kIllFormed);
+}
+
+TEST_F(ViewTest, RejectsShadowingBaseRelation) {
+  Result<View> bad =
+      View::Create(&catalog_, base_, {{r_, MustParse(catalog_, "r")}});
+  EXPECT_EQ(bad.status().code(), StatusCode::kIllFormed);
+}
+
+TEST_F(ViewTest, RejectsTrsTypeMismatch) {
+  Result<View> bad = View::Create(
+      &catalog_, base_, {{v1_, MustParse(catalog_, "pi{A}(r)")}});
+  EXPECT_EQ(bad.status().code(), StatusCode::kIllFormed);
+}
+
+TEST_F(ViewTest, RejectsQueryOverForeignRelations) {
+  Unwrap(catalog_.AddRelation("foreign", catalog_.MakeScheme({"A", "B"})));
+  Result<View> bad = View::Create(
+      &catalog_, base_, {{v1_, MustParse(catalog_, "foreign")}});
+  EXPECT_EQ(bad.status().code(), StatusCode::kIllFormed);
+}
+
+TEST_F(ViewTest, InduceOverridesViewNamesOnly) {
+  View view = Unwrap(View::Create(
+      &catalog_, base_, {{v1_, MustParse(catalog_, "pi{A, B}(r * s)")}}));
+  InstanceOptions options;
+  InstanceGenerator generator(&catalog_, options);
+  Random rng(1);
+  Instantiation alpha = generator.Generate(base_, rng);
+  Instantiation induced = view.Induce(alpha);
+  EXPECT_EQ(induced.Get(r_), alpha.Get(r_));
+  EXPECT_EQ(induced.Get(v1_),
+            Evaluate(*view.definitions()[0].query, alpha));
+}
+
+TEST_F(ViewTest, SurrogateRejectsNonViewQueries) {
+  View view = Unwrap(View::Create(
+      &catalog_, base_, {{v1_, MustParse(catalog_, "pi{A, B}(r * s)")}}));
+  Result<ExprPtr> bad = view.Surrogate(MustParse(catalog_, "r"));
+  EXPECT_EQ(bad.status().code(), StatusCode::kIllFormed);
+  Result<ExprPtr> good = view.Surrogate(MustParse(catalog_, "pi{A}(v1)"));
+  EXPECT_TRUE(good.ok());
+}
+
+TEST_F(ViewTest, AccessorsExposeTheoryObjects) {
+  View view = Unwrap(View::Create(
+      &catalog_, base_,
+      {{v1_, MustParse(catalog_, "pi{A, B}(r * s)")},
+       {v2_, MustParse(catalog_, "pi{B, C}(r * s)")}}));
+  EXPECT_EQ(view.AsDefinitions().size(), 2u);
+  EXPECT_EQ(view.AsAssignment().size(), 2u);
+  EXPECT_EQ(view.QueryTableaux().size(), 2u);
+  EXPECT_EQ(view.AsAssignment().at(v1_).Trs(),
+            catalog_.RelationScheme(v1_));
+}
+
+TEST_F(ViewTest, RestrictKeepsSelectedDefinitions) {
+  View view = Unwrap(View::Create(
+      &catalog_, base_,
+      {{v1_, MustParse(catalog_, "pi{A, B}(r * s)")},
+       {v2_, MustParse(catalog_, "pi{B, C}(r * s)")}}));
+  View only_second = view.Restrict({1});
+  EXPECT_EQ(only_second.size(), 1u);
+  EXPECT_EQ(only_second.definitions()[0].rel, v2_);
+}
+
+TEST_F(ViewTest, ToStringListsDefinitions) {
+  View view = Unwrap(View::Create(
+      &catalog_, base_, {{v1_, MustParse(catalog_, "pi{A, B}(r * s)")}},
+      "MyView"));
+  std::string text = view.ToString();
+  EXPECT_NE(text.find("MyView"), std::string::npos);
+  EXPECT_NE(text.find("v1 := pi{A, B}(r * s)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace viewcap

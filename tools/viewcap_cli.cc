@@ -1,0 +1,191 @@
+// viewcap_cli: command-line front end for the view-capacity analyses.
+//
+// Usage:
+//   viewcap_cli <program-file> <command> [args...]
+// Commands:
+//   list                          print the loaded views
+//   equiv <V> <W>                 decide view equivalence (Theorem 2.4.12)
+//   answerable <V> <query-expr>   Cap membership (Theorem 2.4.11)
+//   nonredundant <V>              redundancy elimination (Theorem 3.1.4)
+//   simplify <V>                  the normal form (Theorem 4.1.3)
+//   lattice                       pairwise dominance of all views
+//   minimize <query-expr>         tableau minimization of a base query
+//   export <V>                    print a view as a reloadable program
+//   capacity <V> <max-leaves>     list Cap(V) members up to a size budget
+//   eval <V> <view-query> <data-file>
+//                                 run a view query against a data file
+//   report                        full markdown audit of every view
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/viewcap.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: viewcap_cli <program-file> <command> [args...]\n"
+               "commands:\n"
+               "  list\n"
+               "  equiv <V> <W>\n"
+               "  answerable <V> <query-expr>\n"
+               "  nonredundant <V>\n"
+               "  simplify <V>\n"
+               "  lattice\n"
+               "  minimize <query-expr>\n"
+               "  export <V>\n"
+               "  capacity <V> <max-leaves>\n"
+               "  eval <V> <view-query> <data-file>\n"
+               "  report\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "viewcap_cli: cannot open '%s'\n", argv[1]);
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  viewcap::Analyzer analyzer;
+  viewcap::Status st = analyzer.Load(buffer.str());
+  if (!st.ok()) {
+    std::fprintf(stderr, "viewcap_cli: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  const std::string command = argv[2];
+  std::string report;
+  if (command == "list") {
+    for (const std::string& name : analyzer.ViewNames()) {
+      auto view = analyzer.GetView(name);
+      std::cout << (*view)->ToString();
+    }
+    return 0;
+  }
+  if (command == "equiv" && argc == 5) {
+    auto result = analyzer.CheckEquivalence(argv[3], argv[4], &report);
+    if (!result.ok()) {
+      std::fprintf(stderr, "viewcap_cli: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::cout << report;
+    return result->equivalent ? 0 : 3;
+  }
+  if (command == "answerable" && argc == 5) {
+    auto result = analyzer.CheckAnswerable(argv[3], argv[4], &report);
+    if (!result.ok()) {
+      std::fprintf(stderr, "viewcap_cli: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::cout << report;
+    return result->member ? 0 : 3;
+  }
+  if (command == "nonredundant" && argc == 4) {
+    auto result = analyzer.EliminateRedundancy(argv[3], &report);
+    if (!result.ok()) {
+      std::fprintf(stderr, "viewcap_cli: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::cout << report;
+    return 0;
+  }
+  if (command == "simplify" && argc == 4) {
+    auto result = analyzer.SimplifyView(argv[3], &report);
+    if (!result.ok()) {
+      std::fprintf(stderr, "viewcap_cli: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::cout << report;
+    return 0;
+  }
+  if (command == "lattice" && argc == 3) {
+    auto result = analyzer.CompareAllViews(&report);
+    if (!result.ok()) {
+      std::fprintf(stderr, "viewcap_cli: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::cout << report;
+    return 0;
+  }
+  if (command == "minimize" && argc == 4) {
+    auto result = analyzer.MinimizeQuery(argv[3], &report);
+    if (!result.ok()) {
+      std::fprintf(stderr, "viewcap_cli: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::cout << report;
+    return 0;
+  }
+  if (command == "capacity" && argc == 5) {
+    char* end = nullptr;
+    const unsigned long max_leaves = std::strtoul(argv[4], &end, 10);
+    if (end == argv[4] || *end != '\0' || max_leaves == 0) {
+      std::fprintf(stderr, "viewcap_cli: bad leaf budget '%s'\n", argv[4]);
+      return 2;
+    }
+    auto result = analyzer.EnumerateViewCapacity(
+        argv[3], static_cast<std::size_t>(max_leaves), 256, &report);
+    if (!result.ok()) {
+      std::fprintf(stderr, "viewcap_cli: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::cout << report;
+    return 0;
+  }
+  if (command == "report" && argc == 3) {
+    auto result = viewcap::RenderReport(analyzer);
+    if (!result.ok()) {
+      std::fprintf(stderr, "viewcap_cli: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::cout << *result;
+    return 0;
+  }
+  if (command == "eval" && argc == 6) {
+    std::ifstream data_in(argv[5]);
+    if (!data_in) {
+      std::fprintf(stderr, "viewcap_cli: cannot open '%s'\n", argv[5]);
+      return 1;
+    }
+    std::stringstream data;
+    data << data_in.rdbuf();
+    auto result =
+        analyzer.EvaluateViewQuery(argv[3], argv[4], data.str(), &report);
+    if (!result.ok()) {
+      std::fprintf(stderr, "viewcap_cli: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::cout << report;
+    return 0;
+  }
+  if (command == "export" && argc == 4) {
+    auto result = analyzer.ExportView(argv[3]);
+    if (!result.ok()) {
+      std::fprintf(stderr, "viewcap_cli: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::cout << *result;
+    return 0;
+  }
+  return Usage();
+}
