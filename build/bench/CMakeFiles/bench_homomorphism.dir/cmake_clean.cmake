@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_homomorphism.dir/bench_homomorphism.cc.o"
+  "CMakeFiles/bench_homomorphism.dir/bench_homomorphism.cc.o.d"
+  "bench_homomorphism"
+  "bench_homomorphism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_homomorphism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recognize.dir/bench_recognize.cc.o"
+  "CMakeFiles/bench_recognize.dir/bench_recognize.cc.o.d"
+  "bench_recognize"
+  "bench_recognize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recognize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reduce.dir/bench_reduce.cc.o"
+  "CMakeFiles/bench_reduce.dir/bench_reduce.cc.o.d"
+  "bench_reduce"
+  "bench_reduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

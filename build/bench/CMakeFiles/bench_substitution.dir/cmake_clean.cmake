@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_substitution.dir/bench_substitution.cc.o"
+  "CMakeFiles/bench_substitution.dir/bench_substitution.cc.o.d"
+  "bench_substitution"
+  "bench_substitution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_substitution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/security_views.dir/security_views.cpp.o"
+  "CMakeFiles/security_views.dir/security_views.cpp.o.d"
+  "security_views"
+  "security_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/security_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

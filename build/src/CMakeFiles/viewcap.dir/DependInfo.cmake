@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebra/enumerator.cc" "src/CMakeFiles/viewcap.dir/algebra/enumerator.cc.o" "gcc" "src/CMakeFiles/viewcap.dir/algebra/enumerator.cc.o.d"
+  "/root/repo/src/algebra/eval.cc" "src/CMakeFiles/viewcap.dir/algebra/eval.cc.o" "gcc" "src/CMakeFiles/viewcap.dir/algebra/eval.cc.o.d"
+  "/root/repo/src/algebra/expand.cc" "src/CMakeFiles/viewcap.dir/algebra/expand.cc.o" "gcc" "src/CMakeFiles/viewcap.dir/algebra/expand.cc.o.d"
+  "/root/repo/src/algebra/expr.cc" "src/CMakeFiles/viewcap.dir/algebra/expr.cc.o" "gcc" "src/CMakeFiles/viewcap.dir/algebra/expr.cc.o.d"
+  "/root/repo/src/algebra/parser.cc" "src/CMakeFiles/viewcap.dir/algebra/parser.cc.o" "gcc" "src/CMakeFiles/viewcap.dir/algebra/parser.cc.o.d"
+  "/root/repo/src/algebra/printer.cc" "src/CMakeFiles/viewcap.dir/algebra/printer.cc.o" "gcc" "src/CMakeFiles/viewcap.dir/algebra/printer.cc.o.d"
+  "/root/repo/src/base/random.cc" "src/CMakeFiles/viewcap.dir/base/random.cc.o" "gcc" "src/CMakeFiles/viewcap.dir/base/random.cc.o.d"
+  "/root/repo/src/base/status.cc" "src/CMakeFiles/viewcap.dir/base/status.cc.o" "gcc" "src/CMakeFiles/viewcap.dir/base/status.cc.o.d"
+  "/root/repo/src/base/strings.cc" "src/CMakeFiles/viewcap.dir/base/strings.cc.o" "gcc" "src/CMakeFiles/viewcap.dir/base/strings.cc.o.d"
+  "/root/repo/src/core/analyzer.cc" "src/CMakeFiles/viewcap.dir/core/analyzer.cc.o" "gcc" "src/CMakeFiles/viewcap.dir/core/analyzer.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/viewcap.dir/core/report.cc.o" "gcc" "src/CMakeFiles/viewcap.dir/core/report.cc.o.d"
+  "/root/repo/src/relation/attr_set.cc" "src/CMakeFiles/viewcap.dir/relation/attr_set.cc.o" "gcc" "src/CMakeFiles/viewcap.dir/relation/attr_set.cc.o.d"
+  "/root/repo/src/relation/catalog.cc" "src/CMakeFiles/viewcap.dir/relation/catalog.cc.o" "gcc" "src/CMakeFiles/viewcap.dir/relation/catalog.cc.o.d"
+  "/root/repo/src/relation/data_parser.cc" "src/CMakeFiles/viewcap.dir/relation/data_parser.cc.o" "gcc" "src/CMakeFiles/viewcap.dir/relation/data_parser.cc.o.d"
+  "/root/repo/src/relation/generator.cc" "src/CMakeFiles/viewcap.dir/relation/generator.cc.o" "gcc" "src/CMakeFiles/viewcap.dir/relation/generator.cc.o.d"
+  "/root/repo/src/relation/instantiation.cc" "src/CMakeFiles/viewcap.dir/relation/instantiation.cc.o" "gcc" "src/CMakeFiles/viewcap.dir/relation/instantiation.cc.o.d"
+  "/root/repo/src/relation/relation.cc" "src/CMakeFiles/viewcap.dir/relation/relation.cc.o" "gcc" "src/CMakeFiles/viewcap.dir/relation/relation.cc.o.d"
+  "/root/repo/src/relation/symbol.cc" "src/CMakeFiles/viewcap.dir/relation/symbol.cc.o" "gcc" "src/CMakeFiles/viewcap.dir/relation/symbol.cc.o.d"
+  "/root/repo/src/relation/tuple.cc" "src/CMakeFiles/viewcap.dir/relation/tuple.cc.o" "gcc" "src/CMakeFiles/viewcap.dir/relation/tuple.cc.o.d"
+  "/root/repo/src/tableau/build.cc" "src/CMakeFiles/viewcap.dir/tableau/build.cc.o" "gcc" "src/CMakeFiles/viewcap.dir/tableau/build.cc.o.d"
+  "/root/repo/src/tableau/canonical.cc" "src/CMakeFiles/viewcap.dir/tableau/canonical.cc.o" "gcc" "src/CMakeFiles/viewcap.dir/tableau/canonical.cc.o.d"
+  "/root/repo/src/tableau/counterexample.cc" "src/CMakeFiles/viewcap.dir/tableau/counterexample.cc.o" "gcc" "src/CMakeFiles/viewcap.dir/tableau/counterexample.cc.o.d"
+  "/root/repo/src/tableau/evaluate.cc" "src/CMakeFiles/viewcap.dir/tableau/evaluate.cc.o" "gcc" "src/CMakeFiles/viewcap.dir/tableau/evaluate.cc.o.d"
+  "/root/repo/src/tableau/homomorphism.cc" "src/CMakeFiles/viewcap.dir/tableau/homomorphism.cc.o" "gcc" "src/CMakeFiles/viewcap.dir/tableau/homomorphism.cc.o.d"
+  "/root/repo/src/tableau/recognize.cc" "src/CMakeFiles/viewcap.dir/tableau/recognize.cc.o" "gcc" "src/CMakeFiles/viewcap.dir/tableau/recognize.cc.o.d"
+  "/root/repo/src/tableau/reduce.cc" "src/CMakeFiles/viewcap.dir/tableau/reduce.cc.o" "gcc" "src/CMakeFiles/viewcap.dir/tableau/reduce.cc.o.d"
+  "/root/repo/src/tableau/substitution.cc" "src/CMakeFiles/viewcap.dir/tableau/substitution.cc.o" "gcc" "src/CMakeFiles/viewcap.dir/tableau/substitution.cc.o.d"
+  "/root/repo/src/tableau/tableau.cc" "src/CMakeFiles/viewcap.dir/tableau/tableau.cc.o" "gcc" "src/CMakeFiles/viewcap.dir/tableau/tableau.cc.o.d"
+  "/root/repo/src/views/capacity.cc" "src/CMakeFiles/viewcap.dir/views/capacity.cc.o" "gcc" "src/CMakeFiles/viewcap.dir/views/capacity.cc.o.d"
+  "/root/repo/src/views/components.cc" "src/CMakeFiles/viewcap.dir/views/components.cc.o" "gcc" "src/CMakeFiles/viewcap.dir/views/components.cc.o.d"
+  "/root/repo/src/views/compose.cc" "src/CMakeFiles/viewcap.dir/views/compose.cc.o" "gcc" "src/CMakeFiles/viewcap.dir/views/compose.cc.o.d"
+  "/root/repo/src/views/equivalence.cc" "src/CMakeFiles/viewcap.dir/views/equivalence.cc.o" "gcc" "src/CMakeFiles/viewcap.dir/views/equivalence.cc.o.d"
+  "/root/repo/src/views/essential.cc" "src/CMakeFiles/viewcap.dir/views/essential.cc.o" "gcc" "src/CMakeFiles/viewcap.dir/views/essential.cc.o.d"
+  "/root/repo/src/views/redundancy.cc" "src/CMakeFiles/viewcap.dir/views/redundancy.cc.o" "gcc" "src/CMakeFiles/viewcap.dir/views/redundancy.cc.o.d"
+  "/root/repo/src/views/simplify.cc" "src/CMakeFiles/viewcap.dir/views/simplify.cc.o" "gcc" "src/CMakeFiles/viewcap.dir/views/simplify.cc.o.d"
+  "/root/repo/src/views/view.cc" "src/CMakeFiles/viewcap.dir/views/view.cc.o" "gcc" "src/CMakeFiles/viewcap.dir/views/view.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attr_set_test.dir/attr_set_test.cc.o"
+  "CMakeFiles/attr_set_test.dir/attr_set_test.cc.o.d"
+  "attr_set_test"
+  "attr_set_test.pdb"
+  "attr_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attr_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

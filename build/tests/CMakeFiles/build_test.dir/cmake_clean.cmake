@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/build_test.dir/build_test.cc.o"
+  "CMakeFiles/build_test.dir/build_test.cc.o.d"
+  "build_test"
+  "build_test.pdb"
+  "build_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/build_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

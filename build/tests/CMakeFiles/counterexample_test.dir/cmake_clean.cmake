@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counterexample_test.dir/counterexample_test.cc.o"
+  "CMakeFiles/counterexample_test.dir/counterexample_test.cc.o.d"
+  "counterexample_test"
+  "counterexample_test.pdb"
+  "counterexample_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counterexample_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_parser_test.dir/data_parser_test.cc.o"
+  "CMakeFiles/data_parser_test.dir/data_parser_test.cc.o.d"
+  "data_parser_test"
+  "data_parser_test.pdb"
+  "data_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/essential_test.dir/essential_test.cc.o"
+  "CMakeFiles/essential_test.dir/essential_test.cc.o.d"
+  "essential_test"
+  "essential_test.pdb"
+  "essential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/essential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jk_crosscheck_test.dir/jk_crosscheck_test.cc.o"
+  "CMakeFiles/jk_crosscheck_test.dir/jk_crosscheck_test.cc.o.d"
+  "jk_crosscheck_test"
+  "jk_crosscheck_test.pdb"
+  "jk_crosscheck_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jk_crosscheck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recognize_test.dir/recognize_test.cc.o"
+  "CMakeFiles/recognize_test.dir/recognize_test.cc.o.d"
+  "recognize_test"
+  "recognize_test.pdb"
+  "recognize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recognize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symbol_tuple_test.dir/symbol_tuple_test.cc.o"
+  "CMakeFiles/symbol_tuple_test.dir/symbol_tuple_test.cc.o.d"
+  "symbol_tuple_test"
+  "symbol_tuple_test.pdb"
+  "symbol_tuple_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symbol_tuple_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viewcap_cli.dir/viewcap_cli.cc.o"
+  "CMakeFiles/viewcap_cli.dir/viewcap_cli.cc.o.d"
+  "viewcap_cli"
+  "viewcap_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viewcap_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
