@@ -1,0 +1,378 @@
+#include "algebra/ast.h"
+
+#include <cctype>
+#include <utility>
+
+#include "base/strings.h"
+
+namespace viewcap {
+
+namespace {
+
+enum class TokKind {
+  kIdent,
+  kLBrace,
+  kRBrace,
+  kLParen,
+  kRParen,
+  kComma,
+  kSemicolon,
+  kStar,
+  kAssign,  // :=
+  kEnd,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  SourceSpan span;
+};
+
+SourceSpan SpanFrom(int line, int column, std::size_t length) {
+  return SourceSpan{{line, column},
+                    {line, column + static_cast<int>(length)}};
+}
+
+/// Joins two spans into the smallest span covering both.
+SourceSpan Cover(const SourceSpan& a, const SourceSpan& b) {
+  SourceSpan out;
+  out.begin = a.begin < b.begin ? a.begin : b.begin;
+  out.end = a.end < b.end ? b.end : a.end;
+  return out;
+}
+
+/// The lexer never fails hard: an unexpected character is recorded and
+/// skipped, so one stray byte does not hide every later diagnostic.
+class Lexer {
+ public:
+  Lexer(std::string_view text, std::vector<SyntaxError>& errors)
+      : text_(text), errors_(errors) {}
+
+  std::vector<Token> Tokenize() {
+    std::vector<Token> out;
+    while (true) {
+      SkipWhitespaceAndComments();
+      if (pos_ >= text_.size()) break;
+      const int line = line_;
+      const int column = column_;
+      char c = text_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::string ident;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_')) {
+          ident += text_[pos_];
+          Advance();
+        }
+        SourceSpan span = SpanFrom(line, column, ident.size());
+        out.push_back({TokKind::kIdent, std::move(ident), span});
+        continue;
+      }
+      if (c == ':' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') {
+        Advance();
+        Advance();
+        out.push_back({TokKind::kAssign, ":=", SpanFrom(line, column, 2)});
+        continue;
+      }
+      TokKind kind;
+      switch (c) {
+        case '{': kind = TokKind::kLBrace; break;
+        case '}': kind = TokKind::kRBrace; break;
+        case '(': kind = TokKind::kLParen; break;
+        case ')': kind = TokKind::kRParen; break;
+        case ',': kind = TokKind::kComma; break;
+        case ';': kind = TokKind::kSemicolon; break;
+        case '*': kind = TokKind::kStar; break;
+        default:
+          errors_.push_back(
+              {SpanFrom(line, column, 1),
+               StrCat("unexpected character '", c, "'")});
+          Advance();
+          continue;
+      }
+      Advance();
+      out.push_back({kind, std::string(1, c), SpanFrom(line, column, 1)});
+    }
+    out.push_back({TokKind::kEnd, "", SpanFrom(line_, column_, 0)});
+    return out;
+  }
+
+ private:
+  void Advance() {
+    if (text_[pos_] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    ++pos_;
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '#' || (c == '/' && pos_ + 1 < text_.size() &&
+                              text_[pos_ + 1] == '/')) {
+        while (pos_ < text_.size() && text_[pos_] != '\n') Advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::vector<SyntaxError>& errors_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+class AstParser {
+ public:
+  AstParser(std::vector<Token> tokens, std::vector<SyntaxError>& errors)
+      : tokens_(std::move(tokens)), errors_(errors) {}
+
+  AstProgram ParseProgram() {
+    AstProgram program;
+    while (Peek().kind != TokKind::kEnd) {
+      if (Peek().kind == TokKind::kIdent && Peek().text == "schema") {
+        program.items.push_back(ParseSchemaBlock());
+      } else if (Peek().kind == TokKind::kIdent && Peek().text == "view") {
+        program.items.push_back(ParseViewBlock());
+      } else {
+        if (Peek().kind == TokKind::kIdent) {
+          Error(StrCat("expected 'schema' or 'view', found '", Peek().text,
+                       "'"));
+        } else {
+          Error("expected 'schema' or 'view'");
+        }
+        SyncToTopLevel();
+      }
+    }
+    return program;
+  }
+
+  AstExprPtr ParseExprOnly() {
+    AstExprPtr expr = ParseJoin();
+    if (expr != nullptr && Peek().kind != TokKind::kEnd) {
+      Error("expected end of input");
+      return nullptr;
+    }
+    return expr;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[index_]; }
+  Token Take() { return tokens_[index_++]; }
+  bool AtEnd() const { return Peek().kind == TokKind::kEnd; }
+
+  void Error(std::string what) {
+    errors_.push_back({Peek().span, std::move(what)});
+  }
+
+  bool Expect(TokKind kind, std::string_view what) {
+    if (Peek().kind != kind) {
+      Error(StrCat("expected ", what));
+      return false;
+    }
+    Take();
+    return true;
+  }
+
+  /// Skips to the next top-level 'schema' / 'view' keyword.
+  void SyncToTopLevel() {
+    while (!AtEnd()) {
+      if (Peek().kind == TokKind::kIdent &&
+          (Peek().text == "schema" || Peek().text == "view")) {
+        return;
+      }
+      Take();
+    }
+  }
+
+  /// Skips past the next ';' (consumed) or stops before '}' / EOF, so one
+  /// bad statement does not take the rest of its block with it.
+  void SyncToStatementEnd() {
+    while (!AtEnd() && Peek().kind != TokKind::kRBrace) {
+      if (Take().kind == TokKind::kSemicolon) return;
+    }
+  }
+
+  /// attr_list := IDENT ("," IDENT)* | <empty>. Emptiness and duplicates
+  /// are surface-legal here; the typed layer and the linter judge them.
+  std::vector<AstAttr> ParseAttrList(TokKind closer) {
+    std::vector<AstAttr> attrs;
+    if (Peek().kind == closer) return attrs;
+    while (true) {
+      if (Peek().kind != TokKind::kIdent) {
+        Error("expected attribute name");
+        return attrs;
+      }
+      Token t = Take();
+      attrs.push_back(AstAttr{std::move(t.text), t.span});
+      if (Peek().kind != TokKind::kComma) break;
+      Take();
+    }
+    return attrs;
+  }
+
+  AstItem ParseSchemaBlock() {
+    AstItem item;
+    item.kind = AstItem::Kind::kSchema;
+    Take();  // 'schema'
+    if (!Expect(TokKind::kLBrace, "'{'")) {
+      SyncToTopLevel();
+      return item;
+    }
+    while (!AtEnd() && Peek().kind != TokKind::kRBrace) {
+      if (Peek().kind != TokKind::kIdent) {
+        Error("expected relation name");
+        SyncToStatementEnd();
+        continue;
+      }
+      Token name = Take();
+      AstRelationDecl decl;
+      decl.name = std::move(name.text);
+      decl.name_span = name.span;
+      if (!Expect(TokKind::kLParen, "'('")) {
+        SyncToStatementEnd();
+        continue;
+      }
+      decl.attributes = ParseAttrList(TokKind::kRParen);
+      if (!Expect(TokKind::kRParen, "')'") ||
+          !Expect(TokKind::kSemicolon, "';'")) {
+        SyncToStatementEnd();
+        continue;
+      }
+      item.relations.push_back(std::move(decl));
+    }
+    Expect(TokKind::kRBrace, "'}'");
+    return item;
+  }
+
+  AstItem ParseViewBlock() {
+    AstItem item;
+    item.kind = AstItem::Kind::kView;
+    Take();  // 'view'
+    if (Peek().kind != TokKind::kIdent) {
+      Error("expected view name");
+      SyncToTopLevel();
+      return item;
+    }
+    Token name = Take();
+    item.view.name = std::move(name.text);
+    item.view.name_span = name.span;
+    if (!Expect(TokKind::kLBrace, "'{'")) {
+      SyncToTopLevel();
+      return item;
+    }
+    while (!AtEnd() && Peek().kind != TokKind::kRBrace) {
+      if (Peek().kind != TokKind::kIdent) {
+        Error("expected view relation name");
+        SyncToStatementEnd();
+        continue;
+      }
+      Token def_name = Take();
+      AstDefinition def;
+      def.name = std::move(def_name.text);
+      def.name_span = def_name.span;
+      if (!Expect(TokKind::kAssign, "':='")) {
+        SyncToStatementEnd();
+        continue;
+      }
+      def.query = ParseJoin();
+      if (def.query == nullptr || !Expect(TokKind::kSemicolon, "';'")) {
+        SyncToStatementEnd();
+        continue;
+      }
+      item.view.definitions.push_back(std::move(def));
+    }
+    Expect(TokKind::kRBrace, "'}'");
+    return item;
+  }
+
+  // expr := term ("*" term)*
+  AstExprPtr ParseJoin() {
+    AstExprPtr first = ParseTerm();
+    if (first == nullptr) return nullptr;
+    std::vector<AstExprPtr> operands;
+    operands.push_back(std::move(first));
+    while (Peek().kind == TokKind::kStar) {
+      Take();
+      AstExprPtr next = ParseTerm();
+      if (next == nullptr) return nullptr;
+      operands.push_back(std::move(next));
+    }
+    if (operands.size() == 1) return std::move(operands[0]);
+    auto join = std::make_unique<AstExpr>();
+    join->kind = AstExpr::Kind::kJoin;
+    join->span = operands.front()->span;
+    for (const AstExprPtr& op : operands) {
+      join->span = Cover(join->span, op->span);
+    }
+    join->children = std::move(operands);
+    return join;
+  }
+
+  // term := pi{..}(expr) | (expr) | IDENT
+  AstExprPtr ParseTerm() {
+    if (Peek().kind == TokKind::kLParen) {
+      Take();
+      AstExprPtr inner = ParseJoin();
+      if (inner == nullptr) return nullptr;
+      if (!Expect(TokKind::kRParen, "')'")) return nullptr;
+      return inner;
+    }
+    if (Peek().kind != TokKind::kIdent) {
+      Error("expected expression");
+      return nullptr;
+    }
+    if (Peek().text == "pi") {
+      Token pi = Take();
+      auto project = std::make_unique<AstExpr>();
+      project->kind = AstExpr::Kind::kProject;
+      project->span = pi.span;
+      if (!Expect(TokKind::kLBrace, "'{'")) return nullptr;
+      project->projection = ParseAttrList(TokKind::kRBrace);
+      if (!Expect(TokKind::kRBrace, "'}'")) return nullptr;
+      if (!Expect(TokKind::kLParen, "'('")) return nullptr;
+      AstExprPtr inner = ParseJoin();
+      if (inner == nullptr) return nullptr;
+      const Token& rparen = Peek();
+      if (!Expect(TokKind::kRParen, "')'")) return nullptr;
+      project->span = Cover(project->span, rparen.span);
+      project->children.push_back(std::move(inner));
+      return project;
+    }
+    Token ident = Take();
+    auto rel = std::make_unique<AstExpr>();
+    rel->kind = AstExpr::Kind::kRel;
+    rel->span = ident.span;
+    rel->rel = std::move(ident.text);
+    return rel;
+  }
+
+  std::vector<Token> tokens_;
+  std::vector<SyntaxError>& errors_;
+  std::size_t index_ = 0;
+};
+
+}  // namespace
+
+AstProgram ParseProgramAst(std::string_view text,
+                           std::vector<SyntaxError>& errors) {
+  Lexer lexer(text, errors);
+  AstParser parser(lexer.Tokenize(), errors);
+  return parser.ParseProgram();
+}
+
+AstExprPtr ParseExprAst(std::string_view text,
+                        std::vector<SyntaxError>& errors) {
+  Lexer lexer(text, errors);
+  AstParser parser(lexer.Tokenize(), errors);
+  return parser.ParseExprOnly();
+}
+
+}  // namespace viewcap

@@ -1,0 +1,110 @@
+// The raw syntax tree of the .vcp program language, with source spans.
+//
+// Parsing is split in two layers:
+//   1. this file: text -> AST. Pure surface syntax, no catalog, no typing.
+//      The parser is *lenient*: it records syntax errors and recovers (to
+//      the next ';' or block boundary), so downstream analyses can report
+//      many problems in one run.
+//   2. algebra/parser.h: AST -> typed Expr / ParsedProgram against a
+//      Catalog. Strict: the first problem aborts with a located Status.
+//
+// The linter (src/lint) consumes the AST directly: it needs the raw
+// projection lists (duplicates, emptiness), unresolved names and spans that
+// the typed layer normalizes away.
+#ifndef VIEWCAP_ALGEBRA_AST_H_
+#define VIEWCAP_ALGEBRA_AST_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/source.h"
+
+namespace viewcap {
+
+/// One attribute occurrence in a projection list or relation declaration.
+struct AstAttr {
+  std::string name;
+  SourceSpan span;
+};
+
+struct AstExpr;
+using AstExprPtr = std::unique_ptr<AstExpr>;
+
+/// A raw expression node. Unlike algebra/expr.h this is untyped: names are
+/// uninterned strings and projection lists keep their written order,
+/// duplicates included.
+struct AstExpr {
+  enum class Kind {
+    kRel,      ///< A relation name occurrence.
+    kProject,  ///< pi{...}(child); `projection` may be empty or contain
+               ///< duplicates — the linter flags both.
+    kJoin,     ///< child_1 * ... * child_n (n >= 2).
+  };
+
+  Kind kind = Kind::kRel;
+  /// Extent of this node, from its first to one past its last token.
+  SourceSpan span;
+  /// kRel: the referenced name.
+  std::string rel;
+  /// kProject: the written projection list.
+  std::vector<AstAttr> projection;
+  /// kProject: exactly one; kJoin: at least two.
+  std::vector<AstExprPtr> children;
+};
+
+/// One `name(attrs);` declaration of a schema block.
+struct AstRelationDecl {
+  std::string name;
+  SourceSpan name_span;
+  std::vector<AstAttr> attributes;
+};
+
+/// One `name := expr;` definition of a view block. `query` is null when
+/// recovery dropped an unparseable right-hand side.
+struct AstDefinition {
+  std::string name;
+  SourceSpan name_span;
+  AstExprPtr query;
+};
+
+/// A `view` block.
+struct AstView {
+  std::string name;
+  SourceSpan name_span;
+  std::vector<AstDefinition> definitions;
+};
+
+/// A top-level item, in declaration order (views may only reference
+/// relations declared in *earlier* items).
+struct AstItem {
+  enum class Kind { kSchema, kView };
+  Kind kind = Kind::kSchema;
+  std::vector<AstRelationDecl> relations;  ///< kSchema.
+  AstView view;                            ///< kView.
+};
+
+struct AstProgram {
+  std::vector<AstItem> items;
+};
+
+/// A recorded syntax problem; the lenient parser continues past these.
+struct SyntaxError {
+  SourceSpan span;
+  std::string message;
+};
+
+/// Parses a whole program leniently. Always returns a (possibly partial)
+/// program; problems are appended to `errors`.
+AstProgram ParseProgramAst(std::string_view text,
+                           std::vector<SyntaxError>& errors);
+
+/// Parses a standalone expression leniently; null when nothing parseable
+/// was found. Trailing input after the expression is an error.
+AstExprPtr ParseExprAst(std::string_view text,
+                        std::vector<SyntaxError>& errors);
+
+}  // namespace viewcap
+
+#endif  // VIEWCAP_ALGEBRA_AST_H_

@@ -1,6 +1,6 @@
 #include "algebra/parser.h"
 
-#include <cctype>
+#include <utility>
 
 #include "base/strings.h"
 
@@ -8,275 +8,113 @@ namespace viewcap {
 
 namespace {
 
-enum class TokKind {
-  kIdent,
-  kLBrace,
-  kRBrace,
-  kLParen,
-  kRParen,
-  kComma,
-  kSemicolon,
-  kStar,
-  kAssign,  // :=
-  kEnd,
-};
+/// Renders the first recorded syntax error as the strict layer's Status.
+Status FirstSyntaxError(const std::vector<SyntaxError>& errors) {
+  const SyntaxError& first = errors.front();
+  return Status::ParseError(
+      StrCat(first.message, " at ", ToString(first.span)));
+}
 
-struct Token {
-  TokKind kind;
-  std::string text;
-  int line = 1;
-  int column = 1;
-};
-
-class Lexer {
- public:
-  explicit Lexer(std::string_view text) : text_(text) {}
-
-  Result<std::vector<Token>> Tokenize() {
-    std::vector<Token> out;
-    while (true) {
-      SkipWhitespaceAndComments();
-      if (pos_ >= text_.size()) break;
-      const int line = line_;
-      const int column = column_;
-      char c = text_[pos_];
-      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
-        std::string ident;
-        while (pos_ < text_.size() &&
-               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
-                text_[pos_] == '_')) {
-          ident += text_[pos_];
-          Advance();
-        }
-        out.push_back({TokKind::kIdent, std::move(ident), line, column});
-        continue;
-      }
-      if (c == ':' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') {
-        Advance();
-        Advance();
-        out.push_back({TokKind::kAssign, ":=", line, column});
-        continue;
-      }
-      TokKind kind;
-      switch (c) {
-        case '{': kind = TokKind::kLBrace; break;
-        case '}': kind = TokKind::kRBrace; break;
-        case '(': kind = TokKind::kLParen; break;
-        case ')': kind = TokKind::kRParen; break;
-        case ',': kind = TokKind::kComma; break;
-        case ';': kind = TokKind::kSemicolon; break;
-        case '*': kind = TokKind::kStar; break;
-        default:
-          return Status::ParseError(StrCat("unexpected character '", c,
-                                           "' at ", line, ":", column));
-      }
-      Advance();
-      out.push_back({kind, std::string(1, c), line, column});
-    }
-    out.push_back({TokKind::kEnd, "", line_, column_});
-    return out;
-  }
-
- private:
-  void Advance() {
-    if (text_[pos_] == '\n') {
-      ++line_;
-      column_ = 1;
-    } else {
-      ++column_;
-    }
-    ++pos_;
-  }
-
-  void SkipWhitespaceAndComments() {
-    while (pos_ < text_.size()) {
-      char c = text_[pos_];
-      if (std::isspace(static_cast<unsigned char>(c))) {
-        Advance();
-      } else if (c == '#' || (c == '/' && pos_ + 1 < text_.size() &&
-                              text_[pos_ + 1] == '/')) {
-        while (pos_ < text_.size() && text_[pos_] != '\n') Advance();
-      } else {
-        break;
-      }
-    }
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-  int line_ = 1;
-  int column_ = 1;
-};
-
-class Parser {
- public:
-  Parser(Catalog& catalog, std::vector<Token> tokens)
-      : catalog_(catalog), tokens_(std::move(tokens)) {}
-
-  Result<ExprPtr> ParseExprOnly() {
-    VIEWCAP_ASSIGN_OR_RETURN(ExprPtr expr, ParseJoin());
-    VIEWCAP_RETURN_NOT_OK(Expect(TokKind::kEnd, "end of input"));
-    return expr;
-  }
-
-  Result<ParsedProgram> ParseWholeProgram() {
-    ParsedProgram program;
-    while (Peek().kind != TokKind::kEnd) {
-      if (Peek().kind != TokKind::kIdent) {
-        return Error("expected 'schema' or 'view'");
-      }
-      if (Peek().text == "schema") {
-        VIEWCAP_RETURN_NOT_OK(ParseSchemaBlock(program));
-      } else if (Peek().text == "view") {
-        VIEWCAP_RETURN_NOT_OK(ParseViewBlock(program));
-      } else {
-        return Error(StrCat("expected 'schema' or 'view', found '",
-                            Peek().text, "'"));
-      }
-    }
-    return program;
-  }
-
- private:
-  const Token& Peek() const { return tokens_[index_]; }
-  Token Take() { return tokens_[index_++]; }
-
-  Status Error(std::string what) const {
-    const Token& t = Peek();
-    return Status::ParseError(
-        StrCat(what, " at ", t.line, ":", t.column));
-  }
-
-  Status Expect(TokKind kind, std::string_view what) {
-    if (Peek().kind != kind) return Error(StrCat("expected ", what));
-    Take();
-    return Status::OK();
-  }
-
-  Result<std::string> ExpectIdent(std::string_view what) {
-    if (Peek().kind != TokKind::kIdent) {
-      return Status(StatusCode::kParseError,
-                    Error(StrCat("expected ", what)).message());
-    }
-    return Take().text;
-  }
-
-  // attr_list := IDENT ("," IDENT)* ; attributes are interned on sight.
-  Result<AttrSet> ParseAttrList() {
-    std::vector<AttrId> attrs;
-    while (true) {
-      VIEWCAP_ASSIGN_OR_RETURN(std::string name,
-                               ExpectIdent("attribute name"));
-      attrs.push_back(catalog_.AddAttribute(name));
-      if (Peek().kind != TokKind::kComma) break;
-      Take();
-    }
-    return AttrSet(std::move(attrs));
-  }
-
-  Status ParseSchemaBlock(ParsedProgram& program) {
-    Take();  // 'schema'
-    VIEWCAP_RETURN_NOT_OK(Expect(TokKind::kLBrace, "'{'"));
-    while (Peek().kind != TokKind::kRBrace) {
-      VIEWCAP_ASSIGN_OR_RETURN(std::string name,
-                               ExpectIdent("relation name"));
-      VIEWCAP_RETURN_NOT_OK(Expect(TokKind::kLParen, "'('"));
-      VIEWCAP_ASSIGN_OR_RETURN(AttrSet scheme, ParseAttrList());
-      VIEWCAP_RETURN_NOT_OK(Expect(TokKind::kRParen, "')'"));
-      VIEWCAP_RETURN_NOT_OK(Expect(TokKind::kSemicolon, "';'"));
-      VIEWCAP_ASSIGN_OR_RETURN(RelId rel,
-                               catalog_.AddRelation(name, scheme));
-      program.base_relations.push_back(rel);
-    }
-    Take();  // '}'
-    return Status::OK();
-  }
-
-  Status ParseViewBlock(ParsedProgram& program) {
-    Take();  // 'view'
-    ParsedView view;
-    VIEWCAP_ASSIGN_OR_RETURN(view.name, ExpectIdent("view name"));
-    VIEWCAP_RETURN_NOT_OK(Expect(TokKind::kLBrace, "'{'"));
-    while (Peek().kind != TokKind::kRBrace) {
-      VIEWCAP_ASSIGN_OR_RETURN(std::string rel_name,
-                               ExpectIdent("view relation name"));
-      VIEWCAP_RETURN_NOT_OK(Expect(TokKind::kAssign, "':='"));
-      VIEWCAP_ASSIGN_OR_RETURN(ExprPtr expr, ParseJoin());
-      VIEWCAP_RETURN_NOT_OK(Expect(TokKind::kSemicolon, "';'"));
-      // A view relation name has the type TRS(E_i) of its defining query.
-      VIEWCAP_ASSIGN_OR_RETURN(RelId rel,
-                               catalog_.AddRelation(rel_name, expr->trs()));
-      view.definitions.push_back(ParsedDefinition{rel, std::move(expr)});
-    }
-    Take();  // '}'
-    program.views.push_back(std::move(view));
-    return Status::OK();
-  }
-
-  // expr := term ("*" term)*
-  Result<ExprPtr> ParseJoin() {
-    VIEWCAP_ASSIGN_OR_RETURN(ExprPtr first, ParseTerm());
-    std::vector<ExprPtr> operands{std::move(first)};
-    while (Peek().kind == TokKind::kStar) {
-      Take();
-      VIEWCAP_ASSIGN_OR_RETURN(ExprPtr next, ParseTerm());
-      operands.push_back(std::move(next));
-    }
-    if (operands.size() == 1) return operands[0];
-    return Expr::Join(std::move(operands));
-  }
-
-  // term := pi{..}(expr) | (expr) | IDENT
-  Result<ExprPtr> ParseTerm() {
-    if (Peek().kind == TokKind::kLParen) {
-      Take();
-      VIEWCAP_ASSIGN_OR_RETURN(ExprPtr inner, ParseJoin());
-      VIEWCAP_RETURN_NOT_OK(Expect(TokKind::kRParen, "')'"));
-      return inner;
-    }
-    if (Peek().kind != TokKind::kIdent) {
-      return Status(StatusCode::kParseError,
-                    Error("expected expression").message());
-    }
-    if (Peek().text == "pi") {
-      Take();
-      VIEWCAP_RETURN_NOT_OK(Expect(TokKind::kLBrace, "'{'"));
-      VIEWCAP_ASSIGN_OR_RETURN(AttrSet attrs, ParseAttrList());
-      VIEWCAP_RETURN_NOT_OK(Expect(TokKind::kRBrace, "'}'"));
-      VIEWCAP_RETURN_NOT_OK(Expect(TokKind::kLParen, "'('"));
-      VIEWCAP_ASSIGN_OR_RETURN(ExprPtr inner, ParseJoin());
-      VIEWCAP_RETURN_NOT_OK(Expect(TokKind::kRParen, "')'"));
-      return Expr::Project(std::move(attrs), std::move(inner));
-    }
-    Token ident = Take();
-    Result<RelId> rel = catalog_.FindRelation(ident.text);
-    if (!rel.ok()) {
-      return Status::ParseError(StrCat("unknown relation '", ident.text,
-                                       "' at ", ident.line, ":",
-                                       ident.column));
-    }
-    return Expr::Rel(catalog_, *rel);
-  }
-
-  Catalog& catalog_;
-  std::vector<Token> tokens_;
-  std::size_t index_ = 0;
-};
+/// Re-tags a status with a source location appended to its message,
+/// preserving the code (typing failures stay kIllFormed).
+Status Locate(const Status& status, const SourceSpan& span) {
+  return Status(status.code(),
+                StrCat(status.message(), " at ", ToString(span)));
+}
 
 }  // namespace
 
+Result<ExprPtr> LowerExpr(Catalog& catalog, const AstExpr& expr) {
+  switch (expr.kind) {
+    case AstExpr::Kind::kRel: {
+      Result<RelId> rel = catalog.FindRelation(expr.rel);
+      if (!rel.ok()) {
+        return Status::ParseError(StrCat("unknown relation '", expr.rel,
+                                         "' at ", ToString(expr.span)));
+      }
+      return Expr::Rel(catalog, *rel);
+    }
+    case AstExpr::Kind::kProject: {
+      if (expr.projection.empty()) {
+        return Status::ParseError(
+            StrCat("empty projection list at ", ToString(expr.span)));
+      }
+      std::vector<AttrId> attrs;
+      attrs.reserve(expr.projection.size());
+      for (const AstAttr& attr : expr.projection) {
+        attrs.push_back(catalog.AddAttribute(attr.name));
+      }
+      VIEWCAP_ASSIGN_OR_RETURN(ExprPtr child,
+                               LowerExpr(catalog, *expr.children.front()));
+      Result<ExprPtr> project =
+          Expr::Project(AttrSet(std::move(attrs)), std::move(child));
+      if (!project.ok()) return Locate(project.status(), expr.span);
+      return project;
+    }
+    case AstExpr::Kind::kJoin: {
+      std::vector<ExprPtr> children;
+      children.reserve(expr.children.size());
+      for (const AstExprPtr& child : expr.children) {
+        VIEWCAP_ASSIGN_OR_RETURN(ExprPtr lowered, LowerExpr(catalog, *child));
+        children.push_back(std::move(lowered));
+      }
+      Result<ExprPtr> join = Expr::Join(std::move(children));
+      if (!join.ok()) return Locate(join.status(), expr.span);
+      return join;
+    }
+  }
+  return Status::Internal("unhandled AST expression kind");
+}
+
+Result<ParsedProgram> LowerProgram(Catalog& catalog,
+                                   const AstProgram& program) {
+  ParsedProgram parsed;
+  for (const AstItem& item : program.items) {
+    if (item.kind == AstItem::Kind::kSchema) {
+      for (const AstRelationDecl& decl : item.relations) {
+        std::vector<AttrId> attrs;
+        attrs.reserve(decl.attributes.size());
+        for (const AstAttr& attr : decl.attributes) {
+          attrs.push_back(catalog.AddAttribute(attr.name));
+        }
+        Result<RelId> rel =
+            catalog.AddRelation(decl.name, AttrSet(std::move(attrs)));
+        if (!rel.ok()) return Locate(rel.status(), decl.name_span);
+        parsed.base_relations.push_back(*rel);
+      }
+      continue;
+    }
+    ParsedView view;
+    view.name = item.view.name;
+    view.name_span = item.view.name_span;
+    for (const AstDefinition& def : item.view.definitions) {
+      VIEWCAP_ASSIGN_OR_RETURN(ExprPtr query, LowerExpr(catalog, *def.query));
+      // A view relation name has the type TRS(E_i) of its defining query.
+      Result<RelId> rel = catalog.AddRelation(def.name, query->trs());
+      if (!rel.ok()) return Locate(rel.status(), def.name_span);
+      view.definitions.push_back(
+          ParsedDefinition{*rel, std::move(query), def.name, def.name_span});
+    }
+    parsed.views.push_back(std::move(view));
+  }
+  return parsed;
+}
+
 Result<ExprPtr> ParseExpr(Catalog& catalog, std::string_view text) {
-  Lexer lexer(text);
-  VIEWCAP_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
-  Parser parser(catalog, std::move(tokens));
-  return parser.ParseExprOnly();
+  std::vector<SyntaxError> errors;
+  AstExprPtr ast = ParseExprAst(text, errors);
+  if (!errors.empty()) return FirstSyntaxError(errors);
+  if (ast == nullptr) {
+    return Status::ParseError("expected expression at 1:1");
+  }
+  return LowerExpr(catalog, *ast);
 }
 
 Result<ParsedProgram> ParseProgram(Catalog& catalog, std::string_view text) {
-  Lexer lexer(text);
-  VIEWCAP_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
-  Parser parser(catalog, std::move(tokens));
-  return parser.ParseWholeProgram();
+  std::vector<SyntaxError> errors;
+  AstProgram ast = ParseProgramAst(text, errors);
+  if (!errors.empty()) return FirstSyntaxError(errors);
+  return LowerProgram(catalog, ast);
 }
 
 }  // namespace viewcap

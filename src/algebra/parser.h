@@ -13,7 +13,13 @@
 //
 // Example:
 //   schema { r(A, B, C); }
-//   view V { v := pi{A, B}(r) * pi{B, C}(r); }
+//   view V { v := pi{A, B}(r); }
+//
+// Parsing is two-layered: algebra/ast.h produces the span-carrying raw
+// syntax tree, and this header's functions lower it against a Catalog into
+// typed expressions. Strict callers (the analyzer, the CLI commands) use
+// these; the linter (src/lint) walks the raw AST instead so it can keep
+// going after the first defect.
 #ifndef VIEWCAP_ALGEBRA_PARSER_H_
 #define VIEWCAP_ALGEBRA_PARSER_H_
 
@@ -21,6 +27,7 @@
 #include <string_view>
 #include <vector>
 
+#include "algebra/ast.h"
 #include "algebra/expr.h"
 
 namespace viewcap {
@@ -30,11 +37,16 @@ namespace viewcap {
 struct ParsedDefinition {
   RelId view_rel = kInvalidRel;
   ExprPtr query;
+  /// The definition's name as written, with the span of its occurrence on
+  /// the left-hand side (for diagnostics).
+  std::string name;
+  SourceSpan name_span;
 };
 
 /// A parsed `view` block.
 struct ParsedView {
   std::string name;
+  SourceSpan name_span;
   std::vector<ParsedDefinition> definitions;
 };
 
@@ -46,12 +58,22 @@ struct ParsedProgram {
 };
 
 /// Parses a standalone expression over relations already in `catalog`.
-/// Diagnostics carry 1-based line/column positions.
+/// Diagnostics carry 1-based line:column positions.
 Result<ExprPtr> ParseExpr(Catalog& catalog, std::string_view text);
 
 /// Parses a full program, interning declared relations and view names into
 /// `catalog`.
 Result<ParsedProgram> ParseProgram(Catalog& catalog, std::string_view text);
+
+/// Lowers an already-parsed raw expression against `catalog`: resolves
+/// relation names, interns attributes and applies the Section 1.2 typing
+/// rules. Errors carry the offending node's source location.
+Result<ExprPtr> LowerExpr(Catalog& catalog, const AstExpr& expr);
+
+/// Lowers a raw program item-by-item (schema relations and view relation
+/// names are interned as encountered, so later items see earlier ones).
+Result<ParsedProgram> LowerProgram(Catalog& catalog,
+                                   const AstProgram& program);
 
 }  // namespace viewcap
 

@@ -1,0 +1,46 @@
+// Source positions for the textual program syntax: every token of a .vcp
+// program carries a 1-based line/column location, and syntax nodes carry
+// the span they cover. Diagnostics (src/lint) and parser errors render
+// these as "line:column".
+#ifndef VIEWCAP_BASE_SOURCE_H_
+#define VIEWCAP_BASE_SOURCE_H_
+
+#include <string>
+
+#include "base/strings.h"
+
+namespace viewcap {
+
+/// A 1-based position in a program text.
+struct SourceLocation {
+  int line = 1;
+  int column = 1;
+
+  bool operator==(const SourceLocation&) const = default;
+  bool operator<(const SourceLocation& other) const {
+    return line != other.line ? line < other.line : column < other.column;
+  }
+};
+
+/// A half-open range [begin, end) of program text. A span covering a single
+/// token begins at its first character and ends one past its last.
+struct SourceSpan {
+  SourceLocation begin;
+  SourceLocation end;
+
+  bool operator==(const SourceSpan&) const = default;
+};
+
+/// "line:column" of a location.
+inline std::string ToString(const SourceLocation& loc) {
+  return StrCat(loc.line, ":", loc.column);
+}
+
+/// "line:column" of a span's begin (the conventional anchor for messages).
+inline std::string ToString(const SourceSpan& span) {
+  return ToString(span.begin);
+}
+
+}  // namespace viewcap
+
+#endif  // VIEWCAP_BASE_SOURCE_H_

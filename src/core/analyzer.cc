@@ -4,6 +4,7 @@
 #include "algebra/expand.h"
 #include "algebra/parser.h"
 #include "algebra/printer.h"
+#include "base/source.h"
 #include "base/strings.h"
 #include "relation/data_parser.h"
 
@@ -33,9 +34,14 @@ Status Analyzer::Load(std::string_view program) {
                                Expand(*catalog_, d.query, known));
       defs.push_back({d.view_rel, std::move(flattened)});
     }
-    VIEWCAP_ASSIGN_OR_RETURN(
-        View view, View::Create(catalog_.get(), base_, std::move(defs),
-                                pv.name));
+    Result<View> created =
+        View::Create(catalog_.get(), base_, std::move(defs), pv.name);
+    if (!created.ok()) {
+      return Status(created.status().code(),
+                    StrCat(created.status().message(), " (view '", pv.name,
+                           "' at ", ToString(pv.name_span), ")"));
+    }
+    View view = std::move(created).value();
     for (const ViewDefinition& d : view.definitions()) {
       known.emplace(d.rel, d.query);
     }

@@ -1,0 +1,132 @@
+#include "lint/diagnostics.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "base/strings.h"
+
+namespace viewcap {
+
+namespace {
+
+/// JSON string escaping for the small subset our messages can contain.
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string Plural(std::size_t n, std::string_view word) {
+  return StrCat(n, " ", word, n == 1 ? "" : "s");
+}
+
+}  // namespace
+
+std::string_view SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "unknown";
+}
+
+void DiagnosticSink::Add(Diagnostic diagnostic) {
+  diagnostics_.push_back(std::move(diagnostic));
+}
+
+void DiagnosticSink::Report(Severity severity, std::string_view code,
+                            SourceSpan span, std::string message,
+                            std::string note) {
+  Add(Diagnostic{severity, std::string(code), span, std::move(message),
+                 std::move(note)});
+}
+
+void DiagnosticSink::Sort() {
+  std::stable_sort(diagnostics_.begin(), diagnostics_.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return std::tie(a.span.begin, a.code, a.message) <
+                            std::tie(b.span.begin, b.code, b.message);
+                   });
+}
+
+std::size_t DiagnosticSink::Count(Severity severity) const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity == severity) ++n;
+  }
+  return n;
+}
+
+std::string RenderText(const std::vector<Diagnostic>& diagnostics,
+                       std::string_view filename) {
+  if (diagnostics.empty()) return "";
+  std::string out;
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::kError) ++errors;
+    if (d.severity == Severity::kWarning) ++warnings;
+    out += StrCat(filename, ":", d.span.begin.line, ":", d.span.begin.column,
+                  ": ", SeverityName(d.severity), ": ", d.message, " [",
+                  d.code, "]\n");
+    if (!d.note.empty()) {
+      out += StrCat("    note: ", d.note, "\n");
+    }
+  }
+  out += StrCat(Plural(errors, "error"), ", ", Plural(warnings, "warning"),
+                ", ", Plural(diagnostics.size() - errors - warnings, "note"),
+                ".\n");
+  return out;
+}
+
+std::string RenderJson(const std::vector<Diagnostic>& diagnostics,
+                       std::string_view filename) {
+  std::string out = StrCat("{\"file\": \"", JsonEscape(filename),
+                           "\", \"diagnostics\": [");
+  bool first = true;
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  std::size_t notes = 0;
+  for (const Diagnostic& d : diagnostics) {
+    switch (d.severity) {
+      case Severity::kError: ++errors; break;
+      case Severity::kWarning: ++warnings; break;
+      case Severity::kNote: ++notes; break;
+    }
+    out += StrCat(first ? "\n" : ",\n", "  {\"severity\": \"",
+                  SeverityName(d.severity), "\", \"code\": \"",
+                  JsonEscape(d.code), "\", \"line\": ", d.span.begin.line,
+                  ", \"column\": ", d.span.begin.column,
+                  ", \"endLine\": ", d.span.end.line,
+                  ", \"endColumn\": ", d.span.end.column,
+                  ", \"message\": \"", JsonEscape(d.message), "\"");
+    if (!d.note.empty()) {
+      out += StrCat(", \"note\": \"", JsonEscape(d.note), "\"");
+    }
+    out += "}";
+    first = false;
+  }
+  out += StrCat(diagnostics.empty() ? "" : "\n", "], \"errors\": ", errors,
+                ", \"warnings\": ", warnings, ", \"notes\": ", notes, "}\n");
+  return out;
+}
+
+}  // namespace viewcap

@@ -1,0 +1,79 @@
+// The diagnostics layer of viewcap-lint: typed findings with severities,
+// stable codes and source spans, plus renderers for terminals and tools.
+#ifndef VIEWCAP_LINT_DIAGNOSTICS_H_
+#define VIEWCAP_LINT_DIAGNOSTICS_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/source.h"
+
+namespace viewcap {
+
+/// Finding severities, ordered from least to most severe.
+enum class Severity {
+  kNote,     ///< Stylistic or informational; never affects exit status.
+  kWarning,  ///< Suspicious but evaluable (redundancy, unused relations).
+  kError,    ///< The program is broken or would be rejected at load time.
+};
+
+/// "note" / "warning" / "error".
+std::string_view SeverityName(Severity severity);
+
+/// One finding. `code` is a stable identifier ("VCL001"); codes are listed
+/// in lint/linter.h next to the rules that emit them.
+struct Diagnostic {
+  Severity severity = Severity::kWarning;
+  std::string code;
+  SourceSpan span;
+  std::string message;
+  /// Optional supplementary line (e.g. the witness expression that proves a
+  /// definition redundant). Empty when absent.
+  std::string note;
+};
+
+/// Collects diagnostics across lint passes. Rules append in discovery
+/// order; callers sort once at the end for stable, position-ordered output.
+class DiagnosticSink {
+ public:
+  void Add(Diagnostic diagnostic);
+
+  /// Convenience: build-and-add.
+  void Report(Severity severity, std::string_view code, SourceSpan span,
+              std::string message, std::string note = "");
+
+  /// Sorts by (position, code, message).
+  void Sort();
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  std::vector<Diagnostic> Take() { return std::move(diagnostics_); }
+
+  std::size_t Count(Severity severity) const;
+  bool HasErrors() const { return Count(Severity::kError) > 0; }
+  bool empty() const { return diagnostics_.empty(); }
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+/// Renders diagnostics one per line in the conventional compiler format:
+///   <file>:<line>:<column>: <severity>: <message> [<code>]
+/// with indented "note: ..." continuation lines, followed by a summary
+/// ("2 errors, 1 warning."). Empty input renders an empty string.
+std::string RenderText(const std::vector<Diagnostic>& diagnostics,
+                       std::string_view filename);
+
+/// Renders diagnostics as a JSON object:
+///   {"file": ..., "diagnostics": [{"severity", "code", "line", "column",
+///    "endLine", "endColumn", "message", "note"}...],
+///    "errors": N, "warnings": N, "notes": N}
+/// Deterministic (caller should Sort() first) and stable across runs, so
+/// the output is golden-testable and machine-consumable.
+std::string RenderJson(const std::vector<Diagnostic>& diagnostics,
+                       std::string_view filename);
+
+}  // namespace viewcap
+
+#endif  // VIEWCAP_LINT_DIAGNOSTICS_H_

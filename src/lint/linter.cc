@@ -1,0 +1,470 @@
+#include "lint/linter.h"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "algebra/expand.h"
+#include "algebra/parser.h"
+#include "algebra/printer.h"
+#include "base/strings.h"
+#include "tableau/build.h"
+#include "tableau/canonical.h"
+#include "tableau/homomorphism.h"
+#include "tableau/reduce.h"
+#include "views/capacity.h"
+#include "views/redundancy.h"
+#include "views/simplify.h"
+
+namespace viewcap {
+
+namespace {
+
+// Stable rule codes (documented in lint/linter.h).
+constexpr std::string_view kSyntaxError = "VCL000";
+constexpr std::string_view kUndefinedRelation = "VCL001";
+constexpr std::string_view kUnknownAttribute = "VCL002";
+constexpr std::string_view kEmptyAttrList = "VCL003";
+constexpr std::string_view kDuplicateAttribute = "VCL004";
+constexpr std::string_view kIdentityProjection = "VCL005";
+constexpr std::string_view kDuplicateDefinition = "VCL006";
+constexpr std::string_view kShadowedRelation = "VCL007";
+constexpr std::string_view kUnusedRelation = "VCL008";
+constexpr std::string_view kConflictingDeclaration = "VCL009";
+constexpr std::string_view kRedundantDefinition = "VCL101";
+constexpr std::string_view kNotSimplified = "VCL102";
+constexpr std::string_view kEquivalentDefinitions = "VCL103";
+constexpr std::string_view kReconstructible = "VCL104";
+
+/// What the linter knows about a name: its scheme, where it was declared
+/// and whether the typed layer can work with it.
+struct RelInfo {
+  AttrSet scheme;
+  SourceSpan decl_span;
+  bool is_base = false;
+  bool used = false;
+  /// True when a typed, base-level defining query exists for the name
+  /// (always true for base relations). References to non-analyzable names
+  /// exclude a definition from the semantic pass but are not themselves
+  /// defects — their defects were already reported where they occurred.
+  bool analyzable = false;
+};
+
+/// A definition that resolved cleanly, ready for the semantic rules.
+struct DefInfo {
+  std::size_t view_index = 0;
+  std::string view_name;
+  std::string name;
+  SourceSpan name_span;
+  RelId rel = kInvalidRel;
+  ExprPtr expanded;  ///< Base-level (Lemma 1.4.1 expansion applied).
+  Tableau reduced;   ///< Reduced Algorithm 2.1.1 template of `expanded`.
+};
+
+class LintRun {
+ public:
+  LintRun(const LintOptions& options) : options_(options) {}
+
+  LintResult Run(std::string_view text) {
+    std::vector<SyntaxError> syntax_errors;
+    AstProgram program = ParseProgramAst(text, syntax_errors);
+    for (const SyntaxError& e : syntax_errors) {
+      sink_.Report(Severity::kError, kSyntaxError, e.span, e.message);
+    }
+    StructuralPass(program);
+    ReportUnusedRelations();
+    if (options_.semantic && !defs_.empty() && !base_ids_.empty() &&
+        defs_.size() <= options_.max_semantic_definitions) {
+      SemanticPass();
+    }
+    sink_.Sort();
+    return LintResult{sink_.Take()};
+  }
+
+ private:
+  // ---------------------------------------------------------------- pass 1
+
+  void StructuralPass(const AstProgram& program) {
+    std::size_t view_index = 0;
+    for (const AstItem& item : program.items) {
+      if (item.kind == AstItem::Kind::kSchema) {
+        for (const AstRelationDecl& decl : item.relations) {
+          DeclareRelation(decl);
+        }
+      } else {
+        for (const AstDefinition& def : item.view.definitions) {
+          LintDefinition(item.view, view_index, def);
+        }
+        ++view_index;
+      }
+    }
+  }
+
+  void DeclareRelation(const AstRelationDecl& decl) {
+    std::optional<AttrSet> scheme =
+        CheckAttrList(decl.attributes, decl.name_span,
+                      StrCat("relation '", decl.name, "'"));
+    if (!scheme.has_value()) return;
+    auto it = env_.find(decl.name);
+    if (it != env_.end()) {
+      if (it->second.scheme == *scheme) {
+        sink_.Report(Severity::kWarning, kConflictingDeclaration,
+                     decl.name_span,
+                     StrCat("redeclaration of relation '", decl.name, "'"),
+                     StrCat("previously declared at ",
+                            ToString(it->second.decl_span)));
+      } else {
+        sink_.Report(
+            Severity::kError, kConflictingDeclaration, decl.name_span,
+            StrCat("relation '", decl.name,
+                   "' redeclared with a different scheme"),
+            StrCat("previously declared at ",
+                   ToString(it->second.decl_span), " as ",
+                   viewcap::ToString(it->second.scheme, catalog_)));
+      }
+      return;
+    }
+    Result<RelId> rel = catalog_.AddRelation(decl.name, *scheme);
+    if (!rel.ok()) return;  // Unreachable: emptiness/conflicts handled above.
+    env_.emplace(decl.name, RelInfo{*scheme, decl.name_span,
+                                    /*is_base=*/true, /*used=*/false,
+                                    /*analyzable=*/true});
+    base_ids_.push_back(*rel);
+    base_names_.push_back(decl.name);
+  }
+
+  /// Shared checks for projection lists and declaration schemes: emptiness
+  /// (VCL003) and duplicates (VCL004). Returns the interned set, or nullopt
+  /// when empty.
+  std::optional<AttrSet> CheckAttrList(const std::vector<AstAttr>& attrs,
+                                       const SourceSpan& anchor,
+                                       const std::string& what) {
+    if (attrs.empty()) {
+      sink_.Report(Severity::kError, kEmptyAttrList, anchor,
+                   StrCat(what, " has an empty attribute list"));
+      return std::nullopt;
+    }
+    std::set<std::string_view> seen;
+    std::vector<AttrId> ids;
+    ids.reserve(attrs.size());
+    for (const AstAttr& attr : attrs) {
+      if (!seen.insert(attr.name).second) {
+        sink_.Report(Severity::kWarning, kDuplicateAttribute, attr.span,
+                     StrCat("duplicate attribute '", attr.name, "' in ",
+                            what));
+      }
+      ids.push_back(catalog_.AddAttribute(attr.name));
+    }
+    return AttrSet(std::move(ids));
+  }
+
+  /// Result of the structural walk over one raw expression.
+  struct ExprScan {
+    std::optional<AttrSet> trs;  ///< Unknown when resolution failed below.
+    bool clean = true;           ///< No structural defect inside.
+    bool analyzable = true;      ///< Every referenced name is analyzable.
+  };
+
+  ExprScan ScanExpr(const AstExpr& expr) {
+    ExprScan scan;
+    switch (expr.kind) {
+      case AstExpr::Kind::kRel: {
+        auto it = env_.find(expr.rel);
+        if (it == env_.end()) {
+          sink_.Report(Severity::kError, kUndefinedRelation, expr.span,
+                       StrCat("undefined relation '", expr.rel, "'"));
+          scan.clean = false;
+          scan.analyzable = false;
+          return scan;
+        }
+        it->second.used = true;
+        scan.analyzable = it->second.analyzable;
+        scan.trs = it->second.scheme;
+        return scan;
+      }
+      case AstExpr::Kind::kProject: {
+        ExprScan child = ScanExpr(*expr.children.front());
+        scan.clean = child.clean;
+        scan.analyzable = child.analyzable;
+        std::optional<AttrSet> attrs =
+            CheckAttrList(expr.projection, expr.span, "projection");
+        if (!attrs.has_value()) {
+          scan.clean = false;
+          return scan;  // TRS unknown.
+        }
+        if (child.trs.has_value()) {
+          bool typed = true;
+          for (const AstAttr& attr : expr.projection) {
+            AttrId id = catalog_.AddAttribute(attr.name);
+            if (!child.trs->Contains(id)) {
+              sink_.Report(
+                  Severity::kError, kUnknownAttribute, attr.span,
+                  StrCat("attribute '", attr.name,
+                         "' is not in the operand's scheme ",
+                         viewcap::ToString(*child.trs, catalog_)));
+              typed = false;
+            }
+          }
+          if (typed && *attrs == *child.trs) {
+            sink_.Report(Severity::kNote, kIdentityProjection, expr.span,
+                         StrCat("projection onto the full scheme ",
+                                viewcap::ToString(*attrs, catalog_),
+                                " is the identity"));
+          }
+          if (!typed) scan.clean = false;
+        }
+        scan.trs = std::move(attrs);
+        return scan;
+      }
+      case AstExpr::Kind::kJoin: {
+        AttrSet trs;
+        bool trs_known = true;
+        for (const AstExprPtr& child : expr.children) {
+          ExprScan c = ScanExpr(*child);
+          scan.clean = scan.clean && c.clean;
+          scan.analyzable = scan.analyzable && c.analyzable;
+          if (c.trs.has_value()) {
+            trs = trs.Union(*c.trs);
+          } else {
+            trs_known = false;
+          }
+        }
+        if (trs_known) scan.trs = std::move(trs);
+        return scan;
+      }
+    }
+    return scan;
+  }
+
+  void LintDefinition(const AstView& view, std::size_t view_index,
+                      const AstDefinition& def) {
+    if (def.query == nullptr) return;  // Dropped during syntax recovery.
+    ExprScan scan = ScanExpr(*def.query);
+    auto it = env_.find(def.name);
+    if (it != env_.end()) {
+      if (it->second.is_base) {
+        sink_.Report(Severity::kError, kShadowedRelation, def.name_span,
+                     StrCat("definition '", def.name,
+                            "' shadows a base relation"),
+                     StrCat("relation declared at ",
+                            ToString(it->second.decl_span)));
+      } else {
+        sink_.Report(Severity::kError, kDuplicateDefinition, def.name_span,
+                     StrCat("view relation '", def.name,
+                            "' is defined twice"),
+                     StrCat("first defined at ",
+                            ToString(it->second.decl_span)));
+      }
+      return;
+    }
+    if (!scan.trs.has_value()) return;  // Defects already reported.
+    RelInfo info;
+    info.scheme = *scan.trs;
+    info.decl_span = def.name_span;
+    if (!scan.clean || !scan.analyzable) {
+      env_.emplace(def.name, std::move(info));
+      return;
+    }
+    // The definition resolved cleanly: lower it through the typed layer and
+    // flatten view-of-view references (Lemma 1.4.1) for the semantic pass.
+    Result<ExprPtr> lowered = LowerExpr(catalog_, *def.query);
+    if (!lowered.ok()) {
+      env_.emplace(def.name, std::move(info));
+      return;
+    }
+    Result<ExprPtr> expanded = Expand(catalog_, *lowered, known_);
+    Result<RelId> rel = catalog_.AddRelation(def.name, (*lowered)->trs());
+    if (!expanded.ok() || !rel.ok()) {
+      env_.emplace(def.name, std::move(info));
+      return;
+    }
+    info.analyzable = true;
+    env_.emplace(def.name, std::move(info));
+    known_.emplace(*rel, *expanded);
+    defs_.push_back(DefInfo{view_index, view.name, def.name, def.name_span,
+                            *rel, std::move(*expanded), Tableau{}});
+  }
+
+  void ReportUnusedRelations() {
+    if (defs_.empty() && known_.empty()) return;  // No definitions at all.
+    bool any_definition = false;
+    for (const auto& [name, info] : env_) {
+      if (!info.is_base) any_definition = true;
+    }
+    if (!any_definition) return;
+    for (const std::string& name : base_names_) {
+      const RelInfo& info = env_.at(name);
+      if (!info.used) {
+        sink_.Report(Severity::kWarning, kUnusedRelation, info.decl_span,
+                     StrCat("relation '", name,
+                            "' is never read by any view definition"));
+      }
+    }
+  }
+
+  // ---------------------------------------------------------------- pass 2
+
+  void SemanticPass() {
+    const AttrSet universe = catalog_.Universe(base_ids_);
+    SymbolPool pool;
+    for (DefInfo& def : defs_) {
+      Result<Tableau> t = BuildTableau(catalog_, universe, *def.expanded,
+                                       pool);
+      if (!t.ok()) return;  // Cannot happen for lowered queries; bail out.
+      def.reduced = Reduce(catalog_, *t);
+    }
+    std::vector<bool> flagged(defs_.size(), false);
+    FindEquivalentDefinitions(flagged);
+    FindRedundantAndNonSimple(universe, flagged);
+    FindReconstructible(universe, flagged);
+  }
+
+  /// VCL103: pairwise mapping equivalence, prefiltered by canonical keys
+  /// and confirmed by two-way homomorphisms.
+  void FindEquivalentDefinitions(std::vector<bool>& flagged) {
+    std::vector<std::string> keys;
+    keys.reserve(defs_.size());
+    for (const DefInfo& def : defs_) keys.push_back(CanonicalKey(def.reduced));
+    for (std::size_t j = 0; j < defs_.size(); ++j) {
+      for (std::size_t i = 0; i < j; ++i) {
+        if (keys[i] != keys[j]) continue;
+        if (!EquivalentTableaux(catalog_, defs_[i].reduced,
+                                defs_[j].reduced)) {
+          continue;
+        }
+        sink_.Report(
+            Severity::kWarning, kEquivalentDefinitions, defs_[j].name_span,
+            StrCat("defining query of '", defs_[j].name,
+                   "' is equivalent to that of '", defs_[i].name, "'"),
+            StrCat("'", defs_[i].name, "' is defined at ",
+                   ToString(defs_[i].name_span),
+                   "; equal up to canonical form of their tableaux"));
+        // Exclude both sides from the closure rules: each is trivially
+        // redundant via its twin, which would only restate this finding.
+        flagged[i] = true;
+        flagged[j] = true;
+        break;
+      }
+    }
+  }
+
+  /// VCL101 and VCL102: per-view redundancy (Theorem 3.1.4) and simplicity
+  /// (Section 4 normal form).
+  void FindRedundantAndNonSimple(const AttrSet& universe,
+                                 std::vector<bool>& flagged) {
+    std::map<std::size_t, std::vector<std::size_t>> by_view;
+    for (std::size_t i = 0; i < defs_.size(); ++i) {
+      by_view[defs_[i].view_index].push_back(i);
+    }
+    for (const auto& [view_index, members] : by_view) {
+      std::vector<QuerySet::Member> qs_members;
+      qs_members.reserve(members.size());
+      for (std::size_t i : members) {
+        qs_members.push_back({defs_[i].rel, defs_[i].reduced});
+      }
+      Result<QuerySet> set =
+          QuerySet::Create(&catalog_, universe, std::move(qs_members));
+      if (!set.ok()) continue;
+      for (std::size_t pos = 0; pos < members.size(); ++pos) {
+        const DefInfo& def = defs_[members[pos]];
+        if (flagged[members[pos]]) continue;
+        if (members.size() > 1) {
+          Result<RedundancyResult> red =
+              IsRedundant(&catalog_, *set, pos, options_.limits);
+          if (red.ok() && red->redundant) {
+            std::string witness =
+                red->membership.witness != nullptr
+                    ? StrCat("reconstructible as ",
+                             viewcap::ToString(red->membership.witness,
+                                               catalog_))
+                    : std::string();
+            sink_.Report(
+                Severity::kWarning, kRedundantDefinition, def.name_span,
+                StrCat("definition '", def.name,
+                       "' is redundant: it is answerable from the view's "
+                       "other definitions (Theorem 3.1.4)"),
+                std::move(witness));
+            flagged[members[pos]] = true;
+            continue;
+          }
+        }
+        Result<SimplicityResult> simple =
+            IsSimple(&catalog_, *set, pos, options_.limits);
+        if (simple.ok() && !simple->simple &&
+            !simple->membership.budget_exhausted) {
+          sink_.Report(
+              Severity::kWarning, kNotSimplified, def.name_span,
+              StrCat("definition '", def.name,
+                     "' is not simple: view '", def.view_name,
+                     "' is not in the Section 4 simplified normal form"),
+              "it is answerable from its own proper projections and the "
+              "other definitions; run `simplify` to normalize");
+          flagged[members[pos]] = true;
+        }
+      }
+    }
+  }
+
+  /// VCL104: derivability from the other views' definitions.
+  void FindReconstructible(const AttrSet& universe,
+                           std::vector<bool>& flagged) {
+    std::set<std::size_t> views;
+    for (const DefInfo& def : defs_) views.insert(def.view_index);
+    if (views.size() < 2) return;
+    for (std::size_t i = 0; i < defs_.size(); ++i) {
+      if (flagged[i]) continue;
+      std::vector<QuerySet::Member> others;
+      for (std::size_t j = 0; j < defs_.size(); ++j) {
+        if (defs_[j].view_index != defs_[i].view_index) {
+          others.push_back({defs_[j].rel, defs_[j].reduced});
+        }
+      }
+      if (others.empty()) continue;
+      Result<QuerySet> set =
+          QuerySet::Create(&catalog_, universe, std::move(others));
+      if (!set.ok()) continue;
+      CapacityOracle oracle(&catalog_, *set, options_.limits);
+      Result<MembershipResult> member = oracle.Contains(defs_[i].reduced);
+      if (member.ok() && member->member) {
+        std::string witness =
+            member->witness != nullptr
+                ? StrCat("derivable as ",
+                         viewcap::ToString(member->witness, catalog_))
+                : std::string();
+        sink_.Report(
+            Severity::kNote, kReconstructible, defs_[i].name_span,
+            StrCat("definition '", defs_[i].name,
+                   "' is derivable from the definitions of the other views"),
+            std::move(witness));
+      }
+    }
+  }
+
+  const LintOptions& options_;
+  DiagnosticSink sink_;
+  Catalog catalog_;
+  std::map<std::string, RelInfo> env_;
+  std::vector<RelId> base_ids_;
+  std::vector<std::string> base_names_;
+  Definitions known_;
+  std::vector<DefInfo> defs_;
+};
+
+}  // namespace
+
+std::size_t LintResult::Count(Severity severity) const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == severity) ++n;
+  }
+  return n;
+}
+
+LintResult Linter::Run(std::string_view program_text) const {
+  LintRun run(options_);
+  return run.Run(program_text);
+}
+
+}  // namespace viewcap

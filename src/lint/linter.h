@@ -1,0 +1,92 @@
+// viewcap-lint: static analysis over .vcp view programs.
+//
+// The linter parses a program leniently (algebra/ast.h), then runs two
+// families of rules:
+//
+// Structural rules — pure static analysis over the raw AST, no closure
+// computation. One finding per occurrence:
+//   VCL000 syntax-error            (error)   unparseable surface syntax
+//   VCL001 undefined-relation      (error)   name never declared
+//   VCL002 unknown-attribute       (error)   projection attribute outside
+//                                            the operand's scheme TRS(E)
+//   VCL003 empty-attr-list         (error)   empty projection list or
+//                                            relation declared with an
+//                                            empty scheme
+//   VCL004 duplicate-attribute     (warning) repeated attribute in a
+//                                            projection list / declaration
+//   VCL005 identity-projection     (note)    pi onto the full scheme is
+//                                            the identity map
+//   VCL006 duplicate-definition    (error)   view relation name defined
+//                                            twice (any view)
+//   VCL007 shadowed-relation       (error)   definition shadows a base
+//                                            relation
+//   VCL008 unused-relation         (warning) schema relation never read by
+//                                            any definition
+//   VCL009 conflicting-declaration (error/warning) relation redeclared
+//                                            with a different / identical
+//                                            scheme
+//
+// Semantic rules — bounded, paper-backed closure analyses; they run only
+// over definitions whose queries resolved cleanly, and stay silent when a
+// search budget is exhausted (no finding is better than a wrong one):
+//   VCL101 redundant-definition    (warning) the defining query is in the
+//                                            closure of the view's other
+//                                            definitions (Theorem 3.1.4)
+//   VCL102 not-simplified          (warning) the definition is not simple,
+//                                            so the view is not in the
+//                                            Section 4 normal form
+//   VCL103 equivalent-definitions  (warning) two defining queries are
+//                                            equal up to canonical form
+//                                            (Section 2 canonical tableaux)
+//   VCL104 reconstructible-definition (note) the query is derivable from
+//                                            the definitions of the other
+//                                            views in the program
+#ifndef VIEWCAP_LINT_LINTER_H_
+#define VIEWCAP_LINT_LINTER_H_
+
+#include <cstddef>
+#include <string_view>
+
+#include "algebra/enumerator.h"
+#include "lint/diagnostics.h"
+
+namespace viewcap {
+
+struct LintOptions {
+  /// Run the VCL1xx closure-based rules. Structural rules always run.
+  bool semantic = true;
+  /// Budgets for the closure searches behind the semantic rules.
+  SearchLimits limits;
+  /// Semantic rules are skipped entirely (silently) when the program has
+  /// more resolved definitions than this, keeping lint time predictable on
+  /// machine-generated programs.
+  std::size_t max_semantic_definitions = 24;
+};
+
+struct LintResult {
+  /// All findings, sorted by source position.
+  std::vector<Diagnostic> diagnostics;
+
+  std::size_t Count(Severity severity) const;
+  bool HasErrors() const { return Count(Severity::kError) > 0; }
+  bool HasWarnings() const { return Count(Severity::kWarning) > 0; }
+};
+
+/// The rule-driven analysis engine. Stateless between runs; each Run owns a
+/// private catalog, so linting never mutates caller state.
+class Linter {
+ public:
+  explicit Linter(LintOptions options = {}) : options_(options) {}
+
+  /// Lints `program_text` (the full .vcp source).
+  LintResult Run(std::string_view program_text) const;
+
+  const LintOptions& options() const { return options_; }
+
+ private:
+  LintOptions options_;
+};
+
+}  // namespace viewcap
+
+#endif  // VIEWCAP_LINT_LINTER_H_

@@ -30,7 +30,7 @@ Tableau Reduce(const Catalog& catalog, const Tableau& t) {
       }
     }
   }
-  VIEWCAP_DCHECK(current.Validate(catalog).ok());
+  ValidateTableau(catalog, current);
   return current;
 }
 

@@ -141,6 +141,18 @@ std::vector<Symbol> Tableau::Symbols() const {
   return out;
 }
 
+void ValidateTableau(const Catalog& catalog, const Tableau& t) {
+#ifndef NDEBUG
+  Status st = t.Validate(catalog);
+  if (!st.ok()) {
+    internal::CheckFailed("ValidateTableau", 0, st.message().c_str());
+  }
+#else
+  (void)catalog;
+  (void)t;
+#endif
+}
+
 std::string Tableau::ToString(const Catalog& catalog) const {
   std::vector<std::string> header;
   for (AttrId a : universe_) header.push_back(catalog.AttributeName(a));

@@ -91,6 +91,13 @@ class Tableau {
   std::vector<TaggedTuple> rows_;  // Sorted, unique.
 };
 
+/// Debug-build invariant validator for layer boundaries: aborts (with the
+/// violated condition) when `t` is not a well-formed Section 2.1 template.
+/// Compiled out in NDEBUG builds — wire it where a template crosses from
+/// one subsystem to another (construction, reduction, substitution), not
+/// on hot inner loops.
+void ValidateTableau(const Catalog& catalog, const Tableau& t);
+
 }  // namespace viewcap
 
 #endif  // VIEWCAP_TABLEAU_TABLEAU_H_

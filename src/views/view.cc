@@ -57,7 +57,63 @@ Result<View> View::Create(const Catalog* catalog, DbSchema base,
         BuildTableau(*catalog, view.base_.universe(), *query, pool));
     view.defs_.push_back(ViewDefinition{rel, query, std::move(tableau)});
   }
+  ValidateView(view);
   return view;
+}
+
+Status View::Validate() const {
+  if (catalog_ == nullptr) return Status::IllFormed("view has no catalog");
+  if (defs_.empty()) {
+    return Status::IllFormed("a view must have at least one definition");
+  }
+  std::unordered_set<RelId> seen;
+  for (const ViewDefinition& d : defs_) {
+    if (!catalog_->HasRelation(d.rel)) {
+      return Status::IllFormed(StrCat("unknown view relation id ", d.rel));
+    }
+    const std::string& name = catalog_->RelationName(d.rel);
+    if (!seen.insert(d.rel).second) {
+      return Status::IllFormed(
+          StrCat("view relation '", name, "' defined twice"));
+    }
+    if (base_.Contains(d.rel)) {
+      return Status::IllFormed(
+          StrCat("view relation '", name, "' shadows a base relation"));
+    }
+    if (d.query == nullptr) {
+      return Status::IllFormed(
+          StrCat("definition of '", name, "' has a null query"));
+    }
+    if (d.query->trs() != catalog_->RelationScheme(d.rel)) {
+      return Status::IllFormed(
+          StrCat("TRS of the query defining '", name,
+                 "' differs from the relation's type"));
+    }
+    for (RelId rel : d.query->RelNames()) {
+      if (!base_.Contains(rel)) {
+        return Status::IllFormed(
+            StrCat("query defining '", name, "' mentions non-base '",
+                   catalog_->RelationName(rel), "'"));
+      }
+    }
+    VIEWCAP_RETURN_NOT_OK(d.tableau.Validate(*catalog_));
+    if (d.tableau.Trs() != d.query->trs()) {
+      return Status::IllFormed(
+          StrCat("template of '", name, "' disagrees with its query's TRS"));
+    }
+  }
+  return Status::OK();
+}
+
+void ValidateView(const View& view) {
+#ifndef NDEBUG
+  Status st = view.Validate();
+  if (!st.ok()) {
+    internal::CheckFailed("ValidateView", 0, st.message().c_str());
+  }
+#else
+  (void)view;
+#endif
 }
 
 DbSchema View::ViewSchema() const {
@@ -120,6 +176,7 @@ View View::Restrict(const std::vector<std::size_t>& keep) const {
     out.defs_.push_back(defs_[i]);
   }
   VIEWCAP_CHECK(!out.defs_.empty());
+  ValidateView(out);
   return out;
 }
 

@@ -73,6 +73,13 @@ class View {
   /// A view with only the definitions at `keep` indices.
   View Restrict(const std::vector<std::size_t>& keep) const;
 
+  /// Re-checks the Section 1.3 view conditions plus this implementation's
+  /// extras: nonempty definitions, TRS(E_i) = R(eta_i), pairwise-distinct
+  /// eta_i disjoint from the base schema, queries mentioning only base
+  /// relations, and each definition's template well-formed with
+  /// Trs(template) = R(eta_i).
+  Status Validate() const;
+
   std::string ToString() const;
 
  private:
@@ -81,6 +88,12 @@ class View {
   std::vector<ViewDefinition> defs_;
   std::string name_;
 };
+
+/// Debug-build invariant validator for layer boundaries: aborts (with the
+/// violated condition) when `view` fails View::Validate. Compiled out in
+/// NDEBUG builds — wire it where a view crosses between subsystems
+/// (construction, redundancy elimination, simplification, composition).
+void ValidateView(const View& view);
 
 }  // namespace viewcap
 

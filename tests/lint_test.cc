@@ -1,0 +1,372 @@
+// Unit tests for lint/linter.h and lint/diagnostics.h: one positive and one
+// negative program per rule, span accuracy against markers located in the
+// source text, and a golden test for the machine-readable JSON rendering.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <string_view>
+
+#include "lint/diagnostics.h"
+#include "lint/linter.h"
+
+namespace viewcap {
+namespace {
+
+/// All findings with `code`, in output order.
+std::vector<Diagnostic> WithCode(const LintResult& result,
+                                 std::string_view code) {
+  std::vector<Diagnostic> out;
+  for (const Diagnostic& d : result.diagnostics) {
+    if (d.code == code) out.push_back(d);
+  }
+  return out;
+}
+
+bool HasCode(const LintResult& result, std::string_view code) {
+  return !WithCode(result, code).empty();
+}
+
+/// Line/column (1-based) of the `occurrence`-th `marker` in `text`. The
+/// tests derive expected spans from the program text itself instead of
+/// hand-counted columns.
+SourceLocation LocOf(std::string_view text, std::string_view marker,
+                     int occurrence = 1) {
+  std::size_t pos = 0;
+  for (int i = 0; i < occurrence; ++i) {
+    pos = text.find(marker, i == 0 ? 0 : pos + 1);
+    EXPECT_NE(pos, std::string_view::npos) << "marker: " << marker;
+  }
+  SourceLocation loc;
+  for (std::size_t i = 0; i < pos; ++i) {
+    if (text[i] == '\n') {
+      ++loc.line;
+      loc.column = 1;
+    } else {
+      ++loc.column;
+    }
+  }
+  return loc;
+}
+
+LintResult Lint(std::string_view program) { return Linter().Run(program); }
+
+TEST(LintStructuralTest, CleanProgramHasNoFindings) {
+  LintResult r = Lint(R"(
+    schema { r(A, B); s(B, C); }
+    view V { v := pi{A}(r); w := pi{B,C}(r * s); }
+  )");
+  EXPECT_TRUE(r.diagnostics.empty());
+}
+
+TEST(LintStructuralTest, SyntaxErrorIsReportedAndRecoveredFrom) {
+  const std::string program =
+      "schema { r(A, B); }\n"
+      "view V { x := pi{A}(r) @ ; y := pi{B}(q); }\n";
+  LintResult r = Lint(program);
+  std::vector<Diagnostic> syntax = WithCode(r, "VCL000");
+  ASSERT_EQ(syntax.size(), 1u);
+  EXPECT_EQ(syntax[0].severity, Severity::kError);
+  EXPECT_EQ(syntax[0].span.begin, LocOf(program, "@"));
+  // Recovery continued into the next definition: the undefined relation
+  // there is still diagnosed.
+  EXPECT_TRUE(HasCode(r, "VCL001"));
+}
+
+TEST(LintStructuralTest, UndefinedRelation) {
+  const std::string program =
+      "schema { r(A, B); }\n"
+      "view V { x := pi{A}(r * ghost); }\n";
+  LintResult r = Lint(program);
+  std::vector<Diagnostic> d = WithCode(r, "VCL001");
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].severity, Severity::kError);
+  EXPECT_EQ(d[0].span.begin, LocOf(program, "ghost"));
+  EXPECT_NE(d[0].message.find("ghost"), std::string::npos);
+  EXPECT_TRUE(r.HasErrors());
+}
+
+TEST(LintStructuralTest, UndefinedRelationDoesNotCascadeToAttributes) {
+  // TRS of `r * ghost` is unknown, so the projection list must not be
+  // checked against a partial scheme.
+  LintResult r = Lint(
+      "schema { r(A, B); }\n"
+      "view V { x := pi{Z}(r * ghost); }\n");
+  EXPECT_TRUE(HasCode(r, "VCL001"));
+  EXPECT_FALSE(HasCode(r, "VCL002"));
+}
+
+TEST(LintStructuralTest, UnknownAttribute) {
+  const std::string program =
+      "schema { r(A, B); s(C, D); }\n"
+      "view V { x := pi{A,D}(r); }\n";
+  LintResult r = Lint(program);
+  std::vector<Diagnostic> d = WithCode(r, "VCL002");
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].severity, Severity::kError);
+  EXPECT_EQ(d[0].span.begin, LocOf(program, "D}"));
+  // The in-scheme attribute A is not flagged.
+  EXPECT_NE(d[0].message.find("'D'"), std::string::npos);
+}
+
+TEST(LintStructuralTest, EmptyProjectionListAndEmptyScheme) {
+  LintResult r = Lint(
+      "schema { r(A, B); e(); }\n"
+      "view V { x := pi{}(r); }\n");
+  std::vector<Diagnostic> d = WithCode(r, "VCL003");
+  ASSERT_EQ(d.size(), 2u);  // Declaration of e and the projection.
+  EXPECT_EQ(d[0].severity, Severity::kError);
+  EXPECT_EQ(d[1].severity, Severity::kError);
+}
+
+TEST(LintStructuralTest, DuplicateAttributeInProjection) {
+  const std::string program =
+      "schema { r(A, B); }\n"
+      "view V { x := pi{A,A}(r); }\n";
+  LintResult r = Lint(program);
+  std::vector<Diagnostic> d = WithCode(r, "VCL004");
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].severity, Severity::kWarning);
+  // The *second* occurrence in the projection list is the duplicate.
+  EXPECT_EQ(d[0].span.begin, LocOf(program, "A", 3));
+}
+
+TEST(LintStructuralTest, IdentityProjectionNote) {
+  LintResult r = Lint(
+      "schema { r(A, B); }\n"
+      "view V { x := pi{A,B}(r); }\n");
+  std::vector<Diagnostic> d = WithCode(r, "VCL005");
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].severity, Severity::kNote);
+  // A proper projection is not an identity.
+  EXPECT_FALSE(HasCode(Lint("schema { r(A, B); }\n"
+                            "view V { x := pi{A}(r); }\n"),
+                       "VCL005"));
+}
+
+TEST(LintStructuralTest, DuplicateDefinition) {
+  const std::string program =
+      "schema { r(A, B); }\n"
+      "view V { x := pi{A}(r); }\n"
+      "view W { x := pi{B}(r); }\n";
+  LintResult r = Lint(program);
+  std::vector<Diagnostic> d = WithCode(r, "VCL006");
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].severity, Severity::kError);
+  EXPECT_EQ(d[0].span.begin, LocOf(program, "x", 2));
+  EXPECT_NE(d[0].note.find("first defined at"), std::string::npos);
+}
+
+TEST(LintStructuralTest, ShadowedRelation) {
+  const std::string program =
+      "schema { r(A, B); }\n"
+      "view V { r := pi{A,B}(r); }\n";
+  LintResult r = Lint(program);
+  std::vector<Diagnostic> d = WithCode(r, "VCL007");
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].severity, Severity::kError);
+  EXPECT_EQ(d[0].span.begin, LocOf(program, "r :="));
+}
+
+TEST(LintStructuralTest, UnusedRelation) {
+  const std::string program =
+      "schema { r(A, B); dusty(E, F); }\n"
+      "view V { x := pi{A}(r); }\n";
+  LintResult r = Lint(program);
+  std::vector<Diagnostic> d = WithCode(r, "VCL008");
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].severity, Severity::kWarning);
+  EXPECT_EQ(d[0].span.begin, LocOf(program, "dusty"));
+  // A schema-only program (no definitions yet) reports nothing.
+  EXPECT_TRUE(Lint("schema { r(A, B); }\n").diagnostics.empty());
+}
+
+TEST(LintStructuralTest, ConflictingDeclaration) {
+  // Same scheme: a warning. Different scheme: an error.
+  LintResult same = Lint(
+      "schema { r(A, B); }\n"
+      "schema { r(A, B); }\n"
+      "view V { x := pi{A}(r); }\n");
+  std::vector<Diagnostic> ds = WithCode(same, "VCL009");
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].severity, Severity::kWarning);
+
+  LintResult diff = Lint(
+      "schema { r(A, B); }\n"
+      "schema { r(A, C); }\n"
+      "view V { x := pi{A}(r); }\n");
+  std::vector<Diagnostic> dd = WithCode(diff, "VCL009");
+  ASSERT_EQ(dd.size(), 1u);
+  EXPECT_EQ(dd[0].severity, Severity::kError);
+  EXPECT_NE(dd[0].note.find("previously declared at 1:10"),
+            std::string::npos);
+}
+
+TEST(LintSemanticTest, RedundantDefinition) {
+  const std::string program =
+      "schema { r(A, B); }\n"
+      "view V { big := r; small := pi{A}(r); }\n";
+  LintResult r = Lint(program);
+  std::vector<Diagnostic> d = WithCode(r, "VCL101");
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].severity, Severity::kWarning);
+  EXPECT_EQ(d[0].span.begin, LocOf(program, "small"));
+  // The witness reconstructs `small` from the rest of the view.
+  EXPECT_NE(d[0].note.find("pi{A}(big)"), std::string::npos);
+  // `big` is not reconstructible from `small` (B was projected away).
+  EXPECT_EQ(d.size(), 1u);
+}
+
+TEST(LintSemanticTest, NonredundantViewIsClean) {
+  LintResult r = Lint(
+      "schema { r(A, B); }\n"
+      "view V { a := pi{A}(r); b := pi{B}(r); }\n");
+  EXPECT_FALSE(HasCode(r, "VCL101"));
+}
+
+TEST(LintSemanticTest, NotSimplified) {
+  const std::string program =
+      "schema { r(A, B, C); }\n"
+      "view V { joined := pi{A,B}(r) * pi{B,C}(r); }\n";
+  LintResult r = Lint(program);
+  std::vector<Diagnostic> d = WithCode(r, "VCL102");
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].severity, Severity::kWarning);
+  EXPECT_EQ(d[0].span.begin, LocOf(program, "joined"));
+  // A single proper projection of a base relation is simple.
+  EXPECT_FALSE(HasCode(Lint("schema { r(A, B, C); }\n"
+                            "view V { x := pi{A,B}(r); }\n"),
+                       "VCL102"));
+}
+
+TEST(LintSemanticTest, EquivalentDefinitions) {
+  const std::string program =
+      "schema { r(A, B, C); }\n"
+      "view V { good := pi{A,B}(r); dup := pi{A,B}(r); }\n";
+  LintResult r = Lint(program);
+  std::vector<Diagnostic> d = WithCode(r, "VCL103");
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].severity, Severity::kWarning);
+  EXPECT_EQ(d[0].span.begin, LocOf(program, "dup"));
+  EXPECT_NE(d[0].note.find("'good' is defined at"), std::string::npos);
+  // The twins must not *also* be reported redundant via each other: that
+  // would restate the same finding under a second code.
+  EXPECT_FALSE(HasCode(r, "VCL101"));
+}
+
+TEST(LintSemanticTest, DistinctDefinitionsNotReportedEquivalent) {
+  LintResult r = Lint(
+      "schema { r(A, B, C); }\n"
+      "view V { a := pi{A,B}(r); b := pi{B,C}(r); }\n");
+  EXPECT_FALSE(HasCode(r, "VCL103"));
+}
+
+TEST(LintSemanticTest, ReconstructibleAcrossViews) {
+  const std::string program =
+      "schema { r(A, B, C); }\n"
+      "view V1 { a := pi{A,B}(r); }\n"
+      "view V2 { c := pi{A}(r); }\n";
+  LintResult r = Lint(program);
+  std::vector<Diagnostic> d = WithCode(r, "VCL104");
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].severity, Severity::kNote);
+  EXPECT_EQ(d[0].span.begin, LocOf(program, "c :="));
+  EXPECT_NE(d[0].note.find("pi{A}(a)"), std::string::npos);
+  // Notes never make the result failing.
+  EXPECT_FALSE(r.HasErrors());
+  EXPECT_FALSE(r.HasWarnings());
+}
+
+TEST(LintSemanticTest, SingleViewHasNoReconstructibleFindings) {
+  LintResult r = Lint(
+      "schema { r(A, B, C); }\n"
+      "view V1 { a := pi{A,B}(r); c := pi{B,C}(r); }\n");
+  EXPECT_FALSE(HasCode(r, "VCL104"));
+}
+
+TEST(LintSemanticTest, SemanticRulesCanBeDisabled) {
+  LintOptions options;
+  options.semantic = false;
+  LintResult r = Linter(options).Run(
+      "schema { r(A, B); }\n"
+      "view V { big := r; small := pi{A}(r); }\n");
+  EXPECT_FALSE(HasCode(r, "VCL101"));
+  EXPECT_FALSE(HasCode(r, "VCL102"));
+  EXPECT_FALSE(HasCode(r, "VCL103"));
+  EXPECT_FALSE(HasCode(r, "VCL104"));
+}
+
+TEST(LintSemanticTest, BrokenDefinitionsAreExcludedFromSemanticRules) {
+  // `small` duplicates `broken` structurally, but `broken` never resolved;
+  // no semantic rule may fire on or against it.
+  LintResult r = Lint(
+      "schema { r(A, B); }\n"
+      "view V { broken := pi{A}(ghost); small := pi{A}(r); }\n");
+  EXPECT_TRUE(HasCode(r, "VCL001"));
+  EXPECT_FALSE(HasCode(r, "VCL101"));
+  EXPECT_FALSE(HasCode(r, "VCL103"));
+}
+
+TEST(LintResultTest, DiagnosticsAreSortedByPosition) {
+  LintResult r = Lint(
+      "schema { r(A, B); unused(E, F); }\n"
+      "view V { x := pi{A}(ghost); y := pi{Z}(r); }\n");
+  ASSERT_GE(r.diagnostics.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(
+      r.diagnostics.begin(), r.diagnostics.end(),
+      [](const Diagnostic& a, const Diagnostic& b) {
+        return a.span.begin < b.span.begin;
+      }));
+}
+
+TEST(LintRenderTest, TextFormat) {
+  const std::string program =
+      "schema { r(A, B); }\n"
+      "view V { x := pi{A}(ghost); }\n";
+  LintResult r = Lint(program);
+  std::string text = RenderText(r.diagnostics, "demo.vcp");
+  EXPECT_NE(
+      text.find(
+          "demo.vcp:2:21: error: undefined relation 'ghost' [VCL001]"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("1 error, 0 warnings, 0 notes."), std::string::npos)
+      << text;
+  // No findings renders nothing (callers print their own "clean" line).
+  EXPECT_EQ(RenderText({}, "demo.vcp"), "");
+}
+
+TEST(LintRenderTest, JsonGolden) {
+  const std::string program =
+      "schema { r(A, B); }\n"
+      "view V { x := pi{A}(q); }\n";
+  LintResult r = Lint(program);
+  const std::string expected =
+      "{\"file\": \"demo.vcp\", \"diagnostics\": [\n"
+      "  {\"severity\": \"error\", \"code\": \"VCL001\", \"line\": 2, "
+      "\"column\": 21, \"endLine\": 2, \"endColumn\": 22, "
+      "\"message\": \"undefined relation 'q'\"}\n"
+      "], \"errors\": 1, \"warnings\": 0, \"notes\": 0}\n";
+  EXPECT_EQ(RenderJson(r.diagnostics, "demo.vcp"), expected);
+}
+
+TEST(LintRenderTest, JsonEscapesSpecialCharacters) {
+  std::vector<Diagnostic> diags;
+  diags.push_back(Diagnostic{Severity::kWarning, "VCL999",
+                             SourceSpan{{1, 1}, {1, 2}},
+                             "a \"quoted\"\tmessage\n", ""});
+  std::string json = RenderJson(diags, "odd\\name.vcp");
+  EXPECT_NE(json.find("odd\\\\name.vcp"), std::string::npos) << json;
+  EXPECT_NE(json.find("a \\\"quoted\\\"\\tmessage\\n"), std::string::npos)
+      << json;
+}
+
+TEST(LintRenderTest, JsonEmptyDiagnostics) {
+  std::string json = RenderJson({}, "clean.vcp");
+  EXPECT_EQ(json,
+            "{\"file\": \"clean.vcp\", \"diagnostics\": "
+            "[], \"errors\": 0, \"warnings\": 0, \"notes\": 0}\n");
+}
+
+}  // namespace
+}  // namespace viewcap

@@ -1,6 +1,7 @@
 // Unit tests for algebra/parser.h and algebra/printer.h.
 #include <gtest/gtest.h>
 
+#include "algebra/ast.h"
 #include "algebra/parser.h"
 #include "algebra/printer.h"
 #include "tests/test_util.h"
@@ -133,6 +134,81 @@ TEST(ProgramTest, Failures) {
   EXPECT_FALSE(ParseProgram(catalog, "schema { r(); }").ok());
   EXPECT_FALSE(
       ParseProgram(catalog, "schema { r(A); } view V { v = r; }").ok());
+}
+
+TEST_F(ParserTest, ErrorPositionsAreExact) {
+  // The unknown name starts at line 1, column 7 (1-based).
+  Result<ExprPtr> bad = ParseExpr(catalog_, "pi{A}(unknown)");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("at 1:7"), std::string::npos)
+      << bad.status().message();
+  // Locations track newlines.
+  Result<ExprPtr> bad2 = ParseExpr(catalog_, "r *\n  nope");
+  ASSERT_FALSE(bad2.ok());
+  EXPECT_NE(bad2.status().message().find("at 2:3"), std::string::npos)
+      << bad2.status().message();
+}
+
+TEST_F(ParserTest, AstCarriesSpans) {
+  std::vector<SyntaxError> errors;
+  AstExprPtr ast = ParseExprAst("pi{A, B}( r * s )", errors);
+  ASSERT_NE(ast, nullptr);
+  EXPECT_TRUE(errors.empty());
+  ASSERT_EQ(ast->kind, AstExpr::Kind::kProject);
+  // The node's extent runs from its first token to one past its last.
+  EXPECT_EQ(ast->span.begin, (SourceLocation{1, 1}));
+  EXPECT_EQ(ast->span.end, (SourceLocation{1, 18}));
+  ASSERT_EQ(ast->projection.size(), 2u);
+  EXPECT_EQ(ast->projection[0].span.begin, (SourceLocation{1, 4}));
+  EXPECT_EQ(ast->projection[1].span.begin, (SourceLocation{1, 7}));
+  ASSERT_EQ(ast->children.size(), 1u);
+  const AstExpr& join = *ast->children[0];
+  ASSERT_EQ(join.kind, AstExpr::Kind::kJoin);
+  EXPECT_EQ(join.span.begin, (SourceLocation{1, 11}));
+  ASSERT_EQ(join.children.size(), 2u);
+  EXPECT_EQ(join.children[1]->span.begin, (SourceLocation{1, 15}));
+}
+
+TEST(ProgramAstTest, DeclarationAndDefinitionSpans) {
+  std::vector<SyntaxError> errors;
+  AstProgram program = ParseProgramAst(
+      "schema { r(A, B); }\n"
+      "view V { x := pi{A}(r); }\n",
+      errors);
+  EXPECT_TRUE(errors.empty());
+  ASSERT_EQ(program.items.size(), 2u);
+  ASSERT_EQ(program.items[0].relations.size(), 1u);
+  EXPECT_EQ(program.items[0].relations[0].name_span.begin,
+            (SourceLocation{1, 10}));
+  const AstView& view = program.items[1].view;
+  EXPECT_EQ(view.name_span.begin, (SourceLocation{2, 6}));
+  ASSERT_EQ(view.definitions.size(), 1u);
+  EXPECT_EQ(view.definitions[0].name_span.begin, (SourceLocation{2, 10}));
+}
+
+TEST(ProgramAstTest, RecoversPastBrokenStatements) {
+  std::vector<SyntaxError> errors;
+  AstProgram program = ParseProgramAst(
+      "schema { r(A, B); }\n"
+      "view V { x := pi{A}(r) @; y := r; }\n",
+      errors);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].span.begin, (SourceLocation{2, 24}));
+  // The definition after the broken one survives.
+  ASSERT_EQ(program.items.size(), 2u);
+  const AstView& view = program.items[1].view;
+  ASSERT_GE(view.definitions.size(), 1u);
+  EXPECT_EQ(view.definitions.back().name, "y");
+}
+
+TEST(ProgramTest, LoadErrorsNameTheirPosition) {
+  Catalog catalog;
+  Result<ParsedProgram> bad = ParseProgram(catalog, R"(schema { r(A, B); }
+view V { v := pi{A}(ghost); }
+)");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("at 2:21"), std::string::npos)
+      << bad.status().message();
 }
 
 TEST(ProgramTest, RedefiningViewRelationWithOtherTypeFails) {

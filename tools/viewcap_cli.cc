@@ -2,6 +2,7 @@
 //
 // Usage:
 //   viewcap_cli <program-file> <command> [args...]
+//   viewcap_cli lint <program-file> [--format=text|json] [--no-semantic]
 // Commands:
 //   list                          print the loaded views
 //   equiv <V> <W>                 decide view equivalence (Theorem 2.4.12)
@@ -15,20 +16,30 @@
 //   eval <V> <view-query> <data-file>
 //                                 run a view query against a data file
 //   report                        full markdown audit of every view
+//   lint                          static analysis: structural and
+//                                 paper-backed semantic diagnostics
+//
+// lint exit codes are severity-based: 0 = clean (notes allowed),
+// 3 = warnings found, 4 = errors found (1 = I/O failure, 2 = usage).
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 
 #include "core/viewcap.h"
+#include "lint/linter.h"
 
 namespace {
 
 int Usage() {
   std::fprintf(stderr,
                "usage: viewcap_cli <program-file> <command> [args...]\n"
+               "       viewcap_cli lint <program-file> "
+               "[--format=text|json] [--no-semantic]\n"
                "commands:\n"
                "  list\n"
                "  equiv <V> <W>\n"
@@ -40,24 +51,76 @@ int Usage() {
                "  export <V>\n"
                "  capacity <V> <max-leaves>\n"
                "  eval <V> <view-query> <data-file>\n"
-               "  report\n");
+               "  report\n"
+               "  lint [--format=text|json] [--no-semantic]\n");
   return 2;
+}
+
+bool ReadFile(const char* path, std::string* out) {
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec)) return false;
+  std::ifstream in(path);
+  if (!in) return false;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+/// `viewcap_cli lint <file> [flags]` or `viewcap_cli <file> lint [flags]`.
+int RunLint(const char* path, int argc, char** argv, int flags_from) {
+  bool json = false;
+  viewcap::LintOptions options;
+  for (int i = flags_from; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--format=json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--format=text") == 0) {
+      json = false;
+    } else if (std::strcmp(argv[i], "--no-semantic") == 0) {
+      options.semantic = false;
+    } else {
+      std::fprintf(stderr, "viewcap_cli: unknown lint flag '%s'\n", argv[i]);
+      return Usage();
+    }
+  }
+  std::string text;
+  if (!ReadFile(path, &text)) {
+    std::fprintf(stderr, "viewcap_cli: cannot open '%s'\n", path);
+    return 1;
+  }
+  viewcap::Linter linter(options);
+  viewcap::LintResult result = linter.Run(text);
+  if (json) {
+    std::cout << viewcap::RenderJson(result.diagnostics, path);
+  } else if (result.diagnostics.empty()) {
+    std::cout << path << ": no problems found\n";
+  } else {
+    std::cout << viewcap::RenderText(result.diagnostics, path);
+  }
+  if (result.HasErrors()) return 4;
+  if (result.HasWarnings()) return 3;
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 3) return Usage();
-  std::ifstream in(argv[1]);
-  if (!in) {
+  // Lint runs before (instead of) analyzer loading: its whole point is to
+  // diagnose programs the loader would reject.
+  if (std::strcmp(argv[1], "lint") == 0) {
+    return RunLint(argv[2], argc, argv, 3);
+  }
+  if (std::strcmp(argv[2], "lint") == 0) {
+    return RunLint(argv[1], argc, argv, 3);
+  }
+  std::string program_text;
+  if (!ReadFile(argv[1], &program_text)) {
     std::fprintf(stderr, "viewcap_cli: cannot open '%s'\n", argv[1]);
     return 1;
   }
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-
   viewcap::Analyzer analyzer;
-  viewcap::Status st = analyzer.Load(buffer.str());
+  viewcap::Status st = analyzer.Load(program_text);
   if (!st.ok()) {
     std::fprintf(stderr, "viewcap_cli: %s\n", st.ToString().c_str());
     return 1;
