@@ -1,0 +1,7 @@
+// Shared entry point for every bench binary: Google Benchmark's flags plus
+// the --json=<path> baseline writer (see RunBenchmarkHarness).
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  return viewcap::bench::RunBenchmarkHarness(argc, argv);
+}

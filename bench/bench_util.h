@@ -7,6 +7,11 @@
 #ifndef VIEWCAP_BENCH_BENCH_UTIL_H_
 #define VIEWCAP_BENCH_BENCH_UTIL_H_
 
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -15,6 +20,88 @@
 
 namespace viewcap {
 namespace bench {
+
+/// One per-iteration measurement, as written to the --json baseline file.
+struct BenchRecord {
+  std::string name;
+  std::int64_t iters = 0;
+  double ns_per_op = 0.0;
+};
+
+/// Console reporter that additionally collects per-iteration runs (skipping
+/// aggregates and errored runs) for the JSON baseline output.
+class RecordingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const double ns =
+          run.iterations > 0
+              ? run.real_accumulated_time /
+                    static_cast<double>(run.iterations) * 1e9
+              : run.real_accumulated_time * 1e9;
+      records_.push_back(BenchRecord{run.benchmark_name(),
+                                     static_cast<std::int64_t>(run.iterations),
+                                     ns});
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<BenchRecord>& records() const { return records_; }
+
+ private:
+  std::vector<BenchRecord> records_;
+};
+
+/// Renders records as a stable JSON document: an array of
+/// {"name", "iters", "ns_per_op"} objects under a "benchmarks" key.
+inline std::string RenderBenchJson(const std::vector<BenchRecord>& records) {
+  std::string out = "{\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    char ns[64];
+    std::snprintf(ns, sizeof(ns), "%.1f", records[i].ns_per_op);
+    out += StrCat("    {\"name\": \"", records[i].name,
+                  "\", \"iters\": ", records[i].iters, ", \"ns_per_op\": ",
+                  ns, "}", i + 1 < records.size() ? "," : "", "\n");
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+/// Shared main for every bench binary: strips a `--json=<path>` flag,
+/// forwards the rest to Google Benchmark, and (when requested) writes the
+/// per-iteration records to `<path>` after the run. Returns nonzero on
+/// unrecognized flags or an unwritable output path.
+inline int RunBenchmarkHarness(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    constexpr const char kJsonFlag[] = "--json=";
+    if (std::strncmp(argv[i], kJsonFlag, sizeof(kJsonFlag) - 1) == 0) {
+      json_path = argv[i] + sizeof(kJsonFlag) - 1;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  RecordingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n", json_path.c_str());
+      return 1;
+    }
+    out << RenderBenchJson(reporter.records());
+  }
+  return 0;
+}
 
 /// A chain schema r1(X0,X1), r2(X1,X2), ..., rn(X(n-1),Xn).
 struct ChainSchema {

@@ -75,7 +75,7 @@ Result<EquivalenceResult> Analyzer::CheckEquivalence(const std::string& left,
   VIEWCAP_ASSIGN_OR_RETURN(const View* v, GetView(left));
   VIEWCAP_ASSIGN_OR_RETURN(const View* w, GetView(right));
   VIEWCAP_ASSIGN_OR_RETURN(EquivalenceResult result,
-                           AreEquivalent(*v, *w, limits_));
+                           AreEquivalent(*engine_, *v, *w, limits_));
   if (report != nullptr) {
     std::string out = StrCat("equivalent(", left, ", ", right, ") = ",
                              result.equivalent ? "true" : "false",
@@ -116,7 +116,7 @@ Result<MembershipResult> Analyzer::CheckAnswerable(
                  catalog_->RelationName(rel), "'"));
     }
   }
-  CapacityOracle oracle(*view, limits_);
+  CapacityOracle oracle(engine_.get(), *view, limits_);
   VIEWCAP_ASSIGN_OR_RETURN(MembershipResult result, oracle.Contains(query));
   if (report != nullptr) {
     if (result.member) {
@@ -135,7 +135,7 @@ Result<NonredundantViewResult> Analyzer::EliminateRedundancy(
     const std::string& name, std::string* report) {
   VIEWCAP_ASSIGN_OR_RETURN(const View* view, GetView(name));
   VIEWCAP_ASSIGN_OR_RETURN(NonredundantViewResult result,
-                           MakeNonredundant(*view, limits_));
+                           MakeNonredundant(*engine_, *view, limits_));
   if (report != nullptr) {
     *report = StrCat("kept ", result.kept.size(), " of ", view->size(),
                      " definitions\n", result.view.ToString());
@@ -152,7 +152,7 @@ Result<SimplifyOutcome> Analyzer::SimplifyView(const std::string& name,
                                                std::string* report) {
   VIEWCAP_ASSIGN_OR_RETURN(const View* view, GetView(name));
   VIEWCAP_ASSIGN_OR_RETURN(SimplifyOutcome outcome,
-                           Simplify(catalog_.get(), *view, limits_));
+                           Simplify(*engine_, catalog_.get(), *view, limits_));
   if (report != nullptr) {
     *report = StrCat("simplified in ", outcome.rounds, " round(s)\n",
                      outcome.view.ToString());
@@ -173,9 +173,9 @@ Result<std::vector<Analyzer::LatticeEntry>> Analyzer::CompareAllViews(
       const View& left = views_.at(view_order_[i]);
       const View& right = views_.at(view_order_[j]);
       VIEWCAP_ASSIGN_OR_RETURN(DominanceResult lr,
-                               Dominates(left, right, limits_));
+                               Dominates(*engine_, left, right, limits_));
       VIEWCAP_ASSIGN_OR_RETURN(DominanceResult rl,
-                               Dominates(right, left, limits_));
+                               Dominates(*engine_, right, left, limits_));
       entries.push_back(LatticeEntry{view_order_[i], view_order_[j],
                                      lr.dominates, rl.dominates,
                                      lr.inconclusive || rl.inconclusive});
@@ -223,7 +223,8 @@ Result<const View*> Analyzer::ComposeViews(const std::string& inner,
                                            std::string* report) {
   VIEWCAP_ASSIGN_OR_RETURN(const View* inner_view, GetView(inner));
   VIEWCAP_ASSIGN_OR_RETURN(const View* outer_view, GetView(outer));
-  VIEWCAP_ASSIGN_OR_RETURN(View composed, Compose(*inner_view, *outer_view));
+  VIEWCAP_ASSIGN_OR_RETURN(View composed,
+                           Compose(*engine_, *inner_view, *outer_view));
   std::string result_name = composed.name();
   if (report != nullptr) *report = composed.ToString();
   if (views_.count(result_name) == 0) {
@@ -260,7 +261,7 @@ Analyzer::EnumerateViewCapacity(const std::string& name,
                                 std::size_t max_entries,
                                 std::string* report) {
   VIEWCAP_ASSIGN_OR_RETURN(const View* view, GetView(name));
-  CapacityOracle oracle(*view, limits_);
+  CapacityOracle oracle(engine_.get(), *view, limits_);
   VIEWCAP_ASSIGN_OR_RETURN(
       std::vector<CapacityOracle::CapacityEntry> entries,
       oracle.EnumerateCapacity(max_leaves, max_entries));

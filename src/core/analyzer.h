@@ -7,6 +7,7 @@
 #include <memory>
 #include <string>
 
+#include "engine/engine.h"
 #include "tableau/recognize.h"
 #include "views/compose.h"
 #include "views/equivalence.h"
@@ -21,7 +22,9 @@ namespace viewcap {
 /// layer APIs directly.
 class Analyzer {
  public:
-  Analyzer() : catalog_(std::make_unique<Catalog>()) {}
+  Analyzer()
+      : catalog_(std::make_unique<Catalog>()),
+        engine_(std::make_unique<Engine>(catalog_.get())) {}
 
   /// Parses `program` (schema and view blocks) into this analyzer.
   /// All relation names across calls share one catalog.
@@ -29,6 +32,13 @@ class Analyzer {
 
   Catalog& catalog() { return *catalog_; }
   const DbSchema& base() const { return base_; }
+
+  /// The memoizing engine shared by every decision procedure this analyzer
+  /// runs: repeated questions about the same views hit its caches.
+  Engine& engine() { return *engine_; }
+
+  /// Snapshot of the shared engine's cache and interning counters.
+  EngineStats engine_stats() const { return engine_->Stats(); }
 
   /// The names of loaded views, in load order.
   std::vector<std::string> ViewNames() const;
@@ -111,6 +121,7 @@ class Analyzer {
   Status RegisterView(View view, const std::string& name);
 
   std::unique_ptr<Catalog> catalog_;
+  std::unique_ptr<Engine> engine_;  // Over *catalog_; shared by all commands.
   DbSchema base_;
   std::vector<RelId> base_rels_;
   std::map<std::string, View> views_;

@@ -2,7 +2,6 @@
 
 #include "algebra/printer.h"
 #include "base/strings.h"
-#include "tableau/reduce.h"
 #include "views/components.h"
 #include "views/redundancy.h"
 #include "views/simplify.h"
@@ -19,9 +18,31 @@ std::string SchemeNames(const Catalog& catalog, const AttrSet& scheme) {
 
 }  // namespace
 
+std::string RenderEngineStats(const EngineStats& stats) {
+  std::string out = "## Engine statistics\n\n";
+  out += StrCat("Interned template classes: ", stats.interned_classes, " (",
+                stats.intern_requests, " requests, ", stats.intern_hits,
+                " hits, ", stats.equivalence_confirms,
+                " equivalence confirms)\n\n");
+  out += "| cache | requests | hits | runs | entries | evictions |\n";
+  out += "|---|---|---|---|---|---|\n";
+  auto row = [&](const char* name, const CacheCounters& c) {
+    out += StrCat("| ", name, " | ", c.requests, " | ", c.hits(), " | ",
+                  c.runs, " | ", c.entries, " | ", c.evictions, " |\n");
+  };
+  row("reduce", stats.reduce);
+  row("canonical-key", stats.canonical_key);
+  row("homomorphism", stats.homomorphism);
+  row("row-embedding", stats.row_embedding);
+  row("expansion", stats.expansion);
+  row("verdict", stats.verdict);
+  return out;
+}
+
 Result<std::string> RenderReport(Analyzer& analyzer,
                                  const ReportOptions& options) {
   Catalog& catalog = analyzer.catalog();
+  Engine& engine = analyzer.engine();
   std::string out = "# viewcap analysis report\n\n";
 
   // ---- Schema. ----------------------------------------------------------
@@ -45,13 +66,13 @@ Result<std::string> RenderReport(Analyzer& analyzer,
     out += "|---|---|---|---|---|---|\n";
     for (std::size_t i = 0; i < view->size(); ++i) {
       const ViewDefinition& d = view->definitions()[i];
-      Tableau reduced = Reduce(catalog, d.tableau);
+      Tableau reduced = engine.Reduced(d.tableau);
       VIEWCAP_ASSIGN_OR_RETURN(
           RedundancyResult redundancy,
-          IsRedundant(&catalog, set, i, analyzer.limits()));
+          IsRedundant(engine, set, i, analyzer.limits()));
       VIEWCAP_ASSIGN_OR_RETURN(
           SimplicityResult simplicity,
-          IsSimple(&catalog, set, i, analyzer.limits()));
+          IsSimple(engine, &catalog, set, i, analyzer.limits()));
       auto verdict = [](bool yes, bool budget) {
         return std::string(yes ? "yes" : "no") +
                (budget ? " (budget)" : "");
@@ -69,12 +90,12 @@ Result<std::string> RenderReport(Analyzer& analyzer,
           " |\n");
     }
     out += StrCat("\nNonredundant-equivalent size bound (Lemma 3.1.6): ",
-                  NonredundantSizeBound(catalog, set), "\n\n");
+                  NonredundantSizeBound(engine, set), "\n\n");
 
     if (options.include_normal_forms) {
       VIEWCAP_ASSIGN_OR_RETURN(
           SimplifyOutcome simplified,
-          Simplify(&catalog, *view, analyzer.limits()));
+          Simplify(engine, &catalog, *view, analyzer.limits()));
       out += StrCat("Simplified normal form (", simplified.view.size(),
                     " definitions, ", simplified.rounds, " rounds",
                     simplified.inconclusive ? ", budget-limited" : "",
@@ -86,7 +107,7 @@ Result<std::string> RenderReport(Analyzer& analyzer,
     }
 
     if (options.capacity_leaves > 0) {
-      CapacityOracle oracle(*view, analyzer.limits());
+      CapacityOracle oracle(&engine, *view, analyzer.limits());
       VIEWCAP_ASSIGN_OR_RETURN(
           std::vector<CapacityOracle::CapacityEntry> entries,
           oracle.EnumerateCapacity(options.capacity_leaves,
@@ -106,6 +127,10 @@ Result<std::string> RenderReport(Analyzer& analyzer,
     (void)entries;
     out += lattice;
     out += "\n";
+  }
+
+  if (options.include_engine_stats) {
+    out += RenderEngineStats(analyzer.engine_stats());
   }
   return out;
 }

@@ -18,7 +18,15 @@ struct ReportOptions {
   bool include_normal_forms = true;
   /// Include the pairwise dominance classification.
   bool include_lattice = true;
+  /// Append the shared engine's cache statistics (interned classes, memo
+  /// hit rates) as a final section.
+  bool include_engine_stats = false;
 };
+
+/// Renders an EngineStats snapshot as a markdown table (one row per cache,
+/// plus the interning summary). Used by the report's optional stats section
+/// and by the CLI's --engine-stats flag.
+std::string RenderEngineStats(const EngineStats& stats);
 
 /// Renders a markdown report over every view loaded into `analyzer`:
 /// the schema, per-view structural statistics (reduced template sizes,

@@ -11,6 +11,8 @@
 //   algebra/   m.r. expressions, evaluation, expansion, parser, printer
 //   tableau/   templates, Algorithm 2.1.1, homomorphisms, reduction,
 //              substitution, canonical keys, counterexample search
+//   engine/    memoizing closure engine: interned template classes plus
+//              shared decision caches for the hot kernels
 //   views/     views, capacity oracle, equivalence, redundancy,
 //              essential tuples, simplification
 //   core/      the Analyzer convenience facade
@@ -27,6 +29,7 @@
 #include "base/status.h"
 #include "core/analyzer.h"
 #include "core/report.h"
+#include "engine/engine.h"
 #include "relation/attr_set.h"
 #include "relation/catalog.h"
 #include "relation/data_parser.h"

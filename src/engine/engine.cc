@@ -1,0 +1,173 @@
+#include "engine/engine.h"
+
+#include "base/check.h"
+#include "base/strings.h"
+#include "tableau/canonical.h"
+#include "tableau/homomorphism.h"
+#include "tableau/reduce.h"
+
+namespace viewcap {
+
+std::string TableauFingerprint(const Tableau& t) {
+  std::string out = "U";
+  for (AttrId a : t.universe()) out += StrCat(a, ",");
+  for (const TaggedTuple& row : t.rows()) {
+    out += StrCat("|r", row.rel, ":");
+    for (std::size_t k = 0; k < row.tuple.size(); ++k) {
+      const Symbol& s = row.tuple.ValueAt(k);
+      out += StrCat(s.attr, ".", s.ordinal, ",");
+    }
+  }
+  return out;
+}
+
+Engine::Engine(const Catalog* catalog, EngineOptions options)
+    : catalog_(catalog),
+      options_(options),
+      reduce_cache_(options.max_memo_entries),
+      key_cache_(options.max_memo_entries),
+      hom_cache_(options.max_memo_entries),
+      embed_cache_(options.max_memo_entries),
+      expansion_cache_(options.max_memo_entries),
+      verdict_cache_(options.max_memo_entries) {}
+
+Tableau Engine::Reduced(const Tableau& t) {
+  ++reduce_requests_;
+  const std::string fingerprint = TableauFingerprint(t);
+  if (const Tableau* hit = reduce_cache_.Get(fingerprint)) return *hit;
+  ++reduce_runs_;
+  Tableau reduced = Reduce(*catalog_, t);
+  // A core is its own reduction, so pre-seed the result's entry too: later
+  // requests for the already-reduced form (e.g. re-interning a
+  // representative) stay hits.
+  const std::string reduced_fingerprint = TableauFingerprint(reduced);
+  if (reduced_fingerprint != fingerprint) {
+    reduce_cache_.Put(reduced_fingerprint, reduced);
+  }
+  reduce_cache_.Put(fingerprint, reduced);
+  return reduced;
+}
+
+std::string Engine::Key(const Tableau& t) {
+  ++key_requests_;
+  const std::string fingerprint = TableauFingerprint(t);
+  if (const std::string* hit = key_cache_.Get(fingerprint)) return *hit;
+  ++key_runs_;
+  std::string key = CanonicalKey(t);
+  key_cache_.Put(fingerprint, key);
+  return key;
+}
+
+TableauId Engine::Intern(const Tableau& t) {
+  ++intern_requests_;
+  Tableau reduced = Reduced(t);
+  const std::string key = Key(reduced);
+  std::vector<TableauId>& bucket = key_buckets_[key];
+  for (TableauId id : bucket) {
+    // A canonical-key hit is only a candidate: beyond the exact-form row
+    // threshold keys are invariant signatures that non-equivalent
+    // templates may share.
+    ++equivalence_confirms_;
+    if (EquivalentTableaux(*catalog_, classes_[id], reduced)) {
+      ++intern_hits_;
+      return id;
+    }
+  }
+  const TableauId id = classes_.size();
+  classes_.push_back(std::move(reduced));
+  bucket.push_back(id);
+  return id;
+}
+
+const Tableau& Engine::Representative(TableauId id) const {
+  VIEWCAP_CHECK(id < classes_.size());
+  return classes_[id];
+}
+
+bool Engine::Equivalent(const Tableau& a, const Tableau& b) {
+  return Intern(a) == Intern(b);
+}
+
+bool Engine::HomomorphismExists(TableauId from, TableauId to) {
+  ++hom_requests_;
+  const std::string key = StrCat(from, "~", to);
+  if (const bool* hit = hom_cache_.Get(key)) return *hit;
+  ++hom_runs_;
+  const bool exists =
+      HasHomomorphism(*catalog_, Representative(from), Representative(to));
+  hom_cache_.Put(key, exists);
+  return exists;
+}
+
+bool Engine::RowEmbeds(TableauId from, TableauId to) {
+  ++embed_requests_;
+  const std::string key = StrCat(from, "~", to);
+  if (const bool* hit = embed_cache_.Get(key)) return *hit;
+  ++embed_runs_;
+  const bool embeds =
+      HasRowEmbedding(*catalog_, Representative(from), Representative(to));
+  embed_cache_.Put(key, embeds);
+  return embeds;
+}
+
+Result<TableauId> Engine::ExpansionClass(TableauId level,
+                                         const TemplateAssignment& beta) {
+  ++expansion_requests_;
+  const Tableau& rep = Representative(level);
+  std::string key = StrCat("L", level, "|");
+  bool keyed = true;
+  for (RelId rel : rep.RelNames()) {
+    auto it = beta.find(rel);
+    if (it == beta.end()) {
+      // Let the substitution surface the NotFound error uncached.
+      keyed = false;
+      break;
+    }
+    key += StrCat(rel, ">", Intern(it->second), ";");
+  }
+  if (keyed) {
+    if (const TableauId* hit = expansion_cache_.Get(key)) return *hit;
+  }
+  ++expansion_runs_;
+  SymbolPool pool;
+  VIEWCAP_ASSIGN_OR_RETURN(Tableau expansion,
+                           SubstituteTableau(*catalog_, rep, beta, pool));
+  const TableauId id = Intern(expansion);
+  if (keyed) expansion_cache_.Put(key, id);
+  return id;
+}
+
+const MembershipResult* Engine::LookupVerdict(const std::string& key) {
+  ++verdict_requests_;
+  const MembershipResult* hit = verdict_cache_.Get(key);
+  if (hit == nullptr) ++verdict_runs_;
+  return hit;
+}
+
+void Engine::StoreVerdict(const std::string& key,
+                          const MembershipResult& verdict) {
+  verdict_cache_.Put(key, verdict);
+}
+
+EngineStats Engine::Stats() const {
+  EngineStats stats;
+  stats.reduce = {reduce_requests_, reduce_runs_, reduce_cache_.evictions(),
+                  reduce_cache_.size()};
+  stats.canonical_key = {key_requests_, key_runs_, key_cache_.evictions(),
+                         key_cache_.size()};
+  stats.homomorphism = {hom_requests_, hom_runs_, hom_cache_.evictions(),
+                        hom_cache_.size()};
+  stats.row_embedding = {embed_requests_, embed_runs_,
+                         embed_cache_.evictions(), embed_cache_.size()};
+  stats.expansion = {expansion_requests_, expansion_runs_,
+                     expansion_cache_.evictions(), expansion_cache_.size()};
+  stats.verdict = {verdict_requests_, verdict_runs_,
+                   verdict_cache_.evictions(), verdict_cache_.size()};
+  stats.intern_requests = intern_requests_;
+  stats.intern_hits = intern_hits_;
+  stats.interned_classes = classes_.size();
+  stats.equivalence_confirms = equivalence_confirms_;
+  return stats;
+}
+
+}  // namespace viewcap

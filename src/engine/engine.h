@@ -1,0 +1,235 @@
+// The memoizing closure engine: interned template classes and shared
+// decision caches for the Section 2.4 kernels (see DESIGN.md, "The engine
+// layer").
+//
+// Every decision procedure in the library runs the same
+// substitute -> reduce -> canonicalize -> homomorphism pipeline over
+// overlapping template sets. An Engine owns that pipeline once per
+// analysis run: templates are interned into equivalence classes (same
+// TableauId iff equivalent mappings), the hot kernels are memoized behind
+// bounded LRU caches, and every cache exports hit/miss/eviction counters
+// through an EngineStats snapshot.
+#ifndef VIEWCAP_ENGINE_ENGINE_H_
+#define VIEWCAP_ENGINE_ENGINE_H_
+
+#include <cstddef>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "algebra/expr.h"
+#include "base/status.h"
+#include "tableau/substitution.h"
+#include "tableau/tableau.h"
+
+namespace viewcap {
+
+/// Identifier of an interned equivalence class of templates. Two templates
+/// interned into one Engine receive the same TableauId if and only if they
+/// realize the same mapping (Proposition 2.4.3): interning reduces to the
+/// core (unique up to isomorphism, Section 4.2), buckets by canonical key
+/// (isomorphism-invariant), and confirms key collisions with the exact
+/// two-way homomorphism test. Ids are dense indices, stable for the
+/// engine's lifetime — the interning store never evicts.
+using TableauId = std::size_t;
+
+inline constexpr TableauId kInvalidTableauId =
+    static_cast<TableauId>(-1);
+
+/// Outcome of a closure-membership test (Theorem 2.4.11). Lives in the
+/// engine layer because membership verdicts are what the engine's verdict
+/// cache stores; views/capacity.h re-exports it for its callers.
+struct MembershipResult {
+  /// True when the query was shown to be in the closure.
+  bool member = false;
+  /// When member: an expression over the query-set handles whose expansion
+  /// is equivalent to the query — the paper's construction T -> beta with
+  /// T the witness's template (Theorem 2.3.2).
+  ExprPtr witness;
+  /// True when the enumeration stopped on max_candidates before either
+  /// finding a witness or exhausting the leaf budget; a negative verdict is
+  /// then inconclusive.
+  bool budget_exhausted = false;
+  std::size_t candidates_tried = 0;
+  std::size_t leaf_budget = 0;
+};
+
+/// Engine tuning.
+struct EngineOptions {
+  /// Per-cache entry bound for the memo caches (reduce, canonical key,
+  /// pair predicates, expansions, verdicts). The interning store is exempt:
+  /// evicting a class would invalidate issued TableauIds.
+  std::size_t max_memo_entries = 1 << 16;
+};
+
+/// Counter snapshot for one memo cache. `requests - runs` is the hit
+/// count; `runs` counts actual kernel executions (misses).
+struct CacheCounters {
+  std::size_t requests = 0;
+  std::size_t runs = 0;
+  std::size_t evictions = 0;
+  std::size_t entries = 0;
+
+  std::size_t hits() const { return requests - runs; }
+};
+
+/// Point-in-time snapshot of an engine's caches (see
+/// RenderEngineStats in core/report.h for the human-readable form).
+struct EngineStats {
+  CacheCounters reduce;         ///< Reduce-to-core kernel (Prop 2.4.4).
+  CacheCounters canonical_key;  ///< CanonicalKey kernel.
+  CacheCounters homomorphism;   ///< Hom existence between interned pairs.
+  CacheCounters row_embedding;  ///< Row-embedding between interned pairs.
+  CacheCounters expansion;      ///< Reduced T -> beta expansion classes.
+  CacheCounters verdict;        ///< Membership verdicts per (set, query).
+
+  std::size_t intern_requests = 0;
+  std::size_t intern_hits = 0;       ///< Existing class found.
+  std::size_t interned_classes = 0;  ///< Live classes (never evicted).
+  /// EquivalentTableaux confirmations run to resolve canonical-key bucket
+  /// collisions during interning.
+  std::size_t equivalence_confirms = 0;
+};
+
+/// Exact structural fingerprint of a template: equal strings iff equal
+/// universe, rows, tags and symbols (no renaming). Used as the memo key
+/// for the per-template kernels, where canonical keys would be unsound
+/// (the beyond-threshold signature path of CanonicalKey may collide for
+/// non-equivalent templates).
+std::string TableauFingerprint(const Tableau& t);
+
+/// A bounded memo cache with LRU eviction. Values are returned by pointer
+/// valid only until the next Put (eviction may free them); callers copy
+/// immediately. Not thread-safe, like the rest of the library.
+template <typename Value>
+class MemoCache {
+ public:
+  explicit MemoCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// nullptr on miss; refreshes recency on hit.
+  const Value* Get(const std::string& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    order_.splice(order_.begin(), order_, it->second);
+    return &it->second->second;
+  }
+
+  void Put(const std::string& key, Value value) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.emplace_front(key, std::move(value));
+    index_.emplace(key, order_.begin());
+    if (index_.size() > capacity_ && capacity_ > 0) {
+      index_.erase(order_.back().first);
+      order_.pop_back();
+      ++evictions_;
+    }
+  }
+
+  std::size_t size() const { return index_.size(); }
+  std::size_t evictions() const { return evictions_; }
+
+ private:
+  std::size_t capacity_;
+  std::list<std::pair<std::string, Value>> order_;  // Front = most recent.
+  std::unordered_map<std::string,
+                     typename std::list<std::pair<std::string, Value>>::
+                         iterator>
+      index_;
+  std::size_t evictions_ = 0;
+};
+
+/// One analysis run's shared closure machinery. The catalog must outlive
+/// the engine; catalog growth (minted handles) is fine — the engine never
+/// enumerates the catalog. Not thread-safe.
+class Engine {
+ public:
+  explicit Engine(const Catalog* catalog, EngineOptions options = {});
+
+  const Catalog& catalog() const { return *catalog_; }
+  const EngineOptions& options() const { return options_; }
+
+  /// Memoized Reduce (Proposition 2.4.4), keyed by exact fingerprint.
+  /// Returns by value: the backing cache entry may be evicted later.
+  Tableau Reduced(const Tableau& t);
+
+  /// Memoized CanonicalKey, keyed by exact fingerprint.
+  std::string Key(const Tableau& t);
+
+  /// Interns `t`'s equivalence class: reduce, canonical-key bucket,
+  /// confirm collisions with EquivalentTableaux. Every template is reduced
+  /// and canonicalized at most once per engine.
+  TableauId Intern(const Tableau& t);
+
+  /// The class's stored reduced representative. The reference is stable
+  /// for the engine's lifetime.
+  const Tableau& Representative(TableauId id) const;
+
+  /// Mapping equivalence as an id comparison (Proposition 2.4.3 via the
+  /// interning invariant).
+  bool Equivalent(const Tableau& a, const Tableau& b);
+
+  /// Memoized homomorphism existence Representative(from) ->
+  /// Representative(to) (Proposition 2.4.1). Equivalent to the test on any
+  /// class members: homomorphisms compose with the two-way homomorphisms
+  /// linking a member to its representative.
+  bool HomomorphismExists(TableauId from, TableauId to);
+
+  /// Memoized row-embedding existence between class representatives (the
+  /// capacity search's completeness-preserving prune). Row embeddings also
+  /// compose with homomorphisms, so the verdict is class-invariant.
+  bool RowEmbeds(TableauId from, TableauId to);
+
+  /// The class of the reduced expansion Reduce(Representative(level) ->
+  /// beta), memoized by (level, interned classes of beta's assignments on
+  /// RN(level)). By the substitution congruence (Lemma 2.3.1) the class
+  /// depends only on those inputs, so the cache is shared across query
+  /// sets that route the same handles to equivalent queries — redundancy's
+  /// leave-one-out loops reuse the full-set closure frontier.
+  Result<TableauId> ExpansionClass(TableauId level,
+                                   const TemplateAssignment& beta);
+
+  /// Cached membership verdict lookup. Keys are built by the capacity
+  /// oracle from (query-set fingerprint, search limits, query class); see
+  /// DESIGN.md for why the set fingerprint includes the handle names. The
+  /// returned pointer is valid only until the next StoreVerdict.
+  const MembershipResult* LookupVerdict(const std::string& key);
+  void StoreVerdict(const std::string& key, const MembershipResult& verdict);
+
+  EngineStats Stats() const;
+
+ private:
+  const Catalog* catalog_;
+  EngineOptions options_;
+
+  // Interning store: never evicted (ids must stay valid).
+  std::vector<Tableau> classes_;  // id -> reduced representative.
+  std::unordered_map<std::string, std::vector<TableauId>> key_buckets_;
+
+  MemoCache<Tableau> reduce_cache_;
+  MemoCache<std::string> key_cache_;
+  MemoCache<bool> hom_cache_;
+  MemoCache<bool> embed_cache_;
+  MemoCache<TableauId> expansion_cache_;
+  MemoCache<MembershipResult> verdict_cache_;
+
+  // requests/runs counters; entries/evictions come from the caches.
+  std::size_t reduce_requests_ = 0, reduce_runs_ = 0;
+  std::size_t key_requests_ = 0, key_runs_ = 0;
+  std::size_t hom_requests_ = 0, hom_runs_ = 0;
+  std::size_t embed_requests_ = 0, embed_runs_ = 0;
+  std::size_t expansion_requests_ = 0, expansion_runs_ = 0;
+  std::size_t verdict_requests_ = 0, verdict_runs_ = 0;
+  std::size_t intern_requests_ = 0, intern_hits_ = 0;
+  std::size_t equivalence_confirms_ = 0;
+};
+
+}  // namespace viewcap
+
+#endif  // VIEWCAP_ENGINE_ENGINE_H_

@@ -10,10 +10,8 @@
 #include "algebra/parser.h"
 #include "algebra/printer.h"
 #include "base/strings.h"
+#include "engine/engine.h"
 #include "tableau/build.h"
-#include "tableau/canonical.h"
-#include "tableau/homomorphism.h"
-#include "tableau/reduce.h"
 #include "views/capacity.h"
 #include "views/redundancy.h"
 #include "views/simplify.h"
@@ -313,7 +311,7 @@ class LintRun {
       Result<Tableau> t = BuildTableau(catalog_, universe, *def.expanded,
                                        pool);
       if (!t.ok()) return;  // Cannot happen for lowered queries; bail out.
-      def.reduced = Reduce(catalog_, *t);
+      def.reduced = engine_.Reduced(*t);
     }
     std::vector<bool> flagged(defs_.size(), false);
     FindEquivalentDefinitions(flagged);
@@ -321,19 +319,16 @@ class LintRun {
     FindReconstructible(universe, flagged);
   }
 
-  /// VCL103: pairwise mapping equivalence, prefiltered by canonical keys
-  /// and confirmed by two-way homomorphisms.
+  /// VCL103: pairwise mapping equivalence through the engine's interning
+  /// store (canonical-key prefilter plus homomorphism confirmation happen
+  /// inside Intern, once per definition rather than once per pair).
   void FindEquivalentDefinitions(std::vector<bool>& flagged) {
-    std::vector<std::string> keys;
-    keys.reserve(defs_.size());
-    for (const DefInfo& def : defs_) keys.push_back(CanonicalKey(def.reduced));
+    std::vector<TableauId> ids;
+    ids.reserve(defs_.size());
+    for (const DefInfo& def : defs_) ids.push_back(engine_.Intern(def.reduced));
     for (std::size_t j = 0; j < defs_.size(); ++j) {
       for (std::size_t i = 0; i < j; ++i) {
-        if (keys[i] != keys[j]) continue;
-        if (!EquivalentTableaux(catalog_, defs_[i].reduced,
-                                defs_[j].reduced)) {
-          continue;
-        }
+        if (ids[i] != ids[j]) continue;
         sink_.Report(
             Severity::kWarning, kEquivalentDefinitions, defs_[j].name_span,
             StrCat("defining query of '", defs_[j].name,
@@ -372,7 +367,7 @@ class LintRun {
         if (flagged[members[pos]]) continue;
         if (members.size() > 1) {
           Result<RedundancyResult> red =
-              IsRedundant(&catalog_, *set, pos, options_.limits);
+              IsRedundant(engine_, *set, pos, options_.limits);
           if (red.ok() && red->redundant) {
             std::string witness =
                 red->membership.witness != nullptr
@@ -391,7 +386,7 @@ class LintRun {
           }
         }
         Result<SimplicityResult> simple =
-            IsSimple(&catalog_, *set, pos, options_.limits);
+            IsSimple(engine_, &catalog_, *set, pos, options_.limits);
         if (simple.ok() && !simple->simple &&
             !simple->membership.budget_exhausted) {
           sink_.Report(
@@ -425,7 +420,7 @@ class LintRun {
       Result<QuerySet> set =
           QuerySet::Create(&catalog_, universe, std::move(others));
       if (!set.ok()) continue;
-      CapacityOracle oracle(&catalog_, *set, options_.limits);
+      CapacityOracle oracle(&engine_, *set, options_.limits);
       Result<MembershipResult> member = oracle.Contains(defs_[i].reduced);
       if (member.ok() && member->member) {
         std::string witness =
@@ -445,6 +440,7 @@ class LintRun {
   const LintOptions& options_;
   DiagnosticSink sink_;
   Catalog catalog_;
+  Engine engine_{&catalog_};  // Shared by every semantic rule of the run.
   std::map<std::string, RelInfo> env_;
   std::vector<RelId> base_ids_;
   std::vector<std::string> base_names_;

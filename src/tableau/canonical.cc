@@ -71,16 +71,26 @@ std::string Signature(const Tableau& t) {
         if (!s.IsDistinguished()) neighborhoods[s].push_back(row_sigs[i]);
       }
     }
-    std::map<std::string, std::size_t> intern;
-    std::map<Symbol, std::size_t> next_color;
+    // Color = rank of the neighborhood string among the sorted distinct
+    // strings. Ranking by content (not by symbol iteration order) keeps the
+    // signature invariant under renamings that reorder symbols.
+    std::map<Symbol, std::string> joined_by_symbol;
+    std::vector<std::string> distinct;
     for (auto& [s, neighborhood] : neighborhoods) {
       std::sort(neighborhood.begin(), neighborhood.end());
       std::string joined = StrJoin(neighborhood, "&");
-      auto [it, inserted] = intern.emplace(joined, intern.size());
-      next_color[s] = it->second;
+      distinct.push_back(joined);
+      joined_by_symbol[s] = std::move(joined);
     }
+    std::sort(distinct.begin(), distinct.end());
+    distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                   distinct.end());
     color.clear();
-    for (const auto& [s, c] : next_color) color[s] = c;
+    for (const auto& [s, joined] : joined_by_symbol) {
+      color[s] = static_cast<std::size_t>(
+          std::lower_bound(distinct.begin(), distinct.end(), joined) -
+          distinct.begin());
+    }
   }
   std::sort(row_sigs.begin(), row_sigs.end());
   return StrJoin(row_sigs, ";");
@@ -101,6 +111,26 @@ std::string CanonicalKey(const Tableau& t) {
     return StrCat("X:", best);
   }
   return StrCat("S:", Signature(t));
+}
+
+Tableau RenameNondistinguished(const Tableau& t, std::uint32_t seed) {
+  // Group the nondistinguished symbols by attribute (Symbols() is sorted,
+  // so each group arrives in ascending ordinal order).
+  std::map<AttrId, std::vector<Symbol>> by_attr;
+  for (const Symbol& s : t.Symbols()) {
+    if (!s.IsDistinguished()) by_attr[s.attr].push_back(s);
+  }
+  SymbolMap renaming;
+  for (const auto& [attr, symbols] : by_attr) {
+    // Reverse the per-attribute order and shift by the seed: injective per
+    // attribute, ordinals >= 1, and different seeds yield different labels.
+    const std::uint32_t n = static_cast<std::uint32_t>(symbols.size());
+    for (std::uint32_t i = 0; i < n; ++i) {
+      renaming[symbols[i]] =
+          Symbol::Nondistinguished(attr, seed + n - i);
+    }
+  }
+  return t.Apply(renaming);
 }
 
 }  // namespace viewcap

@@ -26,6 +26,15 @@ inline constexpr std::size_t kMaxRowsForExactCanonicalKey = 5;
 /// with EquivalentTableaux.
 std::string CanonicalKey(const Tableau& t);
 
+/// Returns an isomorphic copy of `t`: every nondistinguished symbol is
+/// renamed by an injective, attribute-preserving map chosen from `seed`
+/// (reversed per-attribute order, ordinals offset by the seed), so distinct
+/// seeds give distinct labelings of the same symbol structure. By the key's
+/// renaming-invariance contract, CanonicalKey(RenameNondistinguished(t, s))
+/// == CanonicalKey(t) for every seed — on both the exact and the signature
+/// path.
+Tableau RenameNondistinguished(const Tableau& t, std::uint32_t seed = 0);
+
 }  // namespace viewcap
 
 #endif  // VIEWCAP_TABLEAU_CANONICAL_H_

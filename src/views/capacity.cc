@@ -1,15 +1,13 @@
 #include "views/capacity.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <unordered_set>
 
 #include "algebra/enumerator.h"
 #include "base/check.h"
 #include "base/strings.h"
 #include "tableau/build.h"
-#include "tableau/canonical.h"
 #include "tableau/homomorphism.h"
-#include "tableau/reduce.h"
 
 namespace viewcap {
 
@@ -91,41 +89,49 @@ std::vector<RelId> QuerySet::Handles() const {
 
 CapacityOracle::CapacityOracle(const Catalog* catalog, QuerySet set,
                                SearchLimits limits)
-    : catalog_(catalog), set_(std::move(set)), limits_(limits) {}
+    : owned_engine_(std::make_unique<Engine>(catalog)),
+      engine_(owned_engine_.get()),
+      catalog_(catalog),
+      set_(std::move(set)),
+      limits_(limits) {
+  InternMembers();
+}
 
 CapacityOracle::CapacityOracle(const View& view, SearchLimits limits)
     : CapacityOracle(&view.catalog(), QuerySet::FromView(view), limits) {}
 
-namespace {
+CapacityOracle::CapacityOracle(Engine* engine, QuerySet set,
+                               SearchLimits limits)
+    : engine_(engine),
+      catalog_(&engine->catalog()),
+      set_(std::move(set)),
+      limits_(limits) {
+  InternMembers();
+}
 
-// Equivalence-class registry keyed by canonical form; key collisions fall
-// back to a full homomorphism check.
-class SeenSet {
- public:
-  explicit SeenSet(const Catalog* catalog) : catalog_(catalog) {}
+CapacityOracle::CapacityOracle(Engine* engine, const View& view,
+                               SearchLimits limits)
+    : CapacityOracle(engine, QuerySet::FromView(view), limits) {}
 
-  // Returns true when an equivalent template was already recorded;
-  // otherwise records `reduced` and returns false.
-  bool CheckAndInsert(const Tableau& reduced) {
-    return CheckAndInsert(CanonicalKey(reduced), reduced);
+void CapacityOracle::InternMembers() {
+  member_ids_.reserve(set_.size());
+  std::string fingerprint = "S";
+  for (const QuerySet::Member& m : set_.members()) {
+    const TableauId id = engine_->Intern(m.query);
+    member_ids_.push_back(id);
+    // The handle is part of the fingerprint on purpose: a verdict's
+    // witness is an expression over the handles, so sets with equivalent
+    // queries behind different handles must not share verdicts.
+    fingerprint += StrCat(m.handle, ":", id, ";");
   }
+  set_fingerprint_ = std::move(fingerprint);
+}
 
-  // Same with a precomputed canonical key.
-  bool CheckAndInsert(const std::string& key, const Tableau& reduced) {
-    auto& bucket = buckets_[key];
-    for (const Tableau& existing : bucket) {
-      if (EquivalentTableaux(*catalog_, existing, reduced)) return true;
-    }
-    bucket.push_back(reduced);
-    return false;
-  }
-
- private:
-  const Catalog* catalog_;
-  std::unordered_map<std::string, std::vector<Tableau>> buckets_;
-};
-
-}  // namespace
+std::string CapacityOracle::VerdictKey(TableauId query_id) const {
+  return StrCat(set_fingerprint_, "|", limits_.extra_leaves, ",",
+                limits_.max_leaves, ",", limits_.max_candidates, "|Q",
+                query_id);
+}
 
 namespace {
 
@@ -136,12 +142,16 @@ namespace {
 // member or partial projections inside the join fall through to the full
 // enumeration.
 Result<std::optional<ExprPtr>> TryCanonicalWitness(
-    const Catalog& catalog, const QuerySet& set,
-    const TemplateAssignment& beta, const Tableau& reduced_query) {
+    Engine& engine, const QuerySet& set,
+    const std::vector<TableauId>& member_ids,
+    const TemplateAssignment& beta, TableauId query_id) {
+  const Catalog& catalog = engine.catalog();
+  const Tableau& reduced_query = engine.Representative(query_id);
   std::vector<ExprPtr> parts;
   AttrSet joined_trs;
-  for (const QuerySet::Member& m : set.members()) {
-    if (HasRowEmbedding(catalog, m.query, reduced_query)) {
+  for (std::size_t i = 0; i < set.members().size(); ++i) {
+    const QuerySet::Member& m = set.members()[i];
+    if (engine.RowEmbeds(member_ids[i], query_id)) {
       parts.push_back(Expr::Rel(catalog, m.handle));
       joined_trs = joined_trs.Union(m.query.Trs());
     }
@@ -157,12 +167,11 @@ Result<std::optional<ExprPtr>> TryCanonicalWitness(
   SymbolPool pool;
   VIEWCAP_ASSIGN_OR_RETURN(
       Tableau level, BuildTableau(catalog, set.universe(), *candidate, pool));
-  VIEWCAP_ASSIGN_OR_RETURN(Tableau expansion,
-                           SubstituteTableau(catalog, level, beta, pool));
-  if (expansion.Trs() == query_trs &&
-      EquivalentTableaux(catalog, expansion, reduced_query)) {
-    return std::optional(candidate);
-  }
+  VIEWCAP_ASSIGN_OR_RETURN(
+      TableauId expansion,
+      engine.ExpansionClass(engine.Intern(level), beta));
+  // Same class <=> equivalent mappings (which also forces equal TRS).
+  if (expansion == query_id) return std::optional(candidate);
   return std::optional<ExprPtr>();
 }
 
@@ -174,8 +183,12 @@ Result<MembershipResult> CapacityOracle::Contains(const Tableau& query) const {
         "query is over a different universe than the query set");
   }
   VIEWCAP_RETURN_NOT_OK(query.Validate(*catalog_));
-  const Tableau reduced_query = Reduce(*catalog_, query);
-  const AttrSet query_trs = reduced_query.Trs();
+  const TableauId query_id = engine_->Intern(query);
+  const std::string verdict_key = VerdictKey(query_id);
+  if (const MembershipResult* cached = engine_->LookupVerdict(verdict_key)) {
+    return *cached;
+  }
+  const Tableau& reduced_query = engine_->Representative(query_id);
 
   MembershipResult result;
   result.leaf_budget =
@@ -186,14 +199,18 @@ Result<MembershipResult> CapacityOracle::Contains(const Tableau& query) const {
 
   VIEWCAP_ASSIGN_OR_RETURN(
       std::optional<ExprPtr> canonical,
-      TryCanonicalWitness(*catalog_, set_, beta, reduced_query));
+      TryCanonicalWitness(*engine_, set_, member_ids_, beta, query_id));
   if (canonical.has_value()) {
     result.member = true;
     result.witness = std::move(*canonical);
+    engine_->StoreVerdict(verdict_key, result);
     return result;
   }
-  SeenSet seen(catalog_);
-  SeenSet seen_levels(catalog_);
+  // Per-call dedup registries; the expensive kernels behind them (reduce,
+  // canonicalize, substitute, embed) are memoized in the engine and so
+  // shared across calls and oracles.
+  std::unordered_set<TableauId> seen_levels;
+  std::unordered_set<TableauId> seen_expansions;
   ExprEnumerator enumerator(catalog_, set_.Handles());
   Status failure = Status::OK();
 
@@ -208,41 +225,30 @@ Result<MembershipResult> CapacityOracle::Contains(const Tableau& query) const {
           return ExprEnumerator::Verdict::kStop;
         }
         // Cheap pre-substitution dedup: candidates whose handle-level
-        // templates coincide (commuted joins etc.) expand identically.
-        std::string level_key = CanonicalKey(*level);
-        if (seen_levels.CheckAndInsert(level_key, *level)) {
+        // templates coincide up to equivalence (commuted joins etc.)
+        // expand to equivalent templates (Lemma 2.3.1).
+        const TableauId level_id = engine_->Intern(*level);
+        if (!seen_levels.insert(level_id).second) {
           return ExprEnumerator::Verdict::kSkip;
         }
-        // Reuse the (query-independent) reduced expansion across Contains
-        // calls on this oracle.
-        Tableau reduced;
-        auto cached = expansion_cache_.find(level_key);
-        if (cached != expansion_cache_.end()) {
-          reduced = cached->second;
-        } else {
-          Result<Tableau> expansion =
-              SubstituteTableau(*catalog_, *level, beta, pool);
-          if (!expansion.ok()) {
-            failure = expansion.status();
-            return ExprEnumerator::Verdict::kStop;
-          }
-          reduced = Reduce(*catalog_, *expansion);
-          expansion_cache_.emplace(level_key, reduced);
+        Result<TableauId> expansion = engine_->ExpansionClass(level_id, beta);
+        if (!expansion.ok()) {
+          failure = expansion.status();
+          return ExprEnumerator::Verdict::kStop;
         }
         // Completeness-preserving prune: a witness's expansion maps
         // homomorphically onto the query, and every subexpression's
         // expansion therefore row-embeds into it (see HasRowEmbedding).
         // Candidates failing the embedding can appear in no witness.
-        // (Checked on the reduced expansion: embeddings compose with the
-        // core homomorphism, so reducibility does not affect the test.)
-        if (!HasRowEmbedding(*catalog_, reduced, reduced_query)) {
+        // (Checked on the class representatives: embeddings compose with
+        // the core homomorphisms, so the verdict is class-invariant.)
+        if (!engine_->RowEmbeds(*expansion, query_id)) {
           return ExprEnumerator::Verdict::kSkip;
         }
-        if (seen.CheckAndInsert(reduced)) {
+        if (!seen_expansions.insert(*expansion).second) {
           return ExprEnumerator::Verdict::kSkip;
         }
-        if (reduced.Trs() == query_trs &&
-            EquivalentTableaux(*catalog_, reduced, reduced_query)) {
+        if (*expansion == query_id) {
           result.member = true;
           result.witness = candidate;
           return ExprEnumerator::Verdict::kStop;
@@ -253,6 +259,7 @@ Result<MembershipResult> CapacityOracle::Contains(const Tableau& query) const {
   VIEWCAP_RETURN_NOT_OK(failure);
   result.candidates_tried = stats.generated;
   result.budget_exhausted = stats.exhausted_budget;
+  engine_->StoreVerdict(verdict_key, result);
   return result;
 }
 
@@ -271,7 +278,11 @@ Result<std::vector<ExhibitedConstruction>> CapacityOracle::FindConstructions(
     return Status::IllFormed(
         "query is over a different universe than the query set");
   }
-  const Tableau reduced_query = Reduce(*catalog_, query);
+  // Constructions exhibit provenance (blocks, the concrete homomorphism),
+  // so the candidate pipeline below stays on the raw substitution outcome;
+  // the engine only supplies the memoized reduced query for the prune.
+  const Tableau reduced_query =
+      engine_->Representative(engine_->Intern(query));
   const AttrSet query_trs = query.Trs();
   const std::size_t leaf_budget =
       std::min(limits_.max_leaves,
@@ -331,7 +342,8 @@ CapacityOracle::EnumerateCapacity(std::size_t max_leaves,
                                   std::size_t max_entries) const {
   const TemplateAssignment beta = set_.AsAssignment();
   std::vector<CapacityEntry> entries;
-  SeenSet seen(catalog_);
+  std::unordered_set<TableauId> seen_levels;
+  std::unordered_set<TableauId> seen_expansions;
   ExprEnumerator enumerator(catalog_, set_.Handles());
   Status failure = Status::OK();
 
@@ -345,17 +357,23 @@ CapacityOracle::EnumerateCapacity(std::size_t max_leaves,
           failure = level.status();
           return ExprEnumerator::Verdict::kStop;
         }
-        Result<Tableau> expansion =
-            SubstituteTableau(*catalog_, *level, beta, pool);
+        // Level-class duplicates expand to expansion-class duplicates
+        // (Lemma 2.3.1), which the historical implementation skipped after
+        // substituting; skipping them here is the same verdict, cheaper.
+        const TableauId level_id = engine_->Intern(*level);
+        if (!seen_levels.insert(level_id).second) {
+          return ExprEnumerator::Verdict::kSkip;
+        }
+        Result<TableauId> expansion = engine_->ExpansionClass(level_id, beta);
         if (!expansion.ok()) {
           failure = expansion.status();
           return ExprEnumerator::Verdict::kStop;
         }
-        Tableau reduced = Reduce(*catalog_, *expansion);
-        if (seen.CheckAndInsert(reduced)) {
+        if (!seen_expansions.insert(*expansion).second) {
           return ExprEnumerator::Verdict::kSkip;
         }
-        entries.push_back(CapacityEntry{candidate, std::move(reduced)});
+        entries.push_back(
+            CapacityEntry{candidate, engine_->Representative(*expansion)});
         if (entries.size() >= max_entries) {
           return ExprEnumerator::Verdict::kStop;
         }

@@ -2,33 +2,21 @@
 #ifndef VIEWCAP_VIEWS_CAPACITY_H_
 #define VIEWCAP_VIEWS_CAPACITY_H_
 
+#include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "algebra/enumerator.h"
 #include "algebra/expr.h"
+#include "engine/engine.h"
 #include "tableau/substitution.h"
 #include "views/view.h"
 
 namespace viewcap {
 
-/// Outcome of a membership test.
-struct MembershipResult {
-  /// True when the query was shown to be in the closure.
-  bool member = false;
-  /// When member: an expression over the query-set handles whose expansion
-  /// is equivalent to the query — the paper's construction T -> beta with
-  /// T the witness's template (Theorem 2.3.2).
-  ExprPtr witness;
-  /// True when the enumeration stopped on max_candidates before either
-  /// finding a witness or exhausting the leaf budget; a negative verdict is
-  /// then inconclusive.
-  bool budget_exhausted = false;
-  std::size_t candidates_tried = 0;
-  std::size_t leaf_budget = 0;
-};
+// MembershipResult lives in engine/engine.h (the engine's verdict cache
+// stores it); it is re-exported here for the views-layer callers.
 
 /// A finite named query set F of a database schema. Each member query
 /// (a template over the schema's universe) is paired with a "handle"
@@ -105,13 +93,30 @@ struct ExhibitedConstruction {
 /// by handle-level expressions; candidates are deduplicated by equivalence
 /// of their (reduced) expansions, which is a congruence for projection and
 /// join (Lemma 2.3.1), so pruning preserves completeness.
+///
+/// All closure kernels route through an Engine: levels and expansions are
+/// interned once, equivalence tests become TableauId comparisons, and
+/// whole membership verdicts are cached per (set fingerprint, limits,
+/// query class). Oracles built with the Engine* constructors share that
+/// machinery across query sets — dominance's two directions, redundancy's
+/// leave-one-out loops and the lattice all reuse one frontier; the legacy
+/// constructors own a private engine and behave like the historical
+/// implementation.
 class CapacityOracle {
  public:
+  /// Legacy: owns a private engine over `catalog`.
   CapacityOracle(const Catalog* catalog, QuerySet set,
                  SearchLimits limits = {});
 
-  /// Cap(V) membership for a view's capacity.
+  /// Cap(V) membership for a view's capacity (legacy, private engine).
   explicit CapacityOracle(const View& view, SearchLimits limits = {});
+
+  /// Shares `engine` (and all its caches) with other oracles. The engine
+  /// must be over the same catalog as the set and outlive the oracle.
+  CapacityOracle(Engine* engine, QuerySet set, SearchLimits limits = {});
+
+  /// Cap(V) membership through a shared engine.
+  CapacityOracle(Engine* engine, const View& view, SearchLimits limits = {});
 
   /// Is `query` (a template over the set's universe) in the closure?
   Result<MembershipResult> Contains(const Tableau& query) const;
@@ -145,16 +150,25 @@ class CapacityOracle {
 
   const QuerySet& set() const { return set_; }
   const SearchLimits& limits() const { return limits_; }
+  Engine& engine() const { return *engine_; }
 
  private:
+  /// Verdict-cache key for `query_id`; includes the member-wise set
+  /// fingerprint (handles AND query classes — witnesses are expressions
+  /// over the handles, so sets with the same queries but different handles
+  /// must not share verdicts) and the search limits.
+  std::string VerdictKey(TableauId query_id) const;
+
+  /// Interns every member query and builds the set fingerprint.
+  void InternMembers();
+
+  std::unique_ptr<Engine> owned_engine_;  // Legacy constructors only.
+  Engine* engine_;                        // Never null.
   const Catalog* catalog_;
   QuerySet set_;
   SearchLimits limits_;
-  // Memo of reduced expansions keyed by the handle-level template's
-  // canonical key: the substitute+reduce pipeline is query-independent, so
-  // repeated Contains calls on one oracle (dominance tests every defining
-  // query; the lattice and report run many) reuse it. Not thread-safe.
-  mutable std::unordered_map<std::string, Tableau> expansion_cache_;
+  std::vector<TableauId> member_ids_;  // Interned member query classes.
+  std::string set_fingerprint_;
 };
 
 }  // namespace viewcap

@@ -33,6 +33,16 @@ Result<View> Compose(const View& inner, const View& outer) {
                       std::move(name));
 }
 
+Result<View> Compose(Engine& engine, const View& inner, const View& outer) {
+  VIEWCAP_ASSIGN_OR_RETURN(View composed, Compose(inner, outer));
+  // Warm the engine: the composite's tableaux are what downstream analyses
+  // will reduce and compare first.
+  for (const ViewDefinition& d : composed.definitions()) {
+    engine.Intern(d.tableau);
+  }
+  return composed;
+}
+
 std::string ExportProgram(const View& view) {
   const Catalog& catalog = view.catalog();
   std::string out = "schema {\n";

@@ -3,6 +3,7 @@
 #ifndef VIEWCAP_VIEWS_COMPOSE_H_
 #define VIEWCAP_VIEWS_COMPOSE_H_
 
+#include "engine/engine.h"
 #include "views/view.h"
 
 namespace viewcap {
@@ -16,6 +17,12 @@ namespace viewcap {
 /// Cap(Compose(inner, outer)) is contained in Cap(inner): composition can
 /// only lose capacity, never gain it.
 Result<View> Compose(const View& inner, const View& outer);
+
+/// Same composition, but the composed view's defining tableaux are interned
+/// into `engine` before returning. Downstream analyses of the composite
+/// (equivalence, redundancy, simplification) through the same engine then
+/// start from already-reduced representatives.
+Result<View> Compose(Engine& engine, const View& inner, const View& outer);
 
 /// Renders a view (plus its underlying schema) back into the textual
 /// program syntax of algebra/parser.h; Analyzer::Load on the output

@@ -4,13 +4,13 @@
 
 namespace viewcap {
 
-Result<DominanceResult> Dominates(const View& v, const View& w,
-                                  SearchLimits limits) {
+Result<DominanceResult> Dominates(Engine& engine, const View& v,
+                                  const View& w, SearchLimits limits) {
   if (v.universe() != w.universe()) {
     return Status::IllFormed(
         "views are not over the same underlying universe");
   }
-  CapacityOracle oracle(v, limits);
+  CapacityOracle oracle(&engine, v, limits);
   DominanceResult result;
   result.dominates = true;
   result.witnesses.resize(w.size());
@@ -29,16 +29,28 @@ Result<DominanceResult> Dominates(const View& v, const View& w,
   return result;
 }
 
-Result<EquivalenceResult> AreEquivalent(const View& v, const View& w,
-                                        SearchLimits limits) {
+Result<DominanceResult> Dominates(const View& v, const View& w,
+                                  SearchLimits limits) {
+  Engine engine(&v.catalog());
+  return Dominates(engine, v, w, limits);
+}
+
+Result<EquivalenceResult> AreEquivalent(Engine& engine, const View& v,
+                                        const View& w, SearchLimits limits) {
   EquivalenceResult result;
-  VIEWCAP_ASSIGN_OR_RETURN(result.v_over_w, Dominates(v, w, limits));
-  VIEWCAP_ASSIGN_OR_RETURN(result.w_over_v, Dominates(w, v, limits));
+  VIEWCAP_ASSIGN_OR_RETURN(result.v_over_w, Dominates(engine, v, w, limits));
+  VIEWCAP_ASSIGN_OR_RETURN(result.w_over_v, Dominates(engine, w, v, limits));
   result.equivalent =
       result.v_over_w.dominates && result.w_over_v.dominates;
   result.inconclusive =
       result.v_over_w.inconclusive || result.w_over_v.inconclusive;
   return result;
+}
+
+Result<EquivalenceResult> AreEquivalent(const View& v, const View& w,
+                                        SearchLimits limits) {
+  Engine engine(&v.catalog());
+  return AreEquivalent(engine, v, w, limits);
 }
 
 }  // namespace viewcap

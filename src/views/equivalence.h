@@ -21,8 +21,14 @@ struct DominanceResult {
   std::vector<std::size_t> missing;
 };
 
-/// Tests whether `v` dominates `w`. The views must share the underlying
-/// universe.
+/// Tests whether `v` dominates `w` through a shared engine: the oracle
+/// over v reuses every template class and verdict the engine has already
+/// seen. The views must share the underlying universe and the engine's
+/// catalog.
+Result<DominanceResult> Dominates(Engine& engine, const View& v,
+                                  const View& w, SearchLimits limits = {});
+
+/// Legacy convenience: a private engine per call.
 Result<DominanceResult> Dominates(const View& v, const View& w,
                                   SearchLimits limits = {});
 
@@ -35,7 +41,14 @@ struct EquivalenceResult {
 };
 
 /// Theorem 2.4.12: decides whether `v` and `w` are equivalent
-/// (Cap(V) = Cap(W)).
+/// (Cap(V) = Cap(W)). Both containment directions share `engine`, so the
+/// levels and expansions interned while testing Cap(W) subset Cap(V) are
+/// reused by the reverse direction.
+Result<EquivalenceResult> AreEquivalent(Engine& engine, const View& v,
+                                        const View& w,
+                                        SearchLimits limits = {});
+
+/// Legacy convenience: a private engine shared by the two directions.
 Result<EquivalenceResult> AreEquivalent(const View& v, const View& w,
                                         SearchLimits limits = {});
 

@@ -3,14 +3,11 @@
 #include <numeric>
 
 #include "base/check.h"
-#include "tableau/homomorphism.h"
-#include "tableau/reduce.h"
 
 namespace viewcap {
 
-Result<RedundancyResult> IsRedundant(const Catalog* catalog,
-                                     const QuerySet& set, std::size_t index,
-                                     SearchLimits limits) {
+Result<RedundancyResult> IsRedundant(Engine& engine, const QuerySet& set,
+                                     std::size_t index, SearchLimits limits) {
   if (index >= set.size()) {
     return Status::InvalidArgument("query set member index out of range");
   }
@@ -20,19 +17,26 @@ Result<RedundancyResult> IsRedundant(const Catalog* catalog,
     // redundant.
     return result;
   }
-  CapacityOracle oracle(catalog, set.Without(index), limits);
+  CapacityOracle oracle(&engine, set.Without(index), limits);
   VIEWCAP_ASSIGN_OR_RETURN(result.membership,
                            oracle.Contains(set.members()[index].query));
   result.redundant = result.membership.member;
   return result;
 }
 
-Result<bool> IsNonredundantSet(const Catalog* catalog, const QuerySet& set,
+Result<RedundancyResult> IsRedundant(const Catalog* catalog,
+                                     const QuerySet& set, std::size_t index,
+                                     SearchLimits limits) {
+  Engine engine(catalog);
+  return IsRedundant(engine, set, index, limits);
+}
+
+Result<bool> IsNonredundantSet(Engine& engine, const QuerySet& set,
                                SearchLimits limits, bool* inconclusive) {
   if (inconclusive != nullptr) *inconclusive = false;
   for (std::size_t i = 0; i < set.size(); ++i) {
     VIEWCAP_ASSIGN_OR_RETURN(RedundancyResult r,
-                             IsRedundant(catalog, set, i, limits));
+                             IsRedundant(engine, set, i, limits));
     if (r.redundant) return false;
     if (r.membership.budget_exhausted && inconclusive != nullptr) {
       *inconclusive = true;
@@ -41,22 +45,29 @@ Result<bool> IsNonredundantSet(const Catalog* catalog, const QuerySet& set,
   return true;
 }
 
-Result<NonredundantViewResult> MakeNonredundant(const View& view,
+Result<bool> IsNonredundantSet(const Catalog* catalog, const QuerySet& set,
+                               SearchLimits limits, bool* inconclusive) {
+  Engine engine(catalog);
+  return IsNonredundantSet(engine, set, limits, inconclusive);
+}
+
+Result<NonredundantViewResult> MakeNonredundant(Engine& engine,
+                                                const View& view,
                                                 SearchLimits limits) {
-  const Catalog* catalog = &view.catalog();
   NonredundantViewResult result;
   result.kept.resize(view.size());
   std::iota(result.kept.begin(), result.kept.end(), std::size_t{0});
 
   // Pass 1: drop definitions whose query duplicates an earlier one's
-  // mapping (the #(F) < n case of Section 3.1).
+  // mapping (the #(F) < n case of Section 3.1). Interned equivalence
+  // classes make this an id comparison.
   {
     std::vector<std::size_t> unique;
     for (std::size_t i : result.kept) {
       bool duplicate = false;
       for (std::size_t j : unique) {
-        if (EquivalentTableaux(*catalog, view.definitions()[i].tableau,
-                               view.definitions()[j].tableau)) {
+        if (engine.Equivalent(view.definitions()[i].tableau,
+                              view.definitions()[j].tableau)) {
           duplicate = true;
           break;
         }
@@ -76,7 +87,7 @@ Result<NonredundantViewResult> MakeNonredundant(const View& view,
     QuerySet set = QuerySet::FromView(current);
     for (std::size_t pos = 0; pos < result.kept.size(); ++pos) {
       VIEWCAP_ASSIGN_OR_RETURN(RedundancyResult r,
-                               IsRedundant(catalog, set, pos, limits));
+                               IsRedundant(engine, set, pos, limits));
       if (r.membership.budget_exhausted) result.inconclusive = true;
       if (r.redundant) {
         result.kept.erase(result.kept.begin() +
@@ -90,13 +101,24 @@ Result<NonredundantViewResult> MakeNonredundant(const View& view,
   return result;
 }
 
-std::size_t NonredundantSizeBound(const Catalog& catalog,
-                                  const QuerySet& set) {
+Result<NonredundantViewResult> MakeNonredundant(const View& view,
+                                                SearchLimits limits) {
+  Engine engine(&view.catalog());
+  return MakeNonredundant(engine, view, limits);
+}
+
+std::size_t NonredundantSizeBound(Engine& engine, const QuerySet& set) {
   std::size_t bound = 0;
   for (const QuerySet::Member& m : set.members()) {
-    bound += Reduce(catalog, m.query).size();
+    bound += engine.Reduced(m.query).size();
   }
   return bound;
+}
+
+std::size_t NonredundantSizeBound(const Catalog& catalog,
+                                  const QuerySet& set) {
+  Engine engine(&catalog);
+  return NonredundantSizeBound(engine, set);
 }
 
 }  // namespace viewcap

@@ -16,13 +16,27 @@ struct RedundancyResult {
 };
 
 /// Is member `index` of `set` redundant, i.e. in the closure of the other
-/// members (Section 3.1)?
+/// members (Section 3.1)? The leave-one-out oracle shares `engine`, so
+/// expansions computed for the full set (or for other leave-one-out
+/// subsets — their assignments agree wherever both are defined) are
+/// reused rather than recomputed.
+Result<RedundancyResult> IsRedundant(Engine& engine, const QuerySet& set,
+                                     std::size_t index,
+                                     SearchLimits limits = {});
+
+/// Legacy convenience: a private engine per call.
 Result<RedundancyResult> IsRedundant(const Catalog* catalog,
                                      const QuerySet& set, std::size_t index,
                                      SearchLimits limits = {});
 
 /// True when no member of `set` is redundant. `inconclusive` (optional out)
-/// is set when some membership search hit its budget.
+/// is set when some membership search hit its budget. All leave-one-out
+/// tests share `engine`.
+Result<bool> IsNonredundantSet(Engine& engine, const QuerySet& set,
+                               SearchLimits limits = {},
+                               bool* inconclusive = nullptr);
+
+/// Legacy convenience: a private engine shared across the member tests.
 Result<bool> IsNonredundantSet(const Catalog* catalog, const QuerySet& set,
                                SearchLimits limits = {},
                                bool* inconclusive = nullptr);
@@ -40,7 +54,14 @@ struct NonredundantViewResult {
 };
 
 /// Theorem 3.1.4: repeatedly drops redundant (and mapping-duplicate)
-/// definitions until none remains.
+/// definitions until none remains. Every round of the fixpoint shares
+/// `engine`: the closure frontier explored for the full set seeds the
+/// shrunken sets' searches.
+Result<NonredundantViewResult> MakeNonredundant(Engine& engine,
+                                                const View& view,
+                                                SearchLimits limits = {});
+
+/// Legacy convenience: a private engine for the whole fixpoint.
 Result<NonredundantViewResult> MakeNonredundant(const View& view,
                                                 SearchLimits limits = {});
 
@@ -48,6 +69,9 @@ Result<NonredundantViewResult> MakeNonredundant(const View& view,
 /// set with the same closure as `set` has at most n members. We use
 /// n = sum over members of the reduced row count, which dominates the
 /// lemma's count of construction-template relation-name occurrences.
+std::size_t NonredundantSizeBound(Engine& engine, const QuerySet& set);
+
+/// Legacy convenience: reduces through a throwaway engine.
 std::size_t NonredundantSizeBound(const Catalog& catalog,
                                   const QuerySet& set);
 

@@ -1,12 +1,12 @@
 #include "views/simplify.h"
 
 #include <algorithm>
+#include <functional>
+#include <optional>
 
 #include "base/check.h"
 #include "base/strings.h"
 #include "tableau/build.h"
-#include "tableau/homomorphism.h"
-#include "tableau/reduce.h"
 
 namespace viewcap {
 
@@ -47,8 +47,9 @@ Result<std::vector<QuerySet::Member>> MaximalProperProjectionMembers(
   return ProjectionMembers(catalog, t, MaximalProperSubsets(t.Trs()));
 }
 
-Result<SimplicityResult> IsSimple(Catalog* catalog, const QuerySet& set,
-                                  std::size_t index, SearchLimits limits) {
+Result<SimplicityResult> IsSimple(Engine& engine, Catalog* catalog,
+                                  const QuerySet& set, std::size_t index,
+                                  SearchLimits limits) {
   if (index >= set.size()) {
     return Status::InvalidArgument("query set member index out of range");
   }
@@ -65,25 +66,38 @@ Result<SimplicityResult> IsSimple(Catalog* catalog, const QuerySet& set,
     result.simple = true;
     return result;
   }
-  CapacityOracle oracle(catalog, std::move(test_set), limits);
+  CapacityOracle oracle(&engine, std::move(test_set), limits);
   VIEWCAP_ASSIGN_OR_RETURN(result.membership, oracle.Contains(t));
   result.simple = !result.membership.member;
   return result;
 }
 
-Result<bool> IsSimplifiedView(Catalog* catalog, const View& view,
-                              SearchLimits limits, bool* inconclusive) {
+Result<SimplicityResult> IsSimple(Catalog* catalog, const QuerySet& set,
+                                  std::size_t index, SearchLimits limits) {
+  Engine engine(catalog);
+  return IsSimple(engine, catalog, set, index, limits);
+}
+
+Result<bool> IsSimplifiedView(Engine& engine, Catalog* catalog,
+                              const View& view, SearchLimits limits,
+                              bool* inconclusive) {
   if (inconclusive != nullptr) *inconclusive = false;
   QuerySet set = QuerySet::FromView(view);
   for (std::size_t i = 0; i < set.size(); ++i) {
     VIEWCAP_ASSIGN_OR_RETURN(SimplicityResult r,
-                             IsSimple(catalog, set, i, limits));
+                             IsSimple(engine, catalog, set, i, limits));
     if (!r.simple) return false;
     if (r.membership.budget_exhausted && inconclusive != nullptr) {
       *inconclusive = true;
     }
   }
   return true;
+}
+
+Result<bool> IsSimplifiedView(Catalog* catalog, const View& view,
+                              SearchLimits limits, bool* inconclusive) {
+  Engine engine(catalog);
+  return IsSimplifiedView(engine, catalog, view, limits, inconclusive);
 }
 
 namespace {
@@ -95,14 +109,13 @@ struct WorkingQuery {
 
 }  // namespace
 
-Result<SimplifyOutcome> Simplify(Catalog* catalog, const View& view,
-                                 SearchLimits limits) {
+Result<SimplifyOutcome> Simplify(Engine& engine, Catalog* catalog,
+                                 const View& view, SearchLimits limits) {
   SimplifyOutcome outcome;
   std::vector<WorkingQuery> working;
   working.reserve(view.size());
   for (const ViewDefinition& d : view.definitions()) {
-    working.push_back(
-        WorkingQuery{d.query, Reduce(*catalog, d.tableau)});
+    working.push_back(WorkingQuery{d.query, engine.Reduced(d.tableau)});
   }
 
   // Replacement loop; terminates because replacing a query by proper
@@ -110,12 +123,12 @@ Result<SimplifyOutcome> Simplify(Catalog* catalog, const View& view,
   // (Dershowitz-Manna order). The round cap is a defensive backstop.
   constexpr std::size_t kMaxRounds = 256;
   for (outcome.rounds = 0; outcome.rounds < kMaxRounds; ++outcome.rounds) {
-    // Drop mapping-duplicates.
+    // Drop mapping-duplicates; interned classes make this id comparisons.
     std::vector<WorkingQuery> unique;
     for (WorkingQuery& w : working) {
       bool duplicate = false;
       for (const WorkingQuery& u : unique) {
-        if (EquivalentTableaux(*catalog, w.tableau, u.tableau)) {
+        if (engine.Equivalent(w.tableau, u.tableau)) {
           duplicate = true;
           break;
         }
@@ -136,7 +149,7 @@ Result<SimplifyOutcome> Simplify(Catalog* catalog, const View& view,
     std::optional<std::size_t> replace;
     for (std::size_t i = 0; i < working.size(); ++i) {
       VIEWCAP_ASSIGN_OR_RETURN(SimplicityResult r,
-                               IsSimple(catalog, set, i, limits));
+                               IsSimple(engine, catalog, set, i, limits));
       if (r.membership.budget_exhausted) outcome.inconclusive = true;
       if (!r.simple) {
         replace = i;
@@ -156,7 +169,7 @@ Result<SimplifyOutcome> Simplify(Catalog* catalog, const View& view,
           Tableau projected,
           ProjectTableau(*catalog, victim.tableau, x, pool));
       working.push_back(WorkingQuery{Expr::MustProject(x, victim.expr),
-                                     Reduce(*catalog, projected)});
+                                     engine.Reduced(projected)});
     }
   }
   if (outcome.rounds >= kMaxRounds) {
@@ -180,24 +193,30 @@ Result<SimplifyOutcome> Simplify(Catalog* catalog, const View& view,
   return outcome;
 }
 
-Result<bool> SameQueriesUpToRenaming(const View& a, const View& b) {
+Result<SimplifyOutcome> Simplify(Catalog* catalog, const View& view,
+                                 SearchLimits limits) {
+  Engine engine(catalog);
+  return Simplify(engine, catalog, view, limits);
+}
+
+Result<bool> SameQueriesUpToRenaming(Engine& engine, const View& a,
+                                     const View& b) {
   if (a.size() != b.size()) return false;
   if (a.universe() != b.universe()) return false;
-  const Catalog& catalog = a.catalog();
   const std::size_t n = a.size();
+  // Interning turns the compatibility matrix into id comparisons: the ids
+  // for a's definitions are computed once, not once per pair.
+  std::vector<TableauId> a_ids(n), b_ids(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a_ids[i] = engine.Intern(a.definitions()[i].tableau);
+    b_ids[i] = engine.Intern(b.definitions()[i].tableau);
+  }
   // Exact bipartite matching by backtracking (views are small).
   std::vector<bool> used(n, false);
-  std::vector<std::vector<bool>> compatible(n, std::vector<bool>(n, false));
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < n; ++j) {
-      compatible[i][j] = EquivalentTableaux(
-          catalog, a.definitions()[i].tableau, b.definitions()[j].tableau);
-    }
-  }
   std::function<bool(std::size_t)> match = [&](std::size_t i) -> bool {
     if (i == n) return true;
     for (std::size_t j = 0; j < n; ++j) {
-      if (!used[j] && compatible[i][j]) {
+      if (!used[j] && a_ids[i] == b_ids[j]) {
         used[j] = true;
         if (match(i + 1)) return true;
         used[j] = false;
@@ -206,6 +225,11 @@ Result<bool> SameQueriesUpToRenaming(const View& a, const View& b) {
     return false;
   };
   return match(0);
+}
+
+Result<bool> SameQueriesUpToRenaming(const View& a, const View& b) {
+  Engine engine(&a.catalog());
+  return SameQueriesUpToRenaming(engine, a, b);
 }
 
 }  // namespace viewcap

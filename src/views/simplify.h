@@ -28,13 +28,28 @@ struct SimplicityResult {
   MembershipResult membership;
 };
 
-/// Is member `index` of `set` simple in the set?
+/// Is member `index` of `set` simple in the set? The membership search
+/// shares `engine` (which must be over `catalog`); the projection handles
+/// are minted fresh per call, so verdicts are not cached across calls, but
+/// the interned queries, reduced expansions of shared handles and pair
+/// predicates are.
+Result<SimplicityResult> IsSimple(Engine& engine, Catalog* catalog,
+                                  const QuerySet& set, std::size_t index,
+                                  SearchLimits limits = {});
+
+/// Legacy convenience: a private engine per call.
 Result<SimplicityResult> IsSimple(Catalog* catalog, const QuerySet& set,
                                   std::size_t index,
                                   SearchLimits limits = {});
 
 /// True when every definition of `view` is simple among the defining
-/// queries, i.e. the view is in normal form.
+/// queries, i.e. the view is in normal form. All member tests share
+/// `engine`.
+Result<bool> IsSimplifiedView(Engine& engine, Catalog* catalog,
+                              const View& view, SearchLimits limits = {},
+                              bool* inconclusive = nullptr);
+
+/// Legacy convenience: a private engine shared across the member tests.
 Result<bool> IsSimplifiedView(Catalog* catalog, const View& view,
                               SearchLimits limits = {},
                               bool* inconclusive = nullptr);
@@ -56,12 +71,22 @@ struct SimplifyOutcome {
 /// query by its proper projections (dropping mapping-duplicates along the
 /// way) until every query is simple. A non-simple query with a
 /// single-attribute TRS has no proper projections and is simply dropped —
-/// non-simple then means redundant, so the closure is unchanged.
+/// non-simple then means redundant, so the closure is unchanged. Every
+/// replacement round shares `engine`.
+Result<SimplifyOutcome> Simplify(Engine& engine, Catalog* catalog,
+                                 const View& view, SearchLimits limits = {});
+
+/// Legacy convenience: a private engine for the whole normalization.
 Result<SimplifyOutcome> Simplify(Catalog* catalog, const View& view,
                                  SearchLimits limits = {});
 
 /// Theorem 4.2.2's notion of sameness: the views' defining query multisets
 /// match one-to-one under mapping equivalence (relation names ignored).
+/// With an engine the compatibility matrix is interned-id comparisons.
+Result<bool> SameQueriesUpToRenaming(Engine& engine, const View& a,
+                                     const View& b);
+
+/// Legacy convenience: a private engine per call.
 Result<bool> SameQueriesUpToRenaming(const View& a, const View& b);
 
 }  // namespace viewcap

@@ -90,6 +90,59 @@ TEST_F(CanonicalTest, LargeTemplatesUseSignature) {
   EXPECT_EQ(key, CanonicalKey(big.Apply(rename)));
 }
 
+TEST_F(CanonicalTest, ExactPathExactlyAtTheRowThreshold) {
+  // 2 (r * s) + 2 (projected copy) + 1 (pi{A}(r)) distinct rows: exactly
+  // the exact-canonicalization cap, so the n!-scan "X:" path must be taken.
+  Tableau t = T("r * s * pi{A}(r * s) * pi{A}(r)");
+  ASSERT_EQ(t.size(), kMaxRowsForExactCanonicalKey);
+  std::string key = CanonicalKey(t);
+  EXPECT_EQ(key.substr(0, 2), "X:");
+  for (std::uint32_t seed : {1u, 9u, 57u, 1000u}) {
+    EXPECT_EQ(key, CanonicalKey(RenameNondistinguished(t, seed)))
+        << "exact key split an isomorphic pair at seed " << seed;
+  }
+}
+
+TEST_F(CanonicalTest, SignaturePathJustBeyondTheRowThreshold) {
+  // One more projected copy pushes the row count to the cap + 1, which
+  // must switch the key to the invariant-signature "S:" path.
+  Tableau t = T("r * s * pi{A}(r * s) * pi{A}(r * s)");
+  ASSERT_EQ(t.size(), kMaxRowsForExactCanonicalKey + 1);
+  std::string key = CanonicalKey(t);
+  EXPECT_EQ(key.substr(0, 2), "S:");
+}
+
+TEST_F(CanonicalTest, SignatureNeverSplitsRenamedIsomorphs) {
+  // The signature may merge non-isomorphic templates but must never split
+  // isomorphic ones: every RenameNondistinguished relabeling keys equal.
+  Tableau t = T("r * s * pi{A}(r * s) * pi{A}(r * s) * pi{B}(r * s)");
+  ASSERT_GT(t.size(), kMaxRowsForExactCanonicalKey);
+  std::string key = CanonicalKey(t);
+  ASSERT_EQ(key.substr(0, 2), "S:");
+  for (std::uint32_t seed : {0u, 1u, 13u, 64u, 999u}) {
+    Tableau renamed = RenameNondistinguished(t, seed);
+    EXPECT_EQ(key, CanonicalKey(renamed))
+        << "signature split an isomorphic pair at seed " << seed;
+  }
+}
+
+TEST_F(CanonicalTest, RenameNondistinguishedYieldsEquivalentTemplate) {
+  Tableau t = T("pi{A}(r * s) * r");
+  Tableau renamed = RenameNondistinguished(t, 50);
+  // Literally different rows (the labels moved), yet mapping-equivalent.
+  EXPECT_NE(t, renamed);
+  EXPECT_TRUE(EquivalentTableaux(catalog_, t, renamed));
+}
+
+TEST_F(CanonicalTest, ExactPathSeparatesNonIsomorphicFiveRowTemplates) {
+  Tableau a = T("r * s * pi{A}(r * s) * pi{A}(r)");
+  Tableau b = T("r * s * pi{A}(r * s) * pi{C}(s)");
+  ASSERT_EQ(a.size(), kMaxRowsForExactCanonicalKey);
+  ASSERT_EQ(b.size(), kMaxRowsForExactCanonicalKey);
+  // On the exact path equal keys would mean isomorphic; these are not.
+  EXPECT_NE(CanonicalKey(a), CanonicalKey(b));
+}
+
 TEST_F(CanonicalTest, EqualKeysForEquivalentReducedRealizations) {
   // Reduced equivalent templates are isomorphic (unique core), so their
   // exact canonical keys coincide.

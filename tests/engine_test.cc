@@ -1,0 +1,209 @@
+// Tests for engine/engine.h: interning, memo caches, stats counters and
+// the cross-layer reuse guarantees the views layer is built on.
+#include <gtest/gtest.h>
+
+#include "algebra/parser.h"
+#include "algebra/printer.h"
+#include "engine/engine.h"
+#include "tableau/build.h"
+#include "tableau/homomorphism.h"
+#include "tests/test_util.h"
+#include "views/capacity.h"
+#include "views/equivalence.h"
+
+namespace viewcap {
+namespace {
+
+using testing::MustParse;
+using testing::Unwrap;
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    u_ = catalog_.MakeScheme({"A", "B", "C"});
+    r_ = Unwrap(catalog_.AddRelation("r", u_));
+    base_ = DbSchema(catalog_, {r_});
+  }
+
+  Tableau T(const std::string& text) {
+    return MustBuildTableau(catalog_, u_, *MustParse(catalog_, text));
+  }
+
+  View MakeProjectionsView(const std::string& name, const std::string& h1,
+                           const std::string& h2) {
+    RelId a = Unwrap(
+        catalog_.AddRelation(h1, catalog_.MakeScheme({"A", "B"})));
+    RelId b = Unwrap(
+        catalog_.AddRelation(h2, catalog_.MakeScheme({"B", "C"})));
+    return Unwrap(View::Create(&catalog_, base_,
+                               {{a, MustParse(catalog_, "pi{A,B}(r)")},
+                                {b, MustParse(catalog_, "pi{B,C}(r)")}},
+                               name));
+  }
+
+  Catalog catalog_;
+  AttrSet u_;
+  RelId r_ = kInvalidRel;
+  DbSchema base_;
+};
+
+TEST_F(EngineTest, InterningIdentifiesEquivalentTemplates) {
+  Engine engine(&catalog_);
+  // Equivalent realizations land in one class...
+  TableauId a = engine.Intern(T("pi{A,B}(r)"));
+  TableauId b = engine.Intern(T("pi{A,B}(r * r)"));
+  TableauId c = engine.Intern(T("pi{A,B}(r) * pi{A,B}(r)"));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+  // ...and inequivalent ones do not.
+  TableauId d = engine.Intern(T("pi{B,C}(r)"));
+  EXPECT_NE(a, d);
+  // The id comparison agrees with the exact two-way homomorphism test.
+  EXPECT_TRUE(engine.Equivalent(T("pi{A}(r)"), T("pi{A}(pi{A,B}(r))")));
+  EXPECT_FALSE(engine.Equivalent(T("pi{A}(r)"), T("pi{A,B}(r)")));
+  // Representatives are reduced members of their class.
+  EXPECT_TRUE(EquivalentTableaux(catalog_, engine.Representative(a),
+                                 T("pi{A,B}(r)")));
+}
+
+TEST_F(EngineTest, StatsCountersGoldenForTinyWorkload) {
+  Engine engine(&catalog_);
+  Tableau t = T("pi{A}(r)");  // Single row: already reduced.
+  TableauId first = engine.Intern(t);
+  TableauId second = engine.Intern(t);
+  EXPECT_EQ(first, second);
+  EngineStats s = engine.Stats();
+  EXPECT_EQ(s.intern_requests, 2u);
+  EXPECT_EQ(s.intern_hits, 1u);
+  EXPECT_EQ(s.interned_classes, 1u);
+  // The repeat hit its canonical-key bucket and ran exactly one confirm.
+  EXPECT_EQ(s.equivalence_confirms, 1u);
+  // Each kernel ran once; the second intern was pure cache hits.
+  EXPECT_EQ(s.reduce.requests, 2u);
+  EXPECT_EQ(s.reduce.runs, 1u);
+  EXPECT_EQ(s.reduce.hits(), 1u);
+  EXPECT_EQ(s.canonical_key.requests, 2u);
+  EXPECT_EQ(s.canonical_key.runs, 1u);
+  EXPECT_EQ(s.reduce.entries, 1u);
+  EXPECT_EQ(s.reduce.evictions, 0u);
+}
+
+TEST_F(EngineTest, MemoCachesEvictUnderBoundedCapacity) {
+  EngineOptions options;
+  options.max_memo_entries = 2;
+  Engine engine(&catalog_, options);
+  // Four distinct single-row templates: each Reduced is a miss and a Put,
+  // so the 2-entry LRU must evict the two oldest.
+  engine.Reduced(T("pi{A}(r)"));
+  engine.Reduced(T("pi{B}(r)"));
+  engine.Reduced(T("pi{C}(r)"));
+  engine.Reduced(T("r"));
+  EngineStats s = engine.Stats();
+  EXPECT_EQ(s.reduce.runs, 4u);
+  EXPECT_EQ(s.reduce.entries, 2u);
+  EXPECT_EQ(s.reduce.evictions, 2u);
+  // The first template was evicted, so asking again re-runs the kernel.
+  engine.Reduced(T("pi{A}(r)"));
+  EXPECT_EQ(engine.Stats().reduce.runs, 5u);
+}
+
+TEST_F(EngineTest, RepeatedMembershipHitsTheVerdictCache) {
+  Engine engine(&catalog_);
+  View view = MakeProjectionsView("W", "w1", "w2");
+  CapacityOracle oracle(&engine, view);
+  MembershipResult first = Unwrap(oracle.Contains(T("pi{A}(r)")));
+  EXPECT_TRUE(first.member);
+  EngineStats after_first = engine.Stats();
+  EXPECT_EQ(after_first.verdict.runs, 1u);
+  MembershipResult second = Unwrap(oracle.Contains(T("pi{A}(r)")));
+  EngineStats after_second = engine.Stats();
+  // The repeat was answered from the verdict cache: no new run.
+  EXPECT_EQ(after_second.verdict.runs, 1u);
+  EXPECT_EQ(after_second.verdict.requests, after_first.verdict.requests + 1);
+  // And the cached verdict is indistinguishable from the original.
+  EXPECT_EQ(first.member, second.member);
+  EXPECT_EQ(first.candidates_tried, second.candidates_tried);
+  EXPECT_EQ(first.leaf_budget, second.leaf_budget);
+  ASSERT_NE(second.witness, nullptr);
+  EXPECT_EQ(ToString(*first.witness, catalog_),
+            ToString(*second.witness, catalog_));
+}
+
+TEST_F(EngineTest, VerdictsAreIsolatedAcrossQuerySetsWithDifferentHandles) {
+  Engine engine(&catalog_);
+  // Two query sets with identical queries but different handle relations:
+  // the shared engine must not leak one set's witnesses to the other,
+  // because witnesses are expressions over the set's own handles.
+  View v = MakeProjectionsView("V", "h1", "h2");
+  View w = MakeProjectionsView("W", "k1", "k2");
+  CapacityOracle ov(&engine, v);
+  CapacityOracle ow(&engine, w);
+  MembershipResult mv = Unwrap(ov.Contains(T("pi{A,B}(r)")));
+  MembershipResult mw = Unwrap(ow.Contains(T("pi{A,B}(r)")));
+  ASSERT_TRUE(mv.member);
+  ASSERT_TRUE(mw.member);
+  std::string wv = ToString(*mv.witness, catalog_);
+  std::string ww = ToString(*mw.witness, catalog_);
+  EXPECT_NE(wv.find("h1"), std::string::npos) << wv;
+  EXPECT_EQ(wv.find("k1"), std::string::npos) << wv;
+  EXPECT_NE(ww.find("k1"), std::string::npos) << ww;
+  EXPECT_EQ(ww.find("h1"), std::string::npos) << ww;
+  // Distinct set fingerprints mean distinct verdict entries, not a hit.
+  EXPECT_EQ(engine.Stats().verdict.runs, 2u);
+}
+
+TEST_F(EngineTest, RepeatedWorkloadSavesAtLeastAThirdOfKernelRuns) {
+  Engine engine(&catalog_);
+  View v = MakeProjectionsView("V", "v1", "v2");
+  View w = MakeProjectionsView("W", "u1", "u2");
+  // Same equivalence question twice. The second pass uses a candidate cap
+  // that differs only cosmetically (never binding here), so its verdict
+  // keys miss and the full closure search re-runs — against warm reduce,
+  // canonical-key, pair-predicate and expansion caches.
+  SearchLimits first_limits;
+  EquivalenceResult first = Unwrap(AreEquivalent(engine, v, w, first_limits));
+  SearchLimits second_limits;
+  second_limits.max_candidates = first_limits.max_candidates - 1;
+  EquivalenceResult second =
+      Unwrap(AreEquivalent(engine, v, w, second_limits));
+  EXPECT_TRUE(first.equivalent);
+  EXPECT_EQ(first.equivalent, second.equivalent);
+  EXPECT_EQ(first.inconclusive, second.inconclusive);
+  // A third pass repeating the first limits exactly is answered from the
+  // verdict cache alone: no new membership search runs.
+  std::size_t verdict_runs_before = engine.Stats().verdict.runs;
+  EquivalenceResult third = Unwrap(AreEquivalent(engine, v, w, first_limits));
+  EXPECT_EQ(first.equivalent, third.equivalent);
+  EXPECT_EQ(engine.Stats().verdict.runs, verdict_runs_before);
+  EngineStats s = engine.Stats();
+  // The acceptance bar: at least 1.5x fewer Reduce and CanonicalKey kernel
+  // executions than a cache-less engine would have performed.
+  EXPECT_GE(static_cast<double>(s.reduce.requests),
+            1.5 * static_cast<double>(s.reduce.runs))
+      << s.reduce.requests << " requests vs " << s.reduce.runs << " runs";
+  EXPECT_GE(static_cast<double>(s.canonical_key.requests),
+            1.5 * static_cast<double>(s.canonical_key.runs))
+      << s.canonical_key.requests << " requests vs "
+      << s.canonical_key.runs << " runs";
+  EXPECT_GT(s.verdict.requests, s.verdict.runs);
+}
+
+TEST_F(EngineTest, PairPredicatesAreMemoizedPerClassPair) {
+  Engine engine(&catalog_);
+  TableauId small = engine.Intern(T("pi{A}(r)"));
+  TableauId big = engine.Intern(T("pi{A,B}(r)"));
+  EXPECT_TRUE(engine.HomomorphismExists(small, big));
+  EXPECT_TRUE(engine.HomomorphismExists(small, big));
+  EXPECT_FALSE(engine.HomomorphismExists(big, small));
+  EngineStats s = engine.Stats();
+  EXPECT_EQ(s.homomorphism.requests, 3u);
+  EXPECT_EQ(s.homomorphism.runs, 2u);
+  EXPECT_TRUE(engine.RowEmbeds(small, big));
+  EXPECT_TRUE(engine.RowEmbeds(small, big));
+  s = engine.Stats();
+  EXPECT_EQ(s.row_embedding.requests, 2u);
+  EXPECT_EQ(s.row_embedding.runs, 1u);
+}
+
+}  // namespace
+}  // namespace viewcap

@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# The full local CI gate: configure + build the ci-asan preset
+# (ASan/UBSan, warnings-as-errors), run the test suite under it, then
+# clang-tidy over the first-party sources. Mirrors what a hosted pipeline
+# would run; any stage failing fails the script.
+#
+#   tools/run_ci.sh
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+echo "== configure (ci-asan) =="
+cmake --preset ci-asan
+
+echo "== build (ci-asan) =="
+cmake --build --preset ci-asan
+
+echo "== test (ci-asan) =="
+ctest --preset ci-asan
+
+echo "== clang-tidy =="
+"$repo_root/tools/run_tidy.sh" "$repo_root/build-asan"
+
+echo "run_ci.sh: all stages passed."

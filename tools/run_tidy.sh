@@ -27,8 +27,11 @@ fi
 files=$(find "$repo_root/src" "$repo_root/tools" "$repo_root/examples" \
   -name '*.cc' 2>/dev/null | sort)
 
+# --warnings-as-errors promotes every emitted diagnostic to an error so a
+# finding fails the run: clang-tidy otherwise exits 0 on plain warnings.
 status=0
 for f in $files; do
-  clang-tidy -p "$build_dir" --quiet "$f" || status=1
+  clang-tidy -p "$build_dir" --quiet --warnings-as-errors='*' "$f" \
+    || status=1
 done
 exit $status

@@ -1,7 +1,7 @@
 // viewcap_cli: command-line front end for the view-capacity analyses.
 //
 // Usage:
-//   viewcap_cli <program-file> <command> [args...]
+//   viewcap_cli <program-file> <command> [args...] [--engine-stats]
 //   viewcap_cli lint <program-file> [--format=text|json] [--no-semantic]
 // Commands:
 //   list                          print the loaded views
@@ -15,9 +15,12 @@
 //   capacity <V> <max-leaves>     list Cap(V) members up to a size budget
 //   eval <V> <view-query> <data-file>
 //                                 run a view query against a data file
-//   report                        full markdown audit of every view
+//   report (alias: analyze)       full markdown audit of every view
 //   lint                          static analysis: structural and
 //                                 paper-backed semantic diagnostics
+//
+// --engine-stats (any analysis command) appends the run's memoizing-engine
+// cache statistics after the command output.
 //
 // lint exit codes are severity-based: 0 = clean (notes allowed),
 // 3 = warnings found, 4 = errors found (1 = I/O failure, 2 = usage).
@@ -29,6 +32,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/viewcap.h"
 #include "lint/linter.h"
@@ -37,7 +41,8 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: viewcap_cli <program-file> <command> [args...]\n"
+               "usage: viewcap_cli <program-file> <command> [args...] "
+               "[--engine-stats]\n"
                "       viewcap_cli lint <program-file> "
                "[--format=text|json] [--no-semantic]\n"
                "commands:\n"
@@ -51,12 +56,12 @@ int Usage() {
                "  export <V>\n"
                "  capacity <V> <max-leaves>\n"
                "  eval <V> <view-query> <data-file>\n"
-               "  report\n"
+               "  report | analyze [--engine-stats]\n"
                "  lint [--format=text|json] [--no-semantic]\n");
   return 2;
 }
 
-bool ReadFile(const char* path, std::string* out) {
+bool ReadFile(const std::string& path, std::string* out) {
   std::error_code ec;
   if (std::filesystem::is_directory(path, ec)) return false;
   std::ifstream in(path);
@@ -68,24 +73,27 @@ bool ReadFile(const char* path, std::string* out) {
 }
 
 /// `viewcap_cli lint <file> [flags]` or `viewcap_cli <file> lint [flags]`.
-int RunLint(const char* path, int argc, char** argv, int flags_from) {
+/// `path` is args[path_at]; everything else in `args` past index 1 is a flag.
+int RunLint(const std::vector<std::string>& args, std::size_t path_at) {
+  const std::string& path = args[path_at];
   bool json = false;
   viewcap::LintOptions options;
-  for (int i = flags_from; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--format=json") == 0) {
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    if (args[i] == "--format=json") {
       json = true;
-    } else if (std::strcmp(argv[i], "--format=text") == 0) {
+    } else if (args[i] == "--format=text") {
       json = false;
-    } else if (std::strcmp(argv[i], "--no-semantic") == 0) {
+    } else if (args[i] == "--no-semantic") {
       options.semantic = false;
     } else {
-      std::fprintf(stderr, "viewcap_cli: unknown lint flag '%s'\n", argv[i]);
+      std::fprintf(stderr, "viewcap_cli: unknown lint flag '%s'\n",
+                   args[i].c_str());
       return Usage();
     }
   }
   std::string text;
   if (!ReadFile(path, &text)) {
-    std::fprintf(stderr, "viewcap_cli: cannot open '%s'\n", path);
+    std::fprintf(stderr, "viewcap_cli: cannot open '%s'\n", path.c_str());
     return 1;
   }
   viewcap::Linter linter(options);
@@ -102,31 +110,10 @@ int RunLint(const char* path, int argc, char** argv, int flags_from) {
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc < 3) return Usage();
-  // Lint runs before (instead of) analyzer loading: its whole point is to
-  // diagnose programs the loader would reject.
-  if (std::strcmp(argv[1], "lint") == 0) {
-    return RunLint(argv[2], argc, argv, 3);
-  }
-  if (std::strcmp(argv[2], "lint") == 0) {
-    return RunLint(argv[1], argc, argv, 3);
-  }
-  std::string program_text;
-  if (!ReadFile(argv[1], &program_text)) {
-    std::fprintf(stderr, "viewcap_cli: cannot open '%s'\n", argv[1]);
-    return 1;
-  }
-  viewcap::Analyzer analyzer;
-  viewcap::Status st = analyzer.Load(program_text);
-  if (!st.ok()) {
-    std::fprintf(stderr, "viewcap_cli: %s\n", st.ToString().c_str());
-    return 1;
-  }
-
-  const std::string command = argv[2];
+/// Runs one analysis command against a loaded analyzer. `args` is the
+/// positional argument vector: args[0] = program file, args[1] = command.
+int Dispatch(viewcap::Analyzer& analyzer, const std::vector<std::string>& args) {
+  const std::string& command = args[1];
   std::string report;
   if (command == "list") {
     for (const std::string& name : analyzer.ViewNames()) {
@@ -135,8 +122,8 @@ int main(int argc, char** argv) {
     }
     return 0;
   }
-  if (command == "equiv" && argc == 5) {
-    auto result = analyzer.CheckEquivalence(argv[3], argv[4], &report);
+  if (command == "equiv" && args.size() == 4) {
+    auto result = analyzer.CheckEquivalence(args[2], args[3], &report);
     if (!result.ok()) {
       std::fprintf(stderr, "viewcap_cli: %s\n",
                    result.status().ToString().c_str());
@@ -145,8 +132,8 @@ int main(int argc, char** argv) {
     std::cout << report;
     return result->equivalent ? 0 : 3;
   }
-  if (command == "answerable" && argc == 5) {
-    auto result = analyzer.CheckAnswerable(argv[3], argv[4], &report);
+  if (command == "answerable" && args.size() == 4) {
+    auto result = analyzer.CheckAnswerable(args[2], args[3], &report);
     if (!result.ok()) {
       std::fprintf(stderr, "viewcap_cli: %s\n",
                    result.status().ToString().c_str());
@@ -155,8 +142,8 @@ int main(int argc, char** argv) {
     std::cout << report;
     return result->member ? 0 : 3;
   }
-  if (command == "nonredundant" && argc == 4) {
-    auto result = analyzer.EliminateRedundancy(argv[3], &report);
+  if (command == "nonredundant" && args.size() == 3) {
+    auto result = analyzer.EliminateRedundancy(args[2], &report);
     if (!result.ok()) {
       std::fprintf(stderr, "viewcap_cli: %s\n",
                    result.status().ToString().c_str());
@@ -165,8 +152,8 @@ int main(int argc, char** argv) {
     std::cout << report;
     return 0;
   }
-  if (command == "simplify" && argc == 4) {
-    auto result = analyzer.SimplifyView(argv[3], &report);
+  if (command == "simplify" && args.size() == 3) {
+    auto result = analyzer.SimplifyView(args[2], &report);
     if (!result.ok()) {
       std::fprintf(stderr, "viewcap_cli: %s\n",
                    result.status().ToString().c_str());
@@ -175,7 +162,7 @@ int main(int argc, char** argv) {
     std::cout << report;
     return 0;
   }
-  if (command == "lattice" && argc == 3) {
+  if (command == "lattice" && args.size() == 2) {
     auto result = analyzer.CompareAllViews(&report);
     if (!result.ok()) {
       std::fprintf(stderr, "viewcap_cli: %s\n",
@@ -185,8 +172,8 @@ int main(int argc, char** argv) {
     std::cout << report;
     return 0;
   }
-  if (command == "minimize" && argc == 4) {
-    auto result = analyzer.MinimizeQuery(argv[3], &report);
+  if (command == "minimize" && args.size() == 3) {
+    auto result = analyzer.MinimizeQuery(args[2], &report);
     if (!result.ok()) {
       std::fprintf(stderr, "viewcap_cli: %s\n",
                    result.status().ToString().c_str());
@@ -195,15 +182,16 @@ int main(int argc, char** argv) {
     std::cout << report;
     return 0;
   }
-  if (command == "capacity" && argc == 5) {
+  if (command == "capacity" && args.size() == 4) {
     char* end = nullptr;
-    const unsigned long max_leaves = std::strtoul(argv[4], &end, 10);
-    if (end == argv[4] || *end != '\0' || max_leaves == 0) {
-      std::fprintf(stderr, "viewcap_cli: bad leaf budget '%s'\n", argv[4]);
+    const unsigned long max_leaves = std::strtoul(args[3].c_str(), &end, 10);
+    if (end == args[3].c_str() || *end != '\0' || max_leaves == 0) {
+      std::fprintf(stderr, "viewcap_cli: bad leaf budget '%s'\n",
+                   args[3].c_str());
       return 2;
     }
     auto result = analyzer.EnumerateViewCapacity(
-        argv[3], static_cast<std::size_t>(max_leaves), 256, &report);
+        args[2], static_cast<std::size_t>(max_leaves), 256, &report);
     if (!result.ok()) {
       std::fprintf(stderr, "viewcap_cli: %s\n",
                    result.status().ToString().c_str());
@@ -212,7 +200,7 @@ int main(int argc, char** argv) {
     std::cout << report;
     return 0;
   }
-  if (command == "report" && argc == 3) {
+  if ((command == "report" || command == "analyze") && args.size() == 2) {
     auto result = viewcap::RenderReport(analyzer);
     if (!result.ok()) {
       std::fprintf(stderr, "viewcap_cli: %s\n",
@@ -222,16 +210,17 @@ int main(int argc, char** argv) {
     std::cout << *result;
     return 0;
   }
-  if (command == "eval" && argc == 6) {
-    std::ifstream data_in(argv[5]);
+  if (command == "eval" && args.size() == 5) {
+    std::ifstream data_in(args[4]);
     if (!data_in) {
-      std::fprintf(stderr, "viewcap_cli: cannot open '%s'\n", argv[5]);
+      std::fprintf(stderr, "viewcap_cli: cannot open '%s'\n",
+                   args[4].c_str());
       return 1;
     }
     std::stringstream data;
     data << data_in.rdbuf();
     auto result =
-        analyzer.EvaluateViewQuery(argv[3], argv[4], data.str(), &report);
+        analyzer.EvaluateViewQuery(args[2], args[3], data.str(), &report);
     if (!result.ok()) {
       std::fprintf(stderr, "viewcap_cli: %s\n",
                    result.status().ToString().c_str());
@@ -240,8 +229,8 @@ int main(int argc, char** argv) {
     std::cout << report;
     return 0;
   }
-  if (command == "export" && argc == 4) {
-    auto result = analyzer.ExportView(argv[3]);
+  if (command == "export" && args.size() == 3) {
+    auto result = analyzer.ExportView(args[2]);
     if (!result.ok()) {
       std::fprintf(stderr, "viewcap_cli: %s\n",
                    result.status().ToString().c_str());
@@ -251,4 +240,43 @@ int main(int argc, char** argv) {
     return 0;
   }
   return Usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // --engine-stats may appear anywhere; strip it before positional dispatch.
+  bool engine_stats = false;
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--engine-stats") == 0) {
+      engine_stats = true;
+    } else {
+      args.emplace_back(argv[i]);
+    }
+  }
+  if (args.size() < 2) return Usage();
+  // Lint runs before (instead of) analyzer loading: its whole point is to
+  // diagnose programs the loader would reject.
+  if (args[0] == "lint") return RunLint(args, 1);
+  if (args[1] == "lint") return RunLint(args, 0);
+  std::string program_text;
+  if (!ReadFile(args[0], &program_text)) {
+    std::fprintf(stderr, "viewcap_cli: cannot open '%s'\n", args[0].c_str());
+    return 1;
+  }
+  viewcap::Analyzer analyzer;
+  viewcap::Status st = analyzer.Load(program_text);
+  if (!st.ok()) {
+    std::fprintf(stderr, "viewcap_cli: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  int code = Dispatch(analyzer, args);
+  // One engine serves the whole run, so the stats describe exactly the
+  // command that just executed.
+  if (engine_stats && code != 2) {
+    std::cout << "\n" << viewcap::RenderEngineStats(analyzer.engine_stats());
+  }
+  return code;
 }
