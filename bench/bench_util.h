@@ -53,6 +53,37 @@ class RecordingReporter : public benchmark::ConsoleReporter {
   std::vector<BenchRecord> records_;
 };
 
+/// Escapes a benchmark name for embedding in a JSON string literal.
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 /// Renders records as a stable JSON document: an array of
 /// {"name", "iters", "ns_per_op"} objects under a "benchmarks" key.
 inline std::string RenderBenchJson(const std::vector<BenchRecord>& records) {
@@ -60,7 +91,7 @@ inline std::string RenderBenchJson(const std::vector<BenchRecord>& records) {
   for (std::size_t i = 0; i < records.size(); ++i) {
     char ns[64];
     std::snprintf(ns, sizeof(ns), "%.1f", records[i].ns_per_op);
-    out += StrCat("    {\"name\": \"", records[i].name,
+    out += StrCat("    {\"name\": \"", JsonEscape(records[i].name),
                   "\", \"iters\": ", records[i].iters, ", \"ns_per_op\": ",
                   ns, "}", i + 1 < records.size() ? "," : "", "\n");
   }

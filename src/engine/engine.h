@@ -13,6 +13,7 @@
 #define VIEWCAP_ENGINE_ENGINE_H_
 
 #include <cstddef>
+#include <deque>
 #include <list>
 #include <string>
 #include <unordered_map>
@@ -59,8 +60,9 @@ struct MembershipResult {
 /// Engine tuning.
 struct EngineOptions {
   /// Per-cache entry bound for the memo caches (reduce, canonical key,
-  /// pair predicates, expansions, verdicts). The interning store is exempt:
-  /// evicting a class would invalidate issued TableauIds.
+  /// pair predicates, expansions, verdicts). 0 disables memoization (every
+  /// request is a miss and nothing is stored). The interning store is
+  /// exempt: evicting a class would invalidate issued TableauIds.
   std::size_t max_memo_entries = 1 << 16;
 };
 
@@ -102,7 +104,8 @@ std::string TableauFingerprint(const Tableau& t);
 
 /// A bounded memo cache with LRU eviction. Values are returned by pointer
 /// valid only until the next Put (eviction may free them); callers copy
-/// immediately. Not thread-safe, like the rest of the library.
+/// immediately. Capacity 0 disables the cache entirely: Get always misses
+/// and Put stores nothing. Not thread-safe, like the rest of the library.
 template <typename Value>
 class MemoCache {
  public:
@@ -116,7 +119,9 @@ class MemoCache {
     return &it->second->second;
   }
 
+  /// No-op when the cache is disabled (capacity 0).
   void Put(const std::string& key, Value value) {
+    if (capacity_ == 0) return;
     auto it = index_.find(key);
     if (it != index_.end()) {
       it->second->second = std::move(value);
@@ -125,7 +130,7 @@ class MemoCache {
     }
     order_.emplace_front(key, std::move(value));
     index_.emplace(key, order_.begin());
-    if (index_.size() > capacity_ && capacity_ > 0) {
+    if (index_.size() > capacity_) {
       index_.erase(order_.back().first);
       order_.pop_back();
       ++evictions_;
@@ -168,7 +173,8 @@ class Engine {
   TableauId Intern(const Tableau& t);
 
   /// The class's stored reduced representative. The reference is stable
-  /// for the engine's lifetime.
+  /// for the engine's lifetime: the interning store is a deque, so adding
+  /// classes never moves previously stored representatives.
   const Tableau& Representative(TableauId id) const;
 
   /// Mapping equivalence as an id comparison (Proposition 2.4.3 via the
@@ -208,8 +214,11 @@ class Engine {
   const Catalog* catalog_;
   EngineOptions options_;
 
-  // Interning store: never evicted (ids must stay valid).
-  std::vector<Tableau> classes_;  // id -> reduced representative.
+  // Interning store: never evicted (ids must stay valid). A deque, not a
+  // vector, so Representative() references survive later Intern() growth
+  // (ExpansionClass interns beta's assignments while holding the level's
+  // representative).
+  std::deque<Tableau> classes_;  // id -> reduced representative.
   std::unordered_map<std::string, std::vector<TableauId>> key_buckets_;
 
   MemoCache<Tableau> reduce_cache_;

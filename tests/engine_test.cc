@@ -107,6 +107,43 @@ TEST_F(EngineTest, MemoCachesEvictUnderBoundedCapacity) {
   EXPECT_EQ(engine.Stats().reduce.runs, 5u);
 }
 
+TEST_F(EngineTest, ZeroCapacityDisablesMemoCaches) {
+  EngineOptions options;
+  options.max_memo_entries = 0;
+  Engine engine(&catalog_, options);
+  engine.Reduced(T("pi{A}(r)"));
+  engine.Reduced(T("pi{A}(r)"));
+  EngineStats s = engine.Stats();
+  // Capacity 0 means no caching, not unbounded: every request is a miss
+  // and nothing is ever stored or evicted.
+  EXPECT_EQ(s.reduce.requests, 2u);
+  EXPECT_EQ(s.reduce.runs, 2u);
+  EXPECT_EQ(s.reduce.entries, 0u);
+  EXPECT_EQ(s.reduce.evictions, 0u);
+  // The interning store is exempt from the bound and keeps working.
+  EXPECT_EQ(engine.Intern(T("pi{B}(r)")), engine.Intern(T("pi{B}(r)")));
+}
+
+TEST_F(EngineTest, ExpansionClassSurvivesInterningFreshAssignments) {
+  Engine engine(&catalog_);
+  RelId h = Unwrap(catalog_.AddRelation("h", catalog_.MakeScheme({"A", "B"})));
+  Tableau level = MustBuildTableau(catalog_, u_, *MustParse(catalog_, "h"));
+  TableauId level_id = engine.Intern(level);
+  const Tableau& rep = engine.Representative(level_id);
+  // beta's assignment has never been interned: ExpansionClass interns it
+  // while holding the level's representative, growing the class store
+  // mid-call. The store is a deque precisely so that growth cannot move
+  // `rep` out from under the substitution (historically a use-after-free
+  // when the store was a vector).
+  TemplateAssignment beta;
+  beta.emplace(h, T("pi{A,B}(r)"));
+  TableauId expansion = Unwrap(engine.ExpansionClass(level_id, beta));
+  EXPECT_EQ(expansion, engine.Intern(T("pi{A,B}(r)")));
+  // The representative reference taken before the growth is still the
+  // stored class member (the documented lifetime-stability contract).
+  EXPECT_EQ(&rep, &engine.Representative(level_id));
+}
+
 TEST_F(EngineTest, RepeatedMembershipHitsTheVerdictCache) {
   Engine engine(&catalog_);
   View view = MakeProjectionsView("W", "w1", "w2");
