@@ -59,6 +59,54 @@ void BM_InequivalentViews(benchmark::State& state) {
 }
 BENCHMARK(BM_InequivalentViews)->DenseRange(2, 4)->Unit(benchmark::kMillisecond);
 
+// Parallel series: the inequivalent pair (the exhaustive direction
+// dominates the cost) across thread counts, cold engine per iteration
+// (arg 0 = links, arg 1 = SearchLimits::threads).
+void BM_InequivalentViewsParallel(benchmark::State& state) {
+  const std::size_t links = static_cast<std::size_t>(state.range(0));
+  SearchLimits limits;
+  limits.threads = static_cast<std::size_t>(state.range(1));
+  auto schema = MakeChain(links);
+  View links_view = MakeLinkView(*schema, "lv");
+  View join_view = MakeJoinView(*schema, "jv");
+  for (auto _ : state) {
+    EquivalenceResult eq =
+        AreEquivalent(links_view, join_view, limits).value();
+    if (eq.equivalent) state.SkipWithError("expected inequivalent");
+    benchmark::DoNotOptimize(eq);
+  }
+  state.counters["threads"] = static_cast<double>(limits.threads);
+}
+BENCHMARK(BM_InequivalentViewsParallel)
+    ->Args({3, 1})->Args({3, 2})->Args({3, 4})->Args({3, 8})
+    ->Args({4, 1})->Args({4, 2})->Args({4, 4})->Args({4, 8})
+    ->Unit(benchmark::kMillisecond);
+
+// Warm variant: shared engine, so iterations after the first answer from
+// the verdict cache — measures the memoized path's insensitivity to the
+// thread knob (the knob is not part of the verdict key).
+void BM_InequivalentViewsParallelWarmEngine(benchmark::State& state) {
+  const std::size_t links = static_cast<std::size_t>(state.range(0));
+  SearchLimits limits;
+  limits.threads = static_cast<std::size_t>(state.range(1));
+  auto schema = MakeChain(links);
+  View links_view = MakeLinkView(*schema, "lv");
+  View join_view = MakeJoinView(*schema, "jv");
+  Engine engine(&schema->catalog);
+  for (auto _ : state) {
+    EquivalenceResult eq =
+        AreEquivalent(engine, links_view, join_view, limits).value();
+    if (eq.equivalent) state.SkipWithError("expected inequivalent");
+    benchmark::DoNotOptimize(eq);
+  }
+  EngineStats stats = engine.Stats();
+  state.counters["verdict_hits"] = static_cast<double>(stats.verdict.hits());
+  state.counters["threads"] = static_cast<double>(limits.threads);
+}
+BENCHMARK(BM_InequivalentViewsParallelWarmEngine)
+    ->Args({3, 1})->Args({3, 2})->Args({3, 4})->Args({3, 8})
+    ->Unit(benchmark::kMillisecond);
+
 // One-sided dominance: the cheap direction (every join-view query is
 // answerable from the links).
 void BM_DominancePositive(benchmark::State& state) {

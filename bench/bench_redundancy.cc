@@ -48,6 +48,54 @@ void BM_VerifyNonredundant(benchmark::State& state) {
 }
 BENCHMARK(BM_VerifyNonredundant)->DenseRange(2, 6)->Unit(benchmark::kMillisecond);
 
+// Parallel series: verification of an already-nonredundant view — every
+// leave-one-out membership test runs to exhaustion, and with threads > 1
+// they run concurrently (arg 0 = links, arg 1 = SearchLimits::threads).
+// Cold: a fresh engine per iteration.
+void BM_VerifyNonredundantParallel(benchmark::State& state) {
+  const std::size_t links = static_cast<std::size_t>(state.range(0));
+  SearchLimits limits;
+  limits.threads = static_cast<std::size_t>(state.range(1));
+  auto schema = MakeChain(links);
+  View view = MakeLinkView(*schema, "lk");
+  QuerySet set = QuerySet::FromView(view);
+  for (auto _ : state) {
+    bool nonredundant =
+        IsNonredundantSet(&schema->catalog, set, limits).value();
+    if (!nonredundant) state.SkipWithError("expected nonredundant");
+    benchmark::DoNotOptimize(nonredundant);
+  }
+  state.counters["threads"] = static_cast<double>(limits.threads);
+}
+BENCHMARK(BM_VerifyNonredundantParallel)
+    ->Args({4, 1})->Args({4, 2})->Args({4, 4})->Args({4, 8})
+    ->Args({6, 1})->Args({6, 2})->Args({6, 4})->Args({6, 8})
+    ->Unit(benchmark::kMillisecond);
+
+// Warm variant: one shared engine, so repeat iterations hit the verdict
+// cache and the series bounds the parallel path's bookkeeping overhead.
+void BM_VerifyNonredundantParallelWarmEngine(benchmark::State& state) {
+  const std::size_t links = static_cast<std::size_t>(state.range(0));
+  SearchLimits limits;
+  limits.threads = static_cast<std::size_t>(state.range(1));
+  auto schema = MakeChain(links);
+  View view = MakeLinkView(*schema, "lk");
+  QuerySet set = QuerySet::FromView(view);
+  Engine engine(&schema->catalog);
+  for (auto _ : state) {
+    bool nonredundant =
+        IsNonredundantSet(engine, set, limits, nullptr).value();
+    if (!nonredundant) state.SkipWithError("expected nonredundant");
+    benchmark::DoNotOptimize(nonredundant);
+  }
+  EngineStats stats = engine.Stats();
+  state.counters["verdict_hits"] = static_cast<double>(stats.verdict.hits());
+  state.counters["threads"] = static_cast<double>(limits.threads);
+}
+BENCHMARK(BM_VerifyNonredundantParallelWarmEngine)
+    ->Args({4, 1})->Args({4, 2})->Args({4, 4})->Args({4, 8})
+    ->Unit(benchmark::kMillisecond);
+
 // The Lemma 3.1.6 size bound is pure template arithmetic: cheap.
 void BM_SizeBound(benchmark::State& state) {
   const std::size_t links = static_cast<std::size_t>(state.range(0));

@@ -7,10 +7,15 @@
 #ifndef VIEWCAP_ALGEBRA_ENUMERATOR_H_
 #define VIEWCAP_ALGEBRA_ENUMERATOR_H_
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
+#include <limits>
+#include <optional>
 #include <vector>
 
 #include "algebra/expr.h"
+#include "base/thread_pool.h"
 
 namespace viewcap {
 
@@ -26,6 +31,13 @@ struct SearchLimits {
   std::size_t max_leaves = 10;
   /// Cap on candidate expressions examined before giving up.
   std::size_t max_candidates = 200000;
+  /// Worker threads for the closure searches. 1 (the default) is the
+  /// exact legacy serial behavior; 0 means hardware_concurrency; any
+  /// other value is the total thread count including the calling thread.
+  /// Verdicts, witnesses and search statistics are identical for every
+  /// value (see ExprEnumerator::EnumerateSharded), so the knob is not part
+  /// of the engine's verdict-cache key.
+  std::size_t threads = 1;
 };
 
 /// Enumerates expressions in normalized form: a leaf, or a binary join of
@@ -60,7 +72,118 @@ class ExprEnumerator {
   Stats Enumerate(std::size_t max_leaves, std::size_t max_candidates,
                   const Visitor& visit) const;
 
+  /// The sharded (parallel) enumeration driver behind the Lemma 2.4.10
+  /// closure searches. Key fact making this possible: the candidate
+  /// stream at leaf level s depends only on the kKeep verdicts at levels
+  /// strictly below s (level-s joins combine kept blocks of a + b = s
+  /// leaves with a, b >= 1), so enumeration proceeds in level waves:
+  ///
+  ///   1. generate the level's candidates — a deterministic list;
+  ///   2. evaluate them on up to `threads` workers (`evaluate`, which
+  ///      must be thread-safe and must not touch enumeration state),
+  ///      sharded dynamically by candidate index; a candidate whose
+  ///      evaluation `is_stop` (witness or failure) ratchets the shared
+  ///      cancellation bound down to its index, and workers skip every
+  ///      candidate above the bound — but never one below it, so the
+  ///      SMALLEST stop index is always found exactly;
+  ///   3. commit the results in enumeration-index order on the calling
+  ///      thread (`commit` — the only place allowed to touch dedup
+  ///      registries and kept blocks), stopping at the first kStop.
+  ///
+  /// The committed verdict sequence — and with it Stats — is identical to
+  /// Enumerate() running evaluate+commit fused, for every thread count:
+  /// `generated` counts committed candidates (the serial callback-
+  /// invocation count; speculative evaluations beyond a stop index are
+  /// not observable), `exhausted_budget` is set only when the enumeration
+  /// truncated the stream at max_candidates AND no earlier commit
+  /// stopped it — a cancelled (witness-found) search never reports an
+  /// exhausted budget.
+  ///
+  /// `commit` may return kStop for a candidate `is_stop` was false for
+  /// (and vice versa — e.g. a failure that dedup would have skipped);
+  /// cancellation is only a work-saving hint. If the commit walk passes
+  /// the cancellation bound, the remaining (skipped) candidates are
+  /// evaluated lazily on the calling thread.
+  template <typename EvalResult>
+  struct ShardedVisitor {
+    /// Worker-side per-candidate evaluation (thread-safe, order-free).
+    std::function<EvalResult(const ExprPtr&)> evaluate;
+    /// Worker-side cancellation predicate over an evaluation (cheap).
+    std::function<bool(const EvalResult&)> is_stop;
+    /// Serial, enumeration-index-order verdict (sole state mutator).
+    std::function<Verdict(const ExprPtr&, const EvalResult&)> commit;
+  };
+
+  template <typename EvalResult>
+  Stats EnumerateSharded(std::size_t max_leaves, std::size_t max_candidates,
+                         std::size_t threads, ThreadPool* pool,
+                         const ShardedVisitor<EvalResult>& visitor) const {
+    Stats stats;
+    if (max_leaves == 0) return stats;
+    std::vector<std::vector<ExprPtr>> kept(max_leaves + 1);
+    for (std::size_t s = 1; s <= max_leaves; ++s) {
+      const std::size_t remaining = max_candidates - stats.generated;
+      std::vector<ExprPtr> level;
+      const bool truncated = GenerateLevel(s, kept, remaining, &level);
+      if (truncated) stats.exhausted_budget = true;
+
+      // Evaluate the wave. Indices are handed out in increasing order, so
+      // every index at or below the final stop bound is evaluated before
+      // the workers drain; indices above it are skipped (left empty).
+      std::vector<std::optional<EvalResult>> evals(level.size());
+      std::atomic<std::size_t> stop_bound{
+          std::numeric_limits<std::size_t>::max()};
+      ParallelFor(pool, threads, level.size(), [&](std::size_t i) {
+        if (i > stop_bound.load(std::memory_order_acquire)) return;
+        EvalResult eval = visitor.evaluate(level[i]);
+        if (visitor.is_stop(eval)) {
+          // Ratchet down to the smallest stop index seen.
+          std::size_t bound = stop_bound.load(std::memory_order_acquire);
+          while (i < bound && !stop_bound.compare_exchange_weak(
+                                  bound, i, std::memory_order_acq_rel)) {
+          }
+        }
+        evals[i] = std::move(eval);
+      });
+
+      // Commit in enumeration order; this is the serial replay that makes
+      // every thread count observationally identical.
+      for (std::size_t i = 0; i < level.size(); ++i) {
+        if (!evals[i].has_value()) {
+          // Beyond a stop bound the commit walk out-voted (e.g. the stop
+          // candidate was a duplicate): fall back to lazy evaluation.
+          evals[i] = visitor.evaluate(level[i]);
+        }
+        ++stats.generated;
+        switch (visitor.commit(level[i], *evals[i])) {
+          case Verdict::kKeep:
+            ++stats.kept;
+            kept[s].push_back(level[i]);
+            break;
+          case Verdict::kSkip:
+            break;
+          case Verdict::kStop:
+            stats.stopped = true;
+            stats.exhausted_budget = false;
+            return stats;
+        }
+      }
+      if (truncated) return stats;
+    }
+    return stats;
+  }
+
  private:
+  /// Appends level-`s` candidates to *out in exact enumeration order
+  /// (each base candidate followed by its nontrivial projections): level
+  /// 1 is the relation names; level s >= 2 is binary joins of kept
+  /// blocks with a + b = s leaves. Generates at most `cap` candidates;
+  /// returns true when the level was truncated by the cap (i.e. at least
+  /// one more candidate existed).
+  bool GenerateLevel(std::size_t s,
+                     const std::vector<std::vector<ExprPtr>>& kept,
+                     std::size_t cap, std::vector<ExprPtr>* out) const;
+
   const Catalog* catalog_;
   std::vector<RelId> names_;
 };

@@ -1,0 +1,122 @@
+#include "base/thread_pool.h"
+
+#include <memory>
+
+namespace viewcap {
+
+namespace {
+
+/// Shared state of one Run call. Owned by shared_ptr so helper tasks that
+/// get scheduled after the Run already completed find a live (cancelled)
+/// state instead of a dangling stack frame.
+struct RunState {
+  std::function<void(std::size_t)> fn;
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::size_t active = 0;    // Helpers currently inside fn.
+  bool cancelled = false;    // Caller finished; unstarted helpers skip.
+  std::size_t next_party = 1;  // Party index for the next helper to start.
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t workers) { EnsureWorkers(workers); }
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::EnsureWorkers(std::size_t workers) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (threads_.size() < workers) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+std::size_t ThreadPool::workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return threads_.size();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::Run(std::size_t parties,
+                     const std::function<void(std::size_t)>& fn) {
+  if (parties <= 1) {
+    fn(0);
+    return;
+  }
+  auto state = std::make_shared<RunState>();
+  state->fn = fn;
+  const std::size_t helpers = parties - 1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t i = 0; i < helpers; ++i) {
+      queue_.emplace_back([state] {
+        std::size_t party;
+        {
+          std::lock_guard<std::mutex> s(state->mu);
+          if (state->cancelled) return;
+          party = state->next_party++;
+          ++state->active;
+        }
+        state->fn(party);
+        {
+          std::lock_guard<std::mutex> s(state->mu);
+          --state->active;
+        }
+        state->done_cv.notify_all();
+      });
+    }
+  }
+  if (helpers == 1) {
+    work_cv_.notify_one();
+  } else {
+    work_cv_.notify_all();
+  }
+  fn(0);
+  std::unique_lock<std::mutex> s(state->mu);
+  state->cancelled = true;
+  state->done_cv.wait(s, [&state] { return state->active == 0; });
+}
+
+std::size_t ThreadPool::DecideThreads(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+void ParallelFor(ThreadPool* pool, std::size_t parallelism, std::size_t n,
+                 const std::function<void(std::size_t)>& fn) {
+  if (pool == nullptr || parallelism <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  pool->Run(std::min(parallelism, n), [&](std::size_t) {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      fn(i);
+    }
+  });
+}
+
+}  // namespace viewcap

@@ -32,10 +32,12 @@ Engine::Engine(const Catalog* catalog, EngineOptions options)
       verdict_cache_(options.max_memo_entries) {}
 
 Tableau Engine::Reduced(const Tableau& t) {
-  ++reduce_requests_;
+  Bump(reduce_requests_);
   const std::string fingerprint = TableauFingerprint(t);
-  if (const Tableau* hit = reduce_cache_.Get(fingerprint)) return *hit;
-  ++reduce_runs_;
+  if (std::optional<Tableau> hit = reduce_cache_.Get(fingerprint)) {
+    return *std::move(hit);
+  }
+  Bump(reduce_runs_);
   Tableau reduced = Reduce(*catalog_, t);
   // A core is its own reduction, so pre-seed the result's entry too: later
   // requests for the already-reduced form (e.g. re-interning a
@@ -49,37 +51,58 @@ Tableau Engine::Reduced(const Tableau& t) {
 }
 
 std::string Engine::Key(const Tableau& t) {
-  ++key_requests_;
+  Bump(key_requests_);
   const std::string fingerprint = TableauFingerprint(t);
-  if (const std::string* hit = key_cache_.Get(fingerprint)) return *hit;
-  ++key_runs_;
+  if (std::optional<std::string> hit = key_cache_.Get(fingerprint)) {
+    return *std::move(hit);
+  }
+  Bump(key_runs_);
   std::string key = CanonicalKey(t);
   key_cache_.Put(fingerprint, key);
   return key;
 }
 
 TableauId Engine::Intern(const Tableau& t) {
-  ++intern_requests_;
+  Bump(intern_requests_);
+  // The expensive kernels run before any interning lock is taken: they are
+  // memoized behind their own stripe locks.
   Tableau reduced = Reduced(t);
   const std::string key = Key(reduced);
-  std::vector<TableauId>& bucket = key_buckets_[key];
-  for (TableauId id : bucket) {
+  // The shard lock serializes the whole insert-or-confirm for this key
+  // (equivalent templates reduce to isomorphic cores, so they share a
+  // canonical key and therefore a shard): two threads interning one class
+  // concurrently agree on a single id.
+  std::lock_guard<std::mutex> shard_lock(
+      intern_shard_mu_[std::hash<std::string>{}(key) % kInternShards]);
+  std::vector<TableauId>* bucket;
+  {
+    // References to mapped values survive unordered_map rehashes, so the
+    // map lock covers only the find-or-insert; the vector itself is owned
+    // by the shard lock already held.
+    std::lock_guard<std::mutex> map_lock(buckets_mu_);
+    bucket = &key_buckets_[key];
+  }
+  for (TableauId id : *bucket) {
     // A canonical-key hit is only a candidate: beyond the exact-form row
     // threshold keys are invariant signatures that non-equivalent
     // templates may share.
-    ++equivalence_confirms_;
-    if (EquivalentTableaux(*catalog_, classes_[id], reduced)) {
-      ++intern_hits_;
+    Bump(equivalence_confirms_);
+    if (EquivalentTableaux(*catalog_, Representative(id), reduced)) {
+      Bump(intern_hits_);
       return id;
     }
   }
+  std::lock_guard<std::shared_mutex> classes_lock(classes_mu_);
   const TableauId id = classes_.size();
   classes_.push_back(std::move(reduced));
-  bucket.push_back(id);
+  bucket->push_back(id);
   return id;
 }
 
 const Tableau& Engine::Representative(TableauId id) const {
+  // The lock covers only the index operation: deque references are stable
+  // under push_back and published elements are immutable.
+  std::shared_lock<std::shared_mutex> lock(classes_mu_);
   VIEWCAP_CHECK(id < classes_.size());
   return classes_[id];
 }
@@ -89,10 +112,10 @@ bool Engine::Equivalent(const Tableau& a, const Tableau& b) {
 }
 
 bool Engine::HomomorphismExists(TableauId from, TableauId to) {
-  ++hom_requests_;
+  Bump(hom_requests_);
   const std::string key = StrCat(from, "~", to);
-  if (const bool* hit = hom_cache_.Get(key)) return *hit;
-  ++hom_runs_;
+  if (std::optional<bool> hit = hom_cache_.Get(key)) return *hit;
+  Bump(hom_runs_);
   const bool exists =
       HasHomomorphism(*catalog_, Representative(from), Representative(to));
   hom_cache_.Put(key, exists);
@@ -100,10 +123,10 @@ bool Engine::HomomorphismExists(TableauId from, TableauId to) {
 }
 
 bool Engine::RowEmbeds(TableauId from, TableauId to) {
-  ++embed_requests_;
+  Bump(embed_requests_);
   const std::string key = StrCat(from, "~", to);
-  if (const bool* hit = embed_cache_.Get(key)) return *hit;
-  ++embed_runs_;
+  if (std::optional<bool> hit = embed_cache_.Get(key)) return *hit;
+  Bump(embed_runs_);
   const bool embeds =
       HasRowEmbedding(*catalog_, Representative(from), Representative(to));
   embed_cache_.Put(key, embeds);
@@ -112,7 +135,7 @@ bool Engine::RowEmbeds(TableauId from, TableauId to) {
 
 Result<TableauId> Engine::ExpansionClass(TableauId level,
                                          const TemplateAssignment& beta) {
-  ++expansion_requests_;
+  Bump(expansion_requests_);
   const Tableau& rep = Representative(level);
   std::string key = StrCat("L", level, "|");
   bool keyed = true;
@@ -126,9 +149,11 @@ Result<TableauId> Engine::ExpansionClass(TableauId level,
     key += StrCat(rel, ">", Intern(it->second), ";");
   }
   if (keyed) {
-    if (const TableauId* hit = expansion_cache_.Get(key)) return *hit;
+    if (std::optional<TableauId> hit = expansion_cache_.Get(key)) {
+      return *hit;
+    }
   }
-  ++expansion_runs_;
+  Bump(expansion_runs_);
   SymbolPool pool;
   VIEWCAP_ASSIGN_OR_RETURN(Tableau expansion,
                            SubstituteTableau(*catalog_, rep, beta, pool));
@@ -137,10 +162,11 @@ Result<TableauId> Engine::ExpansionClass(TableauId level,
   return id;
 }
 
-const MembershipResult* Engine::LookupVerdict(const std::string& key) {
-  ++verdict_requests_;
-  const MembershipResult* hit = verdict_cache_.Get(key);
-  if (hit == nullptr) ++verdict_runs_;
+std::optional<MembershipResult> Engine::LookupVerdict(
+    const std::string& key) {
+  Bump(verdict_requests_);
+  std::optional<MembershipResult> hit = verdict_cache_.Get(key);
+  if (!hit.has_value()) Bump(verdict_runs_);
   return hit;
 }
 
@@ -149,24 +175,38 @@ void Engine::StoreVerdict(const std::string& key,
   verdict_cache_.Put(key, verdict);
 }
 
+ThreadPool* Engine::SharedPool(std::size_t total_threads) {
+  const std::size_t workers = total_threads > 0 ? total_threads - 1 : 0;
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(workers);
+  } else {
+    pool_->EnsureWorkers(workers);
+  }
+  return pool_.get();
+}
+
 EngineStats Engine::Stats() const {
   EngineStats stats;
-  stats.reduce = {reduce_requests_, reduce_runs_, reduce_cache_.evictions(),
-                  reduce_cache_.size()};
-  stats.canonical_key = {key_requests_, key_runs_, key_cache_.evictions(),
-                         key_cache_.size()};
-  stats.homomorphism = {hom_requests_, hom_runs_, hom_cache_.evictions(),
-                        hom_cache_.size()};
-  stats.row_embedding = {embed_requests_, embed_runs_,
+  stats.reduce = {Load(reduce_requests_), Load(reduce_runs_),
+                  reduce_cache_.evictions(), reduce_cache_.size()};
+  stats.canonical_key = {Load(key_requests_), Load(key_runs_),
+                         key_cache_.evictions(), key_cache_.size()};
+  stats.homomorphism = {Load(hom_requests_), Load(hom_runs_),
+                        hom_cache_.evictions(), hom_cache_.size()};
+  stats.row_embedding = {Load(embed_requests_), Load(embed_runs_),
                          embed_cache_.evictions(), embed_cache_.size()};
-  stats.expansion = {expansion_requests_, expansion_runs_,
+  stats.expansion = {Load(expansion_requests_), Load(expansion_runs_),
                      expansion_cache_.evictions(), expansion_cache_.size()};
-  stats.verdict = {verdict_requests_, verdict_runs_,
+  stats.verdict = {Load(verdict_requests_), Load(verdict_runs_),
                    verdict_cache_.evictions(), verdict_cache_.size()};
-  stats.intern_requests = intern_requests_;
-  stats.intern_hits = intern_hits_;
-  stats.interned_classes = classes_.size();
-  stats.equivalence_confirms = equivalence_confirms_;
+  stats.intern_requests = Load(intern_requests_);
+  stats.intern_hits = Load(intern_hits_);
+  {
+    std::shared_lock<std::shared_mutex> lock(classes_mu_);
+    stats.interned_classes = classes_.size();
+  }
+  stats.equivalence_confirms = Load(equivalence_confirms_);
   return stats;
 }
 

@@ -9,12 +9,34 @@
 // TableauId iff equivalent mappings), the hot kernels are memoized behind
 // bounded LRU caches, and every cache exports hit/miss/eviction counters
 // through an EngineStats snapshot.
+//
+// Thread-safety contract: every Engine method may be called concurrently
+// from the parallel closure-search workers (DESIGN.md, "Parallel search").
+// The memo caches are striped behind per-shard mutexes, interning's
+// canonical-key bucket insert-or-confirm is atomic under a shard lock, the
+// interning store is guarded by a reader/writer lock (published
+// representatives are immutable and their references stable), and the
+// statistics counters are relaxed atomics. The expensive kernels
+// themselves (reduce, canonicalize, substitute, homomorphism search) run
+// OUTSIDE all locks, so concurrent misses on the same key may compute the
+// same value twice — the caches are semantically transparent, so this
+// costs duplicate work, never a wrong answer. The catalog behind the
+// engine is only read; callers minting relations concurrently with
+// searches must provide their own exclusion (the library's drivers mint
+// before searching).
 #ifndef VIEWCAP_ENGINE_ENGINE_H_
 #define VIEWCAP_ENGINE_ENGINE_H_
 
+#include <array>
+#include <atomic>
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -22,6 +44,7 @@
 
 #include "algebra/expr.h"
 #include "base/status.h"
+#include "base/thread_pool.h"
 #include "tableau/substitution.h"
 #include "tableau/tableau.h"
 
@@ -78,7 +101,11 @@ struct CacheCounters {
 };
 
 /// Point-in-time snapshot of an engine's caches (see
-/// RenderEngineStats in core/report.h for the human-readable form).
+/// RenderEngineStats in core/report.h for the human-readable form). Under
+/// concurrent use the counters are relaxed atomics: totals are exact once
+/// the workers have quiesced, but a snapshot taken mid-search may be
+/// momentarily inconsistent across counters (e.g. requests read before a
+/// racing run is counted).
 struct EngineStats {
   CacheCounters reduce;         ///< Reduce-to-core kernel (Prop 2.4.4).
   CacheCounters canonical_key;  ///< CanonicalKey kernel.
@@ -105,7 +132,9 @@ std::string TableauFingerprint(const Tableau& t);
 /// A bounded memo cache with LRU eviction. Values are returned by pointer
 /// valid only until the next Put (eviction may free them); callers copy
 /// immediately. Capacity 0 disables the cache entirely: Get always misses
-/// and Put stores nothing. Not thread-safe, like the rest of the library.
+/// and Put stores nothing. NOT thread-safe — this is the single-stripe
+/// core; concurrent callers go through StripedMemoCache, which shards keys
+/// across independently locked MemoCache stripes.
 template <typename Value>
 class MemoCache {
  public:
@@ -150,9 +179,84 @@ class MemoCache {
   std::size_t evictions_ = 0;
 };
 
+/// Thread-safe facade over hash-sharded MemoCache stripes, each behind its
+/// own mutex. The total capacity is divided exactly across the stripes, so
+/// the aggregate entry bound equals the configured capacity; LRU recency
+/// is tracked per stripe (an approximation of global LRU — see DESIGN.md,
+/// "Parallel search", for the tradeoff against per-worker caches). Small
+/// capacities (or 0 = disabled) collapse to a single stripe so the
+/// historical single-threaded eviction order is preserved exactly.
+template <typename Value>
+class StripedMemoCache {
+ public:
+  /// Stripe count for capacities large enough to shard.
+  static constexpr std::size_t kStripes = 8;
+
+  explicit StripedMemoCache(std::size_t capacity) {
+    const std::size_t stripes =
+        capacity >= kStripes * kStripes ? kStripes : 1;
+    stripes_.reserve(stripes);
+    for (std::size_t i = 0; i < stripes; ++i) {
+      // Distribute the capacity exactly: the first capacity % stripes
+      // stripes take one extra entry.
+      const std::size_t share =
+          capacity / stripes + (i < capacity % stripes ? 1 : 0);
+      stripes_.push_back(std::make_unique<Stripe>(share));
+    }
+  }
+
+  /// Copy-out get: the stripe lock is held only for the lookup, so the
+  /// returned value stays valid regardless of concurrent Puts.
+  std::optional<Value> Get(const std::string& key) {
+    Stripe& stripe = StripeFor(key);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    const Value* hit = stripe.cache.Get(key);
+    if (hit == nullptr) return std::nullopt;
+    return *hit;
+  }
+
+  void Put(const std::string& key, Value value) {
+    Stripe& stripe = StripeFor(key);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.cache.Put(key, std::move(value));
+  }
+
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const auto& stripe : stripes_) {
+      std::lock_guard<std::mutex> lock(stripe->mu);
+      total += stripe->cache.size();
+    }
+    return total;
+  }
+
+  std::size_t evictions() const {
+    std::size_t total = 0;
+    for (const auto& stripe : stripes_) {
+      std::lock_guard<std::mutex> lock(stripe->mu);
+      total += stripe->cache.evictions();
+    }
+    return total;
+  }
+
+ private:
+  struct Stripe {
+    explicit Stripe(std::size_t capacity) : cache(capacity) {}
+    mutable std::mutex mu;
+    MemoCache<Value> cache;
+  };
+
+  Stripe& StripeFor(const std::string& key) {
+    return *stripes_[std::hash<std::string>{}(key) % stripes_.size()];
+  }
+
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+};
+
 /// One analysis run's shared closure machinery. The catalog must outlive
 /// the engine; catalog growth (minted handles) is fine — the engine never
-/// enumerates the catalog. Not thread-safe.
+/// enumerates the catalog. Safe for concurrent use by the parallel search
+/// workers (see the file comment for the exact contract).
 class Engine {
  public:
   explicit Engine(const Catalog* catalog, EngineOptions options = {});
@@ -169,12 +273,15 @@ class Engine {
 
   /// Interns `t`'s equivalence class: reduce, canonical-key bucket,
   /// confirm collisions with EquivalentTableaux. Every template is reduced
-  /// and canonicalized at most once per engine.
+  /// and canonicalized at most once per engine. The bucket insert-or-
+  /// confirm is atomic under a per-key shard lock, so concurrent interns
+  /// of equivalent templates agree on one id.
   TableauId Intern(const Tableau& t);
 
   /// The class's stored reduced representative. The reference is stable
   /// for the engine's lifetime: the interning store is a deque, so adding
-  /// classes never moves previously stored representatives.
+  /// classes never moves previously stored representatives, and published
+  /// representatives are immutable.
   const Tableau& Representative(TableauId id) const;
 
   /// Mapping equivalence as an id comparison (Proposition 2.4.3 via the
@@ -203,40 +310,73 @@ class Engine {
 
   /// Cached membership verdict lookup. Keys are built by the capacity
   /// oracle from (query-set fingerprint, search limits, query class); see
-  /// DESIGN.md for why the set fingerprint includes the handle names. The
-  /// returned pointer is valid only until the next StoreVerdict.
-  const MembershipResult* LookupVerdict(const std::string& key);
+  /// DESIGN.md for why the set fingerprint includes the handle names.
+  /// Returns by value: under concurrency a pointer into the cache could
+  /// dangle on the next store.
+  std::optional<MembershipResult> LookupVerdict(const std::string& key);
   void StoreVerdict(const std::string& key, const MembershipResult& verdict);
+
+  /// The worker pool shared by every parallel search running over this
+  /// engine, sized for `total_threads` concurrent threads (the pool holds
+  /// total_threads - 1 workers; the searching thread itself is the last
+  /// party). Created lazily on first use — serial runs never spawn a
+  /// thread — and grown, never shrunk, by later calls asking for more.
+  ThreadPool* SharedPool(std::size_t total_threads);
 
   EngineStats Stats() const;
 
  private:
+  /// Relaxed-atomic counter shorthand (statistics only; never used for
+  /// synchronization).
+  using Counter = std::atomic<std::size_t>;
+  static std::size_t Load(const Counter& c) {
+    return c.load(std::memory_order_relaxed);
+  }
+  static void Bump(Counter& c) { c.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Shard count for the interning bucket locks.
+  static constexpr std::size_t kInternShards = 16;
+
   const Catalog* catalog_;
   EngineOptions options_;
 
   // Interning store: never evicted (ids must stay valid). A deque, not a
   // vector, so Representative() references survive later Intern() growth
   // (ExpansionClass interns beta's assignments while holding the level's
-  // representative).
+  // representative). classes_mu_ guards the deque's internal structure
+  // only: published elements are immutable and their references stable, so
+  // readers hold the lock just for the index operation.
+  mutable std::shared_mutex classes_mu_;
   std::deque<Tableau> classes_;  // id -> reduced representative.
+
+  // Canonical-key buckets. buckets_mu_ guards the map's find-or-insert
+  // (references to mapped vectors survive rehashing); each vector is then
+  // owned by the shard lock of its key, which is held across the whole
+  // insert-or-confirm so concurrent interns of one class serialize.
+  std::mutex buckets_mu_;
+  std::array<std::mutex, kInternShards> intern_shard_mu_;
   std::unordered_map<std::string, std::vector<TableauId>> key_buckets_;
 
-  MemoCache<Tableau> reduce_cache_;
-  MemoCache<std::string> key_cache_;
-  MemoCache<bool> hom_cache_;
-  MemoCache<bool> embed_cache_;
-  MemoCache<TableauId> expansion_cache_;
-  MemoCache<MembershipResult> verdict_cache_;
+  // Lazily created parallel-search pool (SharedPool).
+  std::mutex pool_mu_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  StripedMemoCache<Tableau> reduce_cache_;
+  StripedMemoCache<std::string> key_cache_;
+  StripedMemoCache<bool> hom_cache_;
+  StripedMemoCache<bool> embed_cache_;
+  StripedMemoCache<TableauId> expansion_cache_;
+  StripedMemoCache<MembershipResult> verdict_cache_;
 
   // requests/runs counters; entries/evictions come from the caches.
-  std::size_t reduce_requests_ = 0, reduce_runs_ = 0;
-  std::size_t key_requests_ = 0, key_runs_ = 0;
-  std::size_t hom_requests_ = 0, hom_runs_ = 0;
-  std::size_t embed_requests_ = 0, embed_runs_ = 0;
-  std::size_t expansion_requests_ = 0, expansion_runs_ = 0;
-  std::size_t verdict_requests_ = 0, verdict_runs_ = 0;
-  std::size_t intern_requests_ = 0, intern_hits_ = 0;
-  std::size_t equivalence_confirms_ = 0;
+  Counter reduce_requests_{0}, reduce_runs_{0};
+  Counter key_requests_{0}, key_runs_{0};
+  Counter hom_requests_{0}, hom_runs_{0};
+  Counter embed_requests_{0}, embed_runs_{0};
+  Counter expansion_requests_{0}, expansion_runs_{0};
+  Counter verdict_requests_{0}, verdict_runs_{0};
+  Counter intern_requests_{0}, intern_hits_{0};
+  Counter equivalence_confirms_{0};
 };
 
 }  // namespace viewcap

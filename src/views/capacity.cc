@@ -6,6 +6,7 @@
 #include "algebra/enumerator.h"
 #include "base/check.h"
 #include "base/strings.h"
+#include "base/thread_pool.h"
 #include "tableau/build.h"
 #include "tableau/homomorphism.h"
 
@@ -135,6 +136,19 @@ std::string CapacityOracle::VerdictKey(TableauId query_id) const {
 
 namespace {
 
+// Worker-side evaluation of one enumeration candidate for the sharded
+// Contains search: everything the serial visit computes, minus the dedup
+// and verdict bookkeeping (which commit replays in enumeration order).
+struct CandidateEval {
+  Status failure = Status::OK();
+  bool build_failed = false;
+  bool expansion_failed = false;
+  TableauId level_id = kInvalidTableauId;
+  TableauId expansion = kInvalidTableauId;
+  bool row_embeds = false;
+  bool witness = false;
+};
+
 // Fast path: the canonical single-copy witness. If Q is equivalent to
 // pi_TRS(Q)(join of one copy of every member whose query row-embeds into
 // Q), return that witness immediately. Sound (the witness is checked by
@@ -185,8 +199,9 @@ Result<MembershipResult> CapacityOracle::Contains(const Tableau& query) const {
   VIEWCAP_RETURN_NOT_OK(query.Validate(*catalog_));
   const TableauId query_id = engine_->Intern(query);
   const std::string verdict_key = VerdictKey(query_id);
-  if (const MembershipResult* cached = engine_->LookupVerdict(verdict_key)) {
-    return *cached;
+  if (std::optional<MembershipResult> cached =
+          engine_->LookupVerdict(verdict_key)) {
+    return *std::move(cached);
   }
   const Tableau& reduced_query = engine_->Representative(query_id);
 
@@ -208,53 +223,125 @@ Result<MembershipResult> CapacityOracle::Contains(const Tableau& query) const {
   }
   // Per-call dedup registries; the expensive kernels behind them (reduce,
   // canonicalize, substitute, embed) are memoized in the engine and so
-  // shared across calls and oracles.
+  // shared across calls and oracles. Touched only by the serial visit /
+  // commit path, never by parallel evaluation.
   std::unordered_set<TableauId> seen_levels;
   std::unordered_set<TableauId> seen_expansions;
   ExprEnumerator enumerator(catalog_, set_.Handles());
   Status failure = Status::OK();
+  ExprEnumerator::Stats stats;
 
-  ExprEnumerator::Stats stats = enumerator.Enumerate(
-      result.leaf_budget, limits_.max_candidates,
-      [&](const ExprPtr& candidate) -> ExprEnumerator::Verdict {
-        SymbolPool pool;
-        Result<Tableau> level =
-            BuildTableau(*catalog_, set_.universe(), *candidate, pool);
-        if (!level.ok()) {
-          failure = level.status();
-          return ExprEnumerator::Verdict::kStop;
-        }
-        // Cheap pre-substitution dedup: candidates whose handle-level
-        // templates coincide up to equivalence (commuted joins etc.)
-        // expand to equivalent templates (Lemma 2.3.1).
-        const TableauId level_id = engine_->Intern(*level);
-        if (!seen_levels.insert(level_id).second) {
-          return ExprEnumerator::Verdict::kSkip;
-        }
-        Result<TableauId> expansion = engine_->ExpansionClass(level_id, beta);
-        if (!expansion.ok()) {
-          failure = expansion.status();
-          return ExprEnumerator::Verdict::kStop;
-        }
-        // Completeness-preserving prune: a witness's expansion maps
-        // homomorphically onto the query, and every subexpression's
-        // expansion therefore row-embeds into it (see HasRowEmbedding).
-        // Candidates failing the embedding can appear in no witness.
-        // (Checked on the class representatives: embeddings compose with
-        // the core homomorphisms, so the verdict is class-invariant.)
-        if (!engine_->RowEmbeds(*expansion, query_id)) {
-          return ExprEnumerator::Verdict::kSkip;
-        }
-        if (!seen_expansions.insert(*expansion).second) {
-          return ExprEnumerator::Verdict::kSkip;
-        }
-        if (*expansion == query_id) {
-          result.member = true;
-          result.witness = candidate;
-          return ExprEnumerator::Verdict::kStop;
-        }
-        return ExprEnumerator::Verdict::kKeep;
-      });
+  const std::size_t threads = ThreadPool::DecideThreads(limits_.threads);
+  if (threads == 1) {
+    stats = enumerator.Enumerate(
+        result.leaf_budget, limits_.max_candidates,
+        [&](const ExprPtr& candidate) -> ExprEnumerator::Verdict {
+          SymbolPool pool;
+          Result<Tableau> level =
+              BuildTableau(*catalog_, set_.universe(), *candidate, pool);
+          if (!level.ok()) {
+            failure = level.status();
+            return ExprEnumerator::Verdict::kStop;
+          }
+          // Cheap pre-substitution dedup: candidates whose handle-level
+          // templates coincide up to equivalence (commuted joins etc.)
+          // expand to equivalent templates (Lemma 2.3.1).
+          const TableauId level_id = engine_->Intern(*level);
+          if (!seen_levels.insert(level_id).second) {
+            return ExprEnumerator::Verdict::kSkip;
+          }
+          Result<TableauId> expansion =
+              engine_->ExpansionClass(level_id, beta);
+          if (!expansion.ok()) {
+            failure = expansion.status();
+            return ExprEnumerator::Verdict::kStop;
+          }
+          // Completeness-preserving prune: a witness's expansion maps
+          // homomorphically onto the query, and every subexpression's
+          // expansion therefore row-embeds into it (see HasRowEmbedding).
+          // Candidates failing the embedding can appear in no witness.
+          // (Checked on the class representatives: embeddings compose with
+          // the core homomorphisms, so the verdict is class-invariant.)
+          if (!engine_->RowEmbeds(*expansion, query_id)) {
+            return ExprEnumerator::Verdict::kSkip;
+          }
+          if (!seen_expansions.insert(*expansion).second) {
+            return ExprEnumerator::Verdict::kSkip;
+          }
+          if (*expansion == query_id) {
+            result.member = true;
+            result.witness = candidate;
+            return ExprEnumerator::Verdict::kStop;
+          }
+          return ExprEnumerator::Verdict::kKeep;
+        });
+  } else {
+    // Sharded search: workers run the pure per-candidate pipeline (build
+    // -> intern -> expand -> embed; every kernel engine-memoized and
+    // thread-safe), the commit replays the serial verdict order so the
+    // result — verdict, witness, statistics — is bit-identical to the
+    // threads == 1 search. A duplicate-level candidate's expansion is
+    // computed speculatively here (the serial path skips it), but the
+    // expansion cache makes that a lookup, not a kernel run.
+    ExprEnumerator::ShardedVisitor<CandidateEval> visitor;
+    visitor.evaluate = [&](const ExprPtr& candidate) -> CandidateEval {
+      CandidateEval eval;
+      SymbolPool pool;
+      Result<Tableau> level =
+          BuildTableau(*catalog_, set_.universe(), *candidate, pool);
+      if (!level.ok()) {
+        eval.failure = level.status();
+        eval.build_failed = true;
+        return eval;
+      }
+      eval.level_id = engine_->Intern(*level);
+      Result<TableauId> expansion =
+          engine_->ExpansionClass(eval.level_id, beta);
+      if (!expansion.ok()) {
+        eval.failure = expansion.status();
+        eval.expansion_failed = true;
+        return eval;
+      }
+      eval.expansion = *expansion;
+      eval.row_embeds = engine_->RowEmbeds(*expansion, query_id);
+      eval.witness = *expansion == query_id;
+      return eval;
+    };
+    // First-witness cancellation: failures and witnesses are what the
+    // serial search stops on, so their smallest enumeration index bounds
+    // the useful work.
+    visitor.is_stop = [](const CandidateEval& eval) {
+      return eval.build_failed || eval.expansion_failed || eval.witness;
+    };
+    visitor.commit = [&](const ExprPtr& candidate,
+                         const CandidateEval& eval)
+        -> ExprEnumerator::Verdict {
+      if (eval.build_failed) {
+        failure = eval.failure;
+        return ExprEnumerator::Verdict::kStop;
+      }
+      if (!seen_levels.insert(eval.level_id).second) {
+        return ExprEnumerator::Verdict::kSkip;
+      }
+      if (eval.expansion_failed) {
+        failure = eval.failure;
+        return ExprEnumerator::Verdict::kStop;
+      }
+      if (!eval.row_embeds) return ExprEnumerator::Verdict::kSkip;
+      if (!seen_expansions.insert(eval.expansion).second) {
+        return ExprEnumerator::Verdict::kSkip;
+      }
+      if (eval.witness) {
+        result.member = true;
+        result.witness = candidate;
+        return ExprEnumerator::Verdict::kStop;
+      }
+      return ExprEnumerator::Verdict::kKeep;
+    };
+    stats = enumerator.EnumerateSharded(
+        result.leaf_budget, limits_.max_candidates, threads,
+        engine_->SharedPool(threads), visitor);
+  }
 
   VIEWCAP_RETURN_NOT_OK(failure);
   result.candidates_tried = stats.generated;

@@ -1,10 +1,39 @@
 #include "views/redundancy.h"
 
 #include <numeric>
+#include <optional>
+#include <vector>
 
 #include "base/check.h"
+#include "base/thread_pool.h"
 
 namespace viewcap {
+
+namespace {
+
+/// Runs the |F| leave-one-out membership tests of a redundancy scan
+/// concurrently (each IsRedundant builds its oracle over the shared,
+/// thread-safe engine) and returns the per-index results for the caller
+/// to replay in index order. QuerySet::Without never mints catalog names,
+/// so the workers only read the catalog, as the engine contract requires.
+std::vector<Result<RedundancyResult>> ScanAllMembers(Engine& engine,
+                                                     const QuerySet& set,
+                                                     SearchLimits limits,
+                                                     std::size_t threads) {
+  std::vector<std::optional<Result<RedundancyResult>>> slots(set.size());
+  ParallelFor(engine.SharedPool(threads), threads, set.size(),
+              [&](std::size_t i) {
+                slots[i] = IsRedundant(engine, set, i, limits);
+              });
+  std::vector<Result<RedundancyResult>> results;
+  results.reserve(slots.size());
+  for (std::optional<Result<RedundancyResult>>& slot : slots) {
+    results.push_back(*std::move(slot));
+  }
+  return results;
+}
+
+}  // namespace
 
 Result<RedundancyResult> IsRedundant(Engine& engine, const QuerySet& set,
                                      std::size_t index, SearchLimits limits) {
@@ -34,9 +63,26 @@ Result<RedundancyResult> IsRedundant(const Catalog* catalog,
 Result<bool> IsNonredundantSet(Engine& engine, const QuerySet& set,
                                SearchLimits limits, bool* inconclusive) {
   if (inconclusive != nullptr) *inconclusive = false;
-  for (std::size_t i = 0; i < set.size(); ++i) {
-    VIEWCAP_ASSIGN_OR_RETURN(RedundancyResult r,
-                             IsRedundant(engine, set, i, limits));
+  const std::size_t threads = ThreadPool::DecideThreads(limits.threads);
+  if (threads == 1 || set.size() <= 1) {
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      VIEWCAP_ASSIGN_OR_RETURN(RedundancyResult r,
+                               IsRedundant(engine, set, i, limits));
+      if (r.redundant) return false;
+      if (r.membership.budget_exhausted && inconclusive != nullptr) {
+        *inconclusive = true;
+      }
+    }
+    return true;
+  }
+  // All leave-one-out oracles run concurrently; the verdict fold below
+  // replays the serial loop in index order, so the returned verdict and
+  // the inconclusive flag match threads == 1 exactly (members past the
+  // first redundant one are evaluated speculatively but not observed).
+  std::vector<Result<RedundancyResult>> scans =
+      ScanAllMembers(engine, set, limits, threads);
+  for (Result<RedundancyResult>& scan : scans) {
+    VIEWCAP_ASSIGN_OR_RETURN(RedundancyResult r, std::move(scan));
     if (r.redundant) return false;
     if (r.membership.budget_exhausted && inconclusive != nullptr) {
       *inconclusive = true;
@@ -80,20 +126,40 @@ Result<NonredundantViewResult> MakeNonredundant(Engine& engine,
   // Pass 2: greedily drop redundant members until a fixpoint. Dropping one
   // redundant member keeps the closure intact, so re-testing against the
   // shrunken set stays correct.
+  const std::size_t threads = ThreadPool::DecideThreads(limits.threads);
   bool changed = true;
   while (changed && result.kept.size() > 1) {
     changed = false;
     View current = view.Restrict(result.kept);
     QuerySet set = QuerySet::FromView(current);
-    for (std::size_t pos = 0; pos < result.kept.size(); ++pos) {
-      VIEWCAP_ASSIGN_OR_RETURN(RedundancyResult r,
-                               IsRedundant(engine, set, pos, limits));
-      if (r.membership.budget_exhausted) result.inconclusive = true;
-      if (r.redundant) {
-        result.kept.erase(result.kept.begin() +
-                          static_cast<std::ptrdiff_t>(pos));
-        changed = true;
-        break;
+    if (threads == 1) {
+      for (std::size_t pos = 0; pos < result.kept.size(); ++pos) {
+        VIEWCAP_ASSIGN_OR_RETURN(RedundancyResult r,
+                                 IsRedundant(engine, set, pos, limits));
+        if (r.membership.budget_exhausted) result.inconclusive = true;
+        if (r.redundant) {
+          result.kept.erase(result.kept.begin() +
+                            static_cast<std::ptrdiff_t>(pos));
+          changed = true;
+          break;
+        }
+      }
+    } else {
+      // Concurrent leave-one-out scan; replaying in index order keeps the
+      // victim choice — the smallest redundant position — and the
+      // inconclusive flag identical to the serial loop, which is what
+      // makes the final kept set thread-count-deterministic.
+      std::vector<Result<RedundancyResult>> scans =
+          ScanAllMembers(engine, set, limits, threads);
+      for (std::size_t pos = 0; pos < scans.size(); ++pos) {
+        VIEWCAP_ASSIGN_OR_RETURN(RedundancyResult r, std::move(scans[pos]));
+        if (r.membership.budget_exhausted) result.inconclusive = true;
+        if (r.redundant) {
+          result.kept.erase(result.kept.begin() +
+                            static_cast<std::ptrdiff_t>(pos));
+          changed = true;
+          break;
+        }
       }
     }
   }

@@ -2,8 +2,12 @@
 // the cross-layer reuse guarantees the views layer is built on.
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <vector>
+
 #include "algebra/parser.h"
 #include "algebra/printer.h"
+#include "base/thread_pool.h"
 #include "engine/engine.h"
 #include "tableau/build.h"
 #include "tableau/homomorphism.h"
@@ -240,6 +244,43 @@ TEST_F(EngineTest, PairPredicatesAreMemoizedPerClassPair) {
   s = engine.Stats();
   EXPECT_EQ(s.row_embedding.requests, 2u);
   EXPECT_EQ(s.row_embedding.runs, 1u);
+}
+
+TEST_F(EngineTest, ConcurrentInterningAgreesOnOneClass) {
+  // N threads interning the same template (and its equivalent forms) must
+  // all get a single class id, and the id must resolve to a stable
+  // representative. This is the contract the parallel membership search
+  // relies on (workers intern levels and expansions concurrently).
+  Engine engine(&catalog_);
+  const Tableau forms[] = {T("pi{A,B}(r)"), T("pi{A,B}(r * r)"),
+                           T("pi{A,B}(r) * pi{A,B}(r)")};
+  constexpr std::size_t kIterations = 24;
+  std::vector<TableauId> ids(kIterations);
+  ParallelFor(engine.SharedPool(8), 8, kIterations, [&](std::size_t i) {
+    ids[i] = engine.Intern(forms[i % 3]);
+  });
+  for (std::size_t i = 1; i < kIterations; ++i) EXPECT_EQ(ids[i], ids[0]);
+  // Distinct classes still separate under concurrency.
+  const Tableau distinct[] = {T("pi{B,C}(r)"), T("pi{A}(r)")};
+  std::vector<TableauId> other(kIterations);
+  ParallelFor(engine.SharedPool(8), 8, kIterations, [&](std::size_t i) {
+    other[i] = engine.Intern(distinct[i % 2]);
+  });
+  EXPECT_NE(other[0], ids[0]);
+  EXPECT_NE(other[1], other[0]);
+  EXPECT_EQ(engine.Stats().interned_classes, 3u);
+}
+
+TEST_F(EngineTest, SharedPoolGrowsAndIsReused) {
+  Engine engine(&catalog_);
+  ThreadPool* pool = engine.SharedPool(2);
+  ASSERT_NE(pool, nullptr);
+  EXPECT_EQ(pool->workers(), 1u);  // Caller counts as one thread.
+  // Same pool, grown, on a larger request; never shrinks.
+  EXPECT_EQ(engine.SharedPool(4), pool);
+  EXPECT_EQ(pool->workers(), 3u);
+  EXPECT_EQ(engine.SharedPool(2), pool);
+  EXPECT_EQ(pool->workers(), 3u);
 }
 
 }  // namespace

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Compare two benchmark baseline JSON files (bench --json=... output).
+
+Usage:
+  tools/bench_compare.py BASELINE.json CANDIDATE.json [--threshold=PCT]
+
+Prints a delta table of ns_per_op for every benchmark present in both
+files (plus a note for benchmarks only in one of them) and exits non-zero
+when any shared benchmark regressed by more than the threshold
+(default 15%). Intended for CI gating and for checking in refreshed
+bench/BENCH_*.json baselines:
+
+  build/bench/bench_capacity --json=/tmp/new.json
+  tools/bench_compare.py bench/BENCH_capacity.json /tmp/new.json
+"""
+
+import json
+import sys
+
+DEFAULT_THRESHOLD_PCT = 15.0
+
+
+def load_records(path):
+    """Returns {benchmark name: ns_per_op} from a baseline file."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.stderr.write("bench_compare: cannot read %s: %s\n" % (path, err))
+        sys.exit(2)
+    records = {}
+    for entry in doc.get("benchmarks", []):
+        name = entry.get("name")
+        ns = entry.get("ns_per_op")
+        if name is None or ns is None:
+            continue
+        records[name] = float(ns)
+    if not records:
+        sys.stderr.write("bench_compare: no benchmark records in %s\n" % path)
+        sys.exit(2)
+    return records
+
+
+def format_ns(ns):
+    if ns >= 1e9:
+        return "%.2fs" % (ns / 1e9)
+    if ns >= 1e6:
+        return "%.2fms" % (ns / 1e6)
+    if ns >= 1e3:
+        return "%.2fus" % (ns / 1e3)
+    return "%.0fns" % ns
+
+
+def main(argv):
+    threshold = DEFAULT_THRESHOLD_PCT
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--threshold="):
+            try:
+                threshold = float(arg.split("=", 1)[1])
+            except ValueError:
+                sys.stderr.write("bench_compare: bad threshold %r\n" % arg)
+                return 2
+        elif arg in ("-h", "--help"):
+            sys.stdout.write(__doc__)
+            return 0
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        sys.stderr.write(
+            "usage: bench_compare.py BASELINE.json CANDIDATE.json"
+            " [--threshold=PCT]\n")
+        return 2
+
+    baseline = load_records(paths[0])
+    candidate = load_records(paths[1])
+    shared = sorted(set(baseline) & set(candidate))
+    only_baseline = sorted(set(baseline) - set(candidate))
+    only_candidate = sorted(set(candidate) - set(baseline))
+
+    name_width = max([len(n) for n in shared] + [len("benchmark")])
+    header = "%-*s  %12s  %12s  %8s" % (
+        name_width, "benchmark", "baseline", "candidate", "delta")
+    print(header)
+    print("-" * len(header))
+    regressions = []
+    for name in shared:
+        old = baseline[name]
+        new = candidate[name]
+        delta_pct = (new - old) / old * 100.0 if old > 0 else 0.0
+        marker = ""
+        if delta_pct > threshold:
+            marker = "  REGRESSED"
+            regressions.append((name, delta_pct))
+        print("%-*s  %12s  %12s  %+7.1f%%%s" % (
+            name_width, name, format_ns(old), format_ns(new), delta_pct,
+            marker))
+    for name in only_baseline:
+        print("%-*s  %12s  %12s" % (
+            name_width, name, format_ns(baseline[name]), "(missing)"))
+    for name in only_candidate:
+        print("%-*s  %12s  %12s" % (
+            name_width, name, "(new)", format_ns(candidate[name])))
+
+    if regressions:
+        print()
+        print("%d benchmark(s) regressed beyond %.1f%%:" % (
+            len(regressions), threshold))
+        for name, delta_pct in regressions:
+            print("  %s (+%.1f%%)" % (name, delta_pct))
+        return 1
+    print()
+    print("no regressions beyond %.1f%% across %d shared benchmark(s)" % (
+        threshold, len(shared)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

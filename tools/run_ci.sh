@@ -1,8 +1,9 @@
 #!/usr/bin/env sh
 # The full local CI gate: configure + build the ci-asan preset
-# (ASan/UBSan, warnings-as-errors), run the test suite under it, then
-# clang-tidy over the first-party sources. Mirrors what a hosted pipeline
-# would run; any stage failing fails the script.
+# (ASan/UBSan, warnings-as-errors), run the test suite under it, then the
+# concurrency-sensitive subset under ThreadSanitizer (ci-tsan preset), and
+# finally clang-tidy over the first-party sources. Mirrors what a hosted
+# pipeline would run; any stage failing fails the script.
 #
 #   tools/run_ci.sh
 set -eu
@@ -18,6 +19,18 @@ cmake --build --preset ci-asan
 
 echo "== test (ci-asan) =="
 ctest --preset ci-asan
+
+echo "== configure (ci-tsan) =="
+cmake --preset ci-tsan
+
+echo "== build (ci-tsan) =="
+cmake --build --preset ci-tsan
+
+# The ci-tsan test preset filters to the suites that exercise the parallel
+# closure search (thread pool, sharded enumeration, engine sharing,
+# capacity/equivalence/redundancy drivers).
+echo "== test (ci-tsan, parallel subset) =="
+ctest --preset ci-tsan
 
 echo "== clang-tidy =="
 "$repo_root/tools/run_tidy.sh" "$repo_root/build-asan"

@@ -22,6 +22,10 @@
 // --engine-stats (any analysis command) appends the run's memoizing-engine
 // cache statistics after the command output.
 //
+// --threads=N (any analysis command, and lint) shards the closure searches
+// across N threads (0 = one per hardware thread). Verdicts and witnesses
+// are identical for every N; the default 1 is the exact legacy serial path.
+//
 // lint exit codes are severity-based: 0 = clean (notes allowed),
 // 3 = warnings found, 4 = errors found (1 = I/O failure, 2 = usage).
 #include <cstdio>
@@ -42,9 +46,9 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: viewcap_cli <program-file> <command> [args...] "
-               "[--engine-stats]\n"
+               "[--engine-stats] [--threads=N]\n"
                "       viewcap_cli lint <program-file> "
-               "[--format=text|json] [--no-semantic]\n"
+               "[--format=text|json] [--no-semantic] [--threads=N]\n"
                "commands:\n"
                "  list\n"
                "  equiv <V> <W>\n"
@@ -61,6 +65,17 @@ int Usage() {
   return 2;
 }
 
+/// Parses the value of a `--threads=N` flag. Returns false (leaving
+/// `*threads` untouched) on a malformed count; 0 is valid and means one
+/// thread per hardware thread.
+bool ParseThreads(const char* text, std::size_t* threads) {
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  *threads = static_cast<std::size_t>(value);
+  return true;
+}
+
 bool ReadFile(const std::string& path, std::string* out) {
   std::error_code ec;
   if (std::filesystem::is_directory(path, ec)) return false;
@@ -74,10 +89,12 @@ bool ReadFile(const std::string& path, std::string* out) {
 
 /// `viewcap_cli lint <file> [flags]` or `viewcap_cli <file> lint [flags]`.
 /// `path` is args[path_at]; everything else in `args` past index 1 is a flag.
-int RunLint(const std::vector<std::string>& args, std::size_t path_at) {
+int RunLint(const std::vector<std::string>& args, std::size_t path_at,
+            std::size_t threads) {
   const std::string& path = args[path_at];
   bool json = false;
   viewcap::LintOptions options;
+  options.limits.threads = threads;
   for (std::size_t i = 2; i < args.size(); ++i) {
     if (args[i] == "--format=json") {
       json = true;
@@ -245,13 +262,21 @@ int Dispatch(viewcap::Analyzer& analyzer, const std::vector<std::string>& args) 
 }  // namespace
 
 int main(int argc, char** argv) {
-  // --engine-stats may appear anywhere; strip it before positional dispatch.
+  // --engine-stats and --threads=N may appear anywhere; strip them before
+  // positional dispatch.
   bool engine_stats = false;
+  std::size_t threads = 1;
   std::vector<std::string> args;
   args.reserve(static_cast<std::size_t>(argc));
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--engine-stats") == 0) {
       engine_stats = true;
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      if (!ParseThreads(argv[i] + 10, &threads)) {
+        std::fprintf(stderr, "viewcap_cli: bad thread count '%s'\n",
+                     argv[i] + 10);
+        return 2;
+      }
     } else {
       args.emplace_back(argv[i]);
     }
@@ -259,14 +284,19 @@ int main(int argc, char** argv) {
   if (args.size() < 2) return Usage();
   // Lint runs before (instead of) analyzer loading: its whole point is to
   // diagnose programs the loader would reject.
-  if (args[0] == "lint") return RunLint(args, 1);
-  if (args[1] == "lint") return RunLint(args, 0);
+  if (args[0] == "lint") return RunLint(args, 1, threads);
+  if (args[1] == "lint") return RunLint(args, 0, threads);
   std::string program_text;
   if (!ReadFile(args[0], &program_text)) {
     std::fprintf(stderr, "viewcap_cli: cannot open '%s'\n", args[0].c_str());
     return 1;
   }
   viewcap::Analyzer analyzer;
+  {
+    viewcap::SearchLimits limits = analyzer.limits();
+    limits.threads = threads;
+    analyzer.set_limits(limits);
+  }
   viewcap::Status st = analyzer.Load(program_text);
   if (!st.ok()) {
     std::fprintf(stderr, "viewcap_cli: %s\n", st.ToString().c_str());
