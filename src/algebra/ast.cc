@@ -113,8 +113,12 @@ class Lexer {
       char c = text_[pos_];
       if (std::isspace(static_cast<unsigned char>(c))) {
         Advance();
-      } else if (c == '#' || (c == '/' && pos_ + 1 < text_.size() &&
-                              text_[pos_ + 1] == '/')) {
+      } else if (c == '#' ||
+                 ((c == '/' || c == '-') && pos_ + 1 < text_.size() &&
+                  text_[pos_ + 1] == c)) {
+        // `#`, `//` and `--` all introduce comments to end of line; the
+        // linter additionally reads `vcl-ignore(...)` directives out of
+        // them (lint/linter.h).
         while (pos_ < text_.size() && text_[pos_] != '\n') Advance();
       } else {
         break;
@@ -255,7 +259,8 @@ class AstParser {
   AstItem ParseViewBlock() {
     AstItem item;
     item.kind = AstItem::Kind::kView;
-    Take();  // 'view'
+    Token keyword = Take();  // 'view'
+    item.view.span = keyword.span;
     if (Peek().kind != TokKind::kIdent) {
       Error("expected view name");
       SyncToTopLevel();
@@ -264,6 +269,7 @@ class AstParser {
     Token name = Take();
     item.view.name = std::move(name.text);
     item.view.name_span = name.span;
+    item.view.span = Cover(item.view.span, name.span);
     if (!Expect(TokKind::kLBrace, "'{'")) {
       SyncToTopLevel();
       return item;
@@ -278,16 +284,28 @@ class AstParser {
       AstDefinition def;
       def.name = std::move(def_name.text);
       def.name_span = def_name.span;
+      def.span = def_name.span;
       if (!Expect(TokKind::kAssign, "':='")) {
         SyncToStatementEnd();
         continue;
       }
       def.query = ParseJoin();
-      if (def.query == nullptr || !Expect(TokKind::kSemicolon, "';'")) {
+      if (def.query == nullptr) {
         SyncToStatementEnd();
         continue;
       }
+      const Token& semicolon = Peek();
+      if (!Expect(TokKind::kSemicolon, "';'")) {
+        SyncToStatementEnd();
+        continue;
+      }
+      def.span = Cover(def_name.span, semicolon.span);
+      item.view.span = Cover(item.view.span, def.span);
       item.view.definitions.push_back(std::move(def));
+    }
+    const Token& rbrace = Peek();
+    if (rbrace.kind == TokKind::kRBrace) {
+      item.view.span = Cover(item.view.span, rbrace.span);
     }
     Expect(TokKind::kRBrace, "'}'");
     return item;

@@ -66,6 +66,9 @@ struct AstRelationDecl {
 struct AstDefinition {
   std::string name;
   SourceSpan name_span;
+  /// The whole statement, from the name through the closing ';'. Fix-its
+  /// that drop a definition (VCL101, lint/fixits.h) delete this span.
+  SourceSpan span;
   AstExprPtr query;
 };
 
@@ -73,6 +76,9 @@ struct AstDefinition {
 struct AstView {
   std::string name;
   SourceSpan name_span;
+  /// The whole block, from the `view` keyword through the closing '}'.
+  /// Fix-its that drop a subsumed view (VCL201) delete this span.
+  SourceSpan span;
   std::vector<AstDefinition> definitions;
 };
 

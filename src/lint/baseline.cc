@@ -1,0 +1,73 @@
+#include "lint/baseline.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/strings.h"
+
+namespace viewcap {
+
+namespace {
+
+std::string EntryKey(std::string_view code, std::string_view message) {
+  return StrCat(code, "\t", message);
+}
+
+}  // namespace
+
+Baseline ParseBaseline(std::string_view text) {
+  Baseline baseline;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty() || line.front() == '#') continue;
+    if (line.find('\t') == std::string_view::npos) continue;  // Malformed.
+    ++baseline.entries[std::string(line)];
+    if (pos > text.size()) break;
+  }
+  return baseline;
+}
+
+std::string WriteBaseline(const std::vector<Diagnostic>& diagnostics) {
+  std::vector<std::string> lines;
+  lines.reserve(diagnostics.size());
+  for (const Diagnostic& d : diagnostics) {
+    lines.push_back(EntryKey(d.code, d.message));
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out =
+      "# viewcap-lint baseline: one \"<code>\\t<message>\" per accepted "
+      "finding.\n"
+      "# Regenerate with: viewcap_cli lint <file> --write-baseline=<this>\n";
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<Diagnostic> FilterBaseline(std::vector<Diagnostic> diagnostics,
+                                       const Baseline& baseline,
+                                       std::size_t* suppressed) {
+  if (suppressed != nullptr) *suppressed = 0;
+  if (baseline.empty()) return diagnostics;
+  std::map<std::string, std::size_t> remaining = baseline.entries;
+  std::vector<Diagnostic> kept;
+  kept.reserve(diagnostics.size());
+  for (Diagnostic& d : diagnostics) {
+    auto it = remaining.find(EntryKey(d.code, d.message));
+    if (it != remaining.end() && it->second > 0) {
+      --it->second;
+      if (suppressed != nullptr) ++*suppressed;
+      continue;
+    }
+    kept.push_back(std::move(d));
+  }
+  return kept;
+}
+
+}  // namespace viewcap

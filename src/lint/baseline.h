@@ -1,0 +1,50 @@
+// Baseline suppression for incremental adoption: a baseline file records
+// the findings a program is known (and for now allowed) to have, and
+// `viewcap_cli lint --baseline=<file>` subtracts them from the output, so
+// a large generated program can turn the linter on today and burn the
+// debt down finding by finding.
+//
+// Format: plain text, one finding per line as "<code>\t<message>"; blank
+// lines and lines starting with '#' are comments. Matching is by
+// (code, message) multiset — messages carry the relation/attribute names,
+// so entries survive reformatting and line shifts, and each entry
+// suppresses at most one occurrence per run (a new second duplicate still
+// surfaces).
+#ifndef VIEWCAP_LINT_BASELINE_H_
+#define VIEWCAP_LINT_BASELINE_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/diagnostics.h"
+
+namespace viewcap {
+
+/// A parsed baseline: (code, message) -> allowed occurrence count.
+struct Baseline {
+  std::map<std::string, std::size_t> entries;
+
+  bool empty() const { return entries.empty(); }
+};
+
+/// Parses baseline text. Malformed lines (no tab) are ignored: a baseline
+/// can never make lint fail.
+Baseline ParseBaseline(std::string_view text);
+
+/// Serializes `diagnostics` as a baseline file (sorted, deterministic).
+std::string WriteBaseline(const std::vector<Diagnostic>& diagnostics);
+
+/// Removes from `diagnostics` every finding matched by `baseline` (each
+/// entry suppresses up to its recorded count). Returns the survivors in
+/// the original order; `*suppressed` (optional) receives the number
+/// removed.
+std::vector<Diagnostic> FilterBaseline(std::vector<Diagnostic> diagnostics,
+                                       const Baseline& baseline,
+                                       std::size_t* suppressed = nullptr);
+
+}  // namespace viewcap
+
+#endif  // VIEWCAP_LINT_BASELINE_H_

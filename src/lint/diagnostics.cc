@@ -9,6 +9,12 @@ namespace viewcap {
 
 namespace {
 
+std::string Plural(std::size_t n, std::string_view word) {
+  return StrCat(n, " ", word, n == 1 ? "" : "s");
+}
+
+}  // namespace
+
 /// JSON string escaping for the small subset our messages can contain.
 std::string JsonEscape(std::string_view text) {
   std::string out;
@@ -33,12 +39,6 @@ std::string JsonEscape(std::string_view text) {
   return out;
 }
 
-std::string Plural(std::size_t n, std::string_view word) {
-  return StrCat(n, " ", word, n == 1 ? "" : "s");
-}
-
-}  // namespace
-
 std::string_view SeverityName(Severity severity) {
   switch (severity) {
     case Severity::kNote: return "note";
@@ -56,7 +56,7 @@ void DiagnosticSink::Report(Severity severity, std::string_view code,
                             SourceSpan span, std::string message,
                             std::string note) {
   Add(Diagnostic{severity, std::string(code), span, std::move(message),
-                 std::move(note)});
+                 std::move(note), /*fixits=*/{}});
 }
 
 void DiagnosticSink::Sort() {
@@ -120,6 +120,21 @@ std::string RenderJson(const std::vector<Diagnostic>& diagnostics,
                   ", \"message\": \"", JsonEscape(d.message), "\"");
     if (!d.note.empty()) {
       out += StrCat(", \"note\": \"", JsonEscape(d.note), "\"");
+    }
+    if (!d.fixits.empty()) {
+      out += ", \"fixits\": [";
+      bool first_edit = true;
+      for (const TextEdit& edit : d.fixits) {
+        out += StrCat(first_edit ? "" : ", ", "{\"line\": ",
+                      edit.span.begin.line,
+                      ", \"column\": ", edit.span.begin.column,
+                      ", \"endLine\": ", edit.span.end.line,
+                      ", \"endColumn\": ", edit.span.end.column,
+                      ", \"replacement\": \"",
+                      JsonEscape(edit.replacement), "\"}");
+        first_edit = false;
+      }
+      out += "]";
     }
     out += "}";
     first = false;

@@ -22,6 +22,17 @@ enum class Severity {
 /// "note" / "warning" / "error".
 std::string_view SeverityName(Severity severity);
 
+/// One machine-applicable edit: replace the text covered by `span` with
+/// `replacement` (empty replacement = deletion). Spans are self-contained —
+/// an edit carries everything needed to apply it, so fix-its survive being
+/// serialized through JSON/SARIF. Applied by ApplyEdits (lint/fixits.h).
+struct TextEdit {
+  SourceSpan span;
+  std::string replacement;
+
+  bool operator==(const TextEdit&) const = default;
+};
+
 /// One finding. `code` is a stable identifier ("VCL001"); codes are listed
 /// in lint/linter.h next to the rules that emit them.
 struct Diagnostic {
@@ -32,6 +43,12 @@ struct Diagnostic {
   /// Optional supplementary line (e.g. the witness expression that proves a
   /// definition redundant). Empty when absent.
   std::string note;
+  /// Machine-applicable fix: zero or more edits that, applied together,
+  /// resolve the finding. Only attached when the fix is known to be safe
+  /// (the fixable rules are marked in lint/rules.h).
+  std::vector<TextEdit> fixits;
+
+  bool fixable() const { return !fixits.empty(); }
 };
 
 /// Collects diagnostics across lint passes. Rules append in discovery
@@ -67,12 +84,17 @@ std::string RenderText(const std::vector<Diagnostic>& diagnostics,
 
 /// Renders diagnostics as a JSON object:
 ///   {"file": ..., "diagnostics": [{"severity", "code", "line", "column",
-///    "endLine", "endColumn", "message", "note"}...],
+///    "endLine", "endColumn", "message", "note", "fixits"}...],
 ///    "errors": N, "warnings": N, "notes": N}
-/// Deterministic (caller should Sort() first) and stable across runs, so
-/// the output is golden-testable and machine-consumable.
+/// ("note" and "fixits" appear only when present.) Deterministic (caller
+/// should Sort() first) and stable across runs, so the output is
+/// golden-testable and machine-consumable.
 std::string RenderJson(const std::vector<Diagnostic>& diagnostics,
                        std::string_view filename);
+
+/// Escapes `text` for embedding in a JSON string literal (shared by the
+/// JSON and SARIF renderers).
+std::string JsonEscape(std::string_view text);
 
 }  // namespace viewcap
 

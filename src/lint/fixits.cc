@@ -1,0 +1,142 @@
+#include "lint/fixits.h"
+
+#include <algorithm>
+#include <tuple>
+#include <utility>
+
+namespace viewcap {
+
+LineMap::LineMap(std::string_view text) : text_(text) {
+  line_starts_.push_back(0);
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') line_starts_.push_back(i + 1);
+  }
+}
+
+std::size_t LineMap::Offset(const SourceLocation& loc) const {
+  if (loc.line < 1) return 0;
+  const std::size_t line = static_cast<std::size_t>(loc.line) - 1;
+  if (line >= line_starts_.size()) return text_.size();
+  const std::size_t start = line_starts_[line];
+  std::size_t end = line + 1 < line_starts_.size()
+                        ? line_starts_[line + 1]
+                        : text_.size();
+  // A location may not address past its line's newline.
+  if (end > start && text_[end - 1] == '\n') --end;
+  const std::size_t column =
+      loc.column < 1 ? 0 : static_cast<std::size_t>(loc.column) - 1;
+  return std::min(start + column, end);
+}
+
+SourceLocation LineMap::Location(std::size_t offset) const {
+  offset = std::min(offset, text_.size());
+  const auto it = std::upper_bound(line_starts_.begin(), line_starts_.end(),
+                                   offset);
+  const std::size_t line = static_cast<std::size_t>(it - line_starts_.begin());
+  // `it` points past the line containing `offset`; line >= 1 always since
+  // line_starts_ front is 0.
+  const std::size_t start = line_starts_[line - 1];
+  return SourceLocation{static_cast<int>(line),
+                        static_cast<int>(offset - start) + 1};
+}
+
+std::string LineMap::Slice(const SourceSpan& span) const {
+  const std::size_t begin = Offset(span.begin);
+  const std::size_t end = std::max(begin, Offset(span.end));
+  return std::string(text_.substr(begin, end - begin));
+}
+
+namespace {
+
+/// A positioned edit: byte range plus replacement.
+struct RawEdit {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::string replacement;
+};
+
+/// Widens a deletion that leaves a whitespace-only line into deleting the
+/// whole line, so dropped statements do not bequeath blank lines.
+void WidenDeletion(std::string_view text, RawEdit* edit) {
+  std::size_t end = edit->end;
+  while (end < text.size() && (text[end] == ' ' || text[end] == '\t')) {
+    ++end;
+  }
+  if (end < text.size() && text[end] != '\n') return;
+  std::size_t begin = edit->begin;
+  while (begin > 0 && (text[begin - 1] == ' ' || text[begin - 1] == '\t')) {
+    --begin;
+  }
+  if (begin > 0 && text[begin - 1] != '\n') return;
+  edit->begin = begin;
+  edit->end = end < text.size() ? end + 1 : end;  // Take the newline too.
+}
+
+}  // namespace
+
+ApplyOutcome ApplyEdits(std::string_view text, std::vector<TextEdit> edits) {
+  const LineMap map(text);
+  std::vector<RawEdit> raw;
+  raw.reserve(edits.size());
+  for (TextEdit& edit : edits) {
+    RawEdit r;
+    r.begin = map.Offset(edit.span.begin);
+    r.end = std::max(r.begin, map.Offset(edit.span.end));
+    r.replacement = std::move(edit.replacement);
+    if (r.replacement.empty()) WidenDeletion(text, &r);
+    raw.push_back(std::move(r));
+  }
+  std::stable_sort(raw.begin(), raw.end(),
+                   [](const RawEdit& a, const RawEdit& b) {
+                     return std::tie(a.begin, b.end) <
+                            std::tie(b.begin, a.end);
+                   });
+  ApplyOutcome outcome;
+  outcome.text.reserve(text.size());
+  std::size_t pos = 0;
+  for (const RawEdit& edit : raw) {
+    if (edit.begin < pos) {
+      ++outcome.skipped;  // Overlaps an already-applied edit.
+      continue;
+    }
+    outcome.text.append(text.substr(pos, edit.begin - pos));
+    outcome.text.append(edit.replacement);
+    pos = edit.end;
+    ++outcome.applied;
+  }
+  outcome.text.append(text.substr(pos));
+  return outcome;
+}
+
+std::vector<TextEdit> CollectFixits(
+    const std::vector<Diagnostic>& diagnostics) {
+  std::vector<TextEdit> edits;
+  for (const Diagnostic& d : diagnostics) {
+    edits.insert(edits.end(), d.fixits.begin(), d.fixits.end());
+  }
+  return edits;
+}
+
+FixOutcome FixProgram(std::string_view text, const LintOptions& options,
+                      std::size_t max_rounds) {
+  const Linter linter(options);
+  FixOutcome outcome;
+  outcome.text = std::string(text);
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    LintResult result = linter.Run(outcome.text);
+    std::vector<TextEdit> edits = CollectFixits(result.diagnostics);
+    if (edits.empty()) {
+      outcome.clean = true;
+      return outcome;
+    }
+    ++outcome.rounds;
+    ApplyOutcome applied = ApplyEdits(outcome.text, std::move(edits));
+    if (applied.applied == 0) return outcome;  // Nothing applicable: stop.
+    outcome.edits_applied += applied.applied;
+    outcome.text = std::move(applied.text);
+  }
+  outcome.clean = CollectFixits(linter.Run(outcome.text).diagnostics).empty();
+  return outcome;
+}
+
+}  // namespace viewcap

@@ -1,0 +1,85 @@
+// The fix engine of viewcap-lint: applies the machine-applicable TextEdits
+// that rules attach to their diagnostics (lint/diagnostics.h) back onto the
+// program text.
+//
+// Spans are line/column based (base/source.h); LineMap converts them to
+// byte offsets against one fixed text. Edits never overlap within one
+// diagnostic; *across* diagnostics they may (a redundant definition inside
+// a subsumed view), so ApplyEdits accepts greedily in position order and
+// skips edits overlapping an already-accepted one. FixProgram then drives
+// lint -> apply to a fixpoint, which is what gives `viewcap_cli lint --fix`
+// its idempotence guarantee: the returned text re-lints with zero fixable
+// findings (nested findings such as an identity projection wrapping
+// another one are resolved by the later rounds).
+#ifndef VIEWCAP_LINT_FIXITS_H_
+#define VIEWCAP_LINT_FIXITS_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/diagnostics.h"
+#include "lint/linter.h"
+
+namespace viewcap {
+
+/// Line/column -> byte offset conversion against one fixed text.
+class LineMap {
+ public:
+  explicit LineMap(std::string_view text);
+
+  /// Byte offset of a 1-based location, clamped into [0, text.size()].
+  /// Columns past the end of a line clamp to the line's end.
+  std::size_t Offset(const SourceLocation& loc) const;
+
+  /// The 1-based location of a byte offset (inverse of Offset).
+  SourceLocation Location(std::size_t offset) const;
+
+  /// The substring covered by `span`.
+  std::string Slice(const SourceSpan& span) const;
+
+  std::size_t size() const { return text_.size(); }
+
+ private:
+  std::string_view text_;
+  std::vector<std::size_t> line_starts_;  ///< Offset of each line's start.
+};
+
+/// Outcome of one ApplyEdits pass.
+struct ApplyOutcome {
+  std::string text;          ///< The edited program.
+  std::size_t applied = 0;   ///< Edits applied.
+  std::size_t skipped = 0;   ///< Edits skipped because they overlapped.
+};
+
+/// Applies `edits` to `text` in one pass. Edits are sorted by position;
+/// overlapping edits are resolved greedily (the earlier-starting — for
+/// ties, wider — edit wins; the rest are skipped and counted). Deletions
+/// that leave a whitespace-only line delete the whole line.
+ApplyOutcome ApplyEdits(std::string_view text,
+                        std::vector<TextEdit> edits);
+
+/// The edits of every fixable diagnostic in `diagnostics`, flattened.
+std::vector<TextEdit> CollectFixits(
+    const std::vector<Diagnostic>& diagnostics);
+
+/// Outcome of the lint -> fix fixpoint.
+struct FixOutcome {
+  std::string text;               ///< The fixed program.
+  std::size_t rounds = 0;         ///< Lint+apply rounds performed.
+  std::size_t edits_applied = 0;  ///< Total edits applied across rounds.
+  /// True when the final text lints with zero fixable findings (the
+  /// normal case; false only if the round cap was hit).
+  bool clean = false;
+};
+
+/// Repeatedly lints `text` with `options` and applies every fix-it until
+/// no fixable finding remains (or `max_rounds` is hit, a backstop that a
+/// well-formed rule set never reaches).
+FixOutcome FixProgram(std::string_view text, const LintOptions& options,
+                      std::size_t max_rounds = 8);
+
+}  // namespace viewcap
+
+#endif  // VIEWCAP_LINT_FIXITS_H_

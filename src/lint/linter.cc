@@ -1,5 +1,8 @@
 #include "lint/linter.h"
 
+#include <algorithm>
+#include <cctype>
+#include <functional>
 #include <map>
 #include <optional>
 #include <set>
@@ -11,6 +14,7 @@
 #include "algebra/printer.h"
 #include "base/strings.h"
 #include "engine/engine.h"
+#include "lint/fixits.h"
 #include "tableau/build.h"
 #include "views/capacity.h"
 #include "views/redundancy.h"
@@ -20,7 +24,7 @@ namespace viewcap {
 
 namespace {
 
-// Stable rule codes (documented in lint/linter.h).
+// Stable rule codes (documented in lint/linter.h and lint/rules.h).
 constexpr std::string_view kSyntaxError = "VCL000";
 constexpr std::string_view kUndefinedRelation = "VCL001";
 constexpr std::string_view kUnknownAttribute = "VCL002";
@@ -31,10 +35,15 @@ constexpr std::string_view kDuplicateDefinition = "VCL006";
 constexpr std::string_view kShadowedRelation = "VCL007";
 constexpr std::string_view kUnusedRelation = "VCL008";
 constexpr std::string_view kConflictingDeclaration = "VCL009";
+constexpr std::string_view kSemanticSkipped = "VCL010";
 constexpr std::string_view kRedundantDefinition = "VCL101";
 constexpr std::string_view kNotSimplified = "VCL102";
 constexpr std::string_view kEquivalentDefinitions = "VCL103";
 constexpr std::string_view kReconstructible = "VCL104";
+constexpr std::string_view kSubsumedView = "VCL201";
+constexpr std::string_view kCompositionLoss = "VCL202";
+constexpr std::string_view kDefinitionCycle = "VCL203";
+constexpr std::string_view kDeterminacyBoundary = "VCL204";
 
 /// What the linter knows about a name: its scheme, where it was declared
 /// and whether the typed layer can work with it.
@@ -56,16 +65,112 @@ struct DefInfo {
   std::string view_name;
   std::string name;
   SourceSpan name_span;
+  SourceSpan stmt_span;  ///< The whole `name := expr;` statement.
   RelId rel = kInvalidRel;
   ExprPtr expanded;  ///< Base-level (Lemma 1.4.1 expansion applied).
   Tableau reduced;   ///< Reduced Algorithm 2.1.1 template of `expanded`.
+  /// Relation names the raw query references (pre-expansion), for the
+  /// composition rule (VCL202).
+  std::vector<std::string> refs;
 };
+
+/// Every parsed definition, resolved or not, for the reference graph of
+/// the cycle rule (VCL203): a definition in a cycle never resolves (its
+/// forward references read as undefined), so the graph must come from the
+/// raw AST.
+struct RawDef {
+  std::string name;
+  SourceSpan name_span;
+  std::vector<std::string> refs;
+};
+
+/// Per-view bookkeeping for the whole-program rules.
+struct ViewRec {
+  std::string name;
+  SourceSpan name_span;
+  SourceSpan block_span;          ///< `view` keyword through closing '}'.
+  std::size_t total_defs = 0;     ///< AST definitions with a parsed query.
+  std::size_t resolved_defs = 0;  ///< Of those, entries in defs_.
+};
+
+/// True when the typed expression contains a join node anywhere — the test
+/// for the project-select fragment the VCL204 note cites.
+bool ContainsJoin(const ExprPtr& expr) {
+  if (expr == nullptr) return false;
+  if (expr->kind() == Expr::Kind::kJoin) return true;
+  for (const ExprPtr& child : expr->children()) {
+    if (ContainsJoin(child)) return true;
+  }
+  return false;
+}
+
+/// Inline suppressions: line -> codes ignored on that line. A comment
+/// `vcl-ignore(VCL101, VCL102)` (after `#`, `//` or `--`) targets its own
+/// line, or the next line when the comment stands alone.
+std::map<int, std::set<std::string>> ParseIgnores(std::string_view text) {
+  std::map<int, std::set<std::string>> ignores;
+  int line_number = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    ++line_number;
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+
+    std::size_t marker = std::string_view::npos;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (line[i] == '#' ||
+          ((line[i] == '/' || line[i] == '-') && i + 1 < line.size() &&
+           line[i + 1] == line[i])) {
+        marker = i;
+        break;
+      }
+    }
+    if (marker == std::string_view::npos) {
+      if (eol == text.size()) break;
+      continue;
+    }
+    const std::string_view comment = line.substr(marker);
+    const std::size_t at = comment.find("vcl-ignore(");
+    if (at == std::string_view::npos) {
+      if (eol == text.size()) break;
+      continue;
+    }
+    std::set<std::string> codes;
+    std::size_t i = at + std::string_view("vcl-ignore(").size();
+    std::string code;
+    for (; i < comment.size() && comment[i] != ')'; ++i) {
+      const char c = comment[i];
+      if (c == ',') {
+        if (!code.empty()) codes.insert(std::move(code));
+        code.clear();
+      } else if (!std::isspace(static_cast<unsigned char>(c))) {
+        code += c;
+      }
+    }
+    if (!code.empty()) codes.insert(std::move(code));
+    if (codes.empty()) {
+      if (eol == text.size()) break;
+      continue;
+    }
+    const std::string_view before = line.substr(0, marker);
+    const bool standalone =
+        before.find_first_not_of(" \t") == std::string_view::npos;
+    const int target = standalone ? line_number + 1 : line_number;
+    ignores[target].insert(codes.begin(), codes.end());
+    if (eol == text.size()) break;
+  }
+  return ignores;
+}
 
 class LintRun {
  public:
   LintRun(const LintOptions& options) : options_(options) {}
 
   LintResult Run(std::string_view text) {
+    text_ = text;
+    map_.emplace(text);
     std::vector<SyntaxError> syntax_errors;
     AstProgram program = ParseProgramAst(text, syntax_errors);
     for (const SyntaxError& e : syntax_errors) {
@@ -73,29 +178,45 @@ class LintRun {
     }
     StructuralPass(program);
     ReportUnusedRelations();
-    if (options_.semantic && !defs_.empty() && !base_ids_.empty() &&
-        defs_.size() <= options_.max_semantic_definitions) {
-      SemanticPass();
+    FindDefinitionCycles();
+    if (options_.semantic && !defs_.empty() && !base_ids_.empty()) {
+      if (defs_.size() <= options_.max_semantic_definitions) {
+        SemanticPass();
+      } else {
+        sink_.Report(
+            Severity::kNote, kSemanticSkipped, defs_.front().name_span,
+            StrCat("semantic analysis (VCL1xx/VCL2xx) skipped: ",
+                   defs_.size(),
+                   " resolved definitions exceed max_semantic_definitions"
+                   " = ",
+                   options_.max_semantic_definitions),
+            "raise the threshold (or lint the program in parts) to run "
+            "the closure-based rules");
+      }
     }
     sink_.Sort();
-    return LintResult{sink_.Take()};
+    LintResult result;
+    result.diagnostics = sink_.Take();
+    ApplyInlineSuppressions(&result);
+    return result;
   }
 
  private:
   // ---------------------------------------------------------------- pass 1
 
   void StructuralPass(const AstProgram& program) {
-    std::size_t view_index = 0;
     for (const AstItem& item : program.items) {
       if (item.kind == AstItem::Kind::kSchema) {
         for (const AstRelationDecl& decl : item.relations) {
           DeclareRelation(decl);
         }
       } else {
+        const std::size_t view_index = views_.size();
+        views_.push_back(ViewRec{item.view.name, item.view.name_span,
+                                 item.view.span, 0, 0});
         for (const AstDefinition& def : item.view.definitions) {
           LintDefinition(item.view, view_index, def);
         }
-        ++view_index;
       }
     }
   }
@@ -134,8 +255,8 @@ class LintRun {
   }
 
   /// Shared checks for projection lists and declaration schemes: emptiness
-  /// (VCL003) and duplicates (VCL004). Returns the interned set, or nullopt
-  /// when empty.
+  /// (VCL003) and duplicates (VCL004, with a drop-the-repeat fix-it).
+  /// Returns the interned set, or nullopt when empty.
   std::optional<AttrSet> CheckAttrList(const std::vector<AstAttr>& attrs,
                                        const SourceSpan& anchor,
                                        const std::string& what) {
@@ -149,13 +270,36 @@ class LintRun {
     ids.reserve(attrs.size());
     for (const AstAttr& attr : attrs) {
       if (!seen.insert(attr.name).second) {
-        sink_.Report(Severity::kWarning, kDuplicateAttribute, attr.span,
-                     StrCat("duplicate attribute '", attr.name, "' in ",
-                            what));
+        Diagnostic d;
+        d.severity = Severity::kWarning;
+        d.code = kDuplicateAttribute;
+        d.span = attr.span;
+        d.message =
+            StrCat("duplicate attribute '", attr.name, "' in ", what);
+        if (std::optional<TextEdit> edit = DropListItemEdit(attr.span)) {
+          d.fixits.push_back(std::move(*edit));
+        }
+        sink_.Add(std::move(d));
       }
       ids.push_back(catalog_.AddAttribute(attr.name));
     }
     return AttrSet(std::move(ids));
+  }
+
+  /// The deletion edit for a comma-separated list item: the item plus its
+  /// preceding comma (a duplicate is never the first item). Nullopt when
+  /// the text around the span is not shaped as expected.
+  std::optional<TextEdit> DropListItemEdit(const SourceSpan& item) {
+    std::size_t begin = map_->Offset(item.begin);
+    const std::size_t end = map_->Offset(item.end);
+    while (begin > 0 &&
+           std::isspace(static_cast<unsigned char>(text_[begin - 1]))) {
+      --begin;
+    }
+    if (begin == 0 || text_[begin - 1] != ',') return std::nullopt;
+    return TextEdit{SourceSpan{map_->Location(begin - 1),
+                               map_->Location(end)},
+                    ""};
   }
 
   /// Result of the structural walk over one raw expression.
@@ -169,6 +313,7 @@ class LintRun {
     ExprScan scan;
     switch (expr.kind) {
       case AstExpr::Kind::kRel: {
+        current_refs_.push_back(expr.rel);
         auto it = env_.find(expr.rel);
         if (it == env_.end()) {
           sink_.Report(Severity::kError, kUndefinedRelation, expr.span,
@@ -183,7 +328,8 @@ class LintRun {
         return scan;
       }
       case AstExpr::Kind::kProject: {
-        ExprScan child = ScanExpr(*expr.children.front());
+        const AstExpr& operand = *expr.children.front();
+        ExprScan child = ScanExpr(operand);
         scan.clean = child.clean;
         scan.analyzable = child.analyzable;
         std::optional<AttrSet> attrs =
@@ -206,10 +352,17 @@ class LintRun {
             }
           }
           if (typed && *attrs == *child.trs) {
-            sink_.Report(Severity::kNote, kIdentityProjection, expr.span,
-                         StrCat("projection onto the full scheme ",
-                                viewcap::ToString(*attrs, catalog_),
-                                " is the identity"));
+            Diagnostic d;
+            d.severity = Severity::kNote;
+            d.code = kIdentityProjection;
+            d.span = expr.span;
+            d.message = StrCat("projection onto the full scheme ",
+                               viewcap::ToString(*attrs, catalog_),
+                               " is the identity");
+            // Fix-it: unwrap — replace the projection by its operand.
+            d.fixits.push_back(
+                TextEdit{expr.span, map_->Slice(operand.span)});
+            sink_.Add(std::move(d));
           }
           if (!typed) scan.clean = false;
         }
@@ -239,7 +392,10 @@ class LintRun {
   void LintDefinition(const AstView& view, std::size_t view_index,
                       const AstDefinition& def) {
     if (def.query == nullptr) return;  // Dropped during syntax recovery.
+    ++views_[view_index].total_defs;
+    current_refs_.clear();
     ExprScan scan = ScanExpr(*def.query);
+    raw_defs_.push_back(RawDef{def.name, def.name_span, current_refs_});
     auto it = env_.find(def.name);
     if (it != env_.end()) {
       if (it->second.is_base) {
@@ -281,8 +437,10 @@ class LintRun {
     info.analyzable = true;
     env_.emplace(def.name, std::move(info));
     known_.emplace(*rel, *expanded);
+    ++views_[view_index].resolved_defs;
     defs_.push_back(DefInfo{view_index, view.name, def.name, def.name_span,
-                            *rel, std::move(*expanded), Tableau{}});
+                            def.span, *rel, std::move(*expanded), Tableau{},
+                            current_refs_});
   }
 
   void ReportUnusedRelations() {
@@ -302,21 +460,114 @@ class LintRun {
     }
   }
 
+  // ------------------------------------------------- the reference graph
+
+  /// VCL203: strongly connected components of the definition reference
+  /// graph. Built from the raw AST — cyclic definitions never resolve (the
+  /// forward references read as undefined relations), so this is the pass
+  /// that tells "cycle" apart from "typo". Always runs; needs no closure.
+  void FindDefinitionCycles() {
+    // First definition per name; names that are base relations resolve to
+    // the base, never to a definition (the shadowing definition itself is
+    // a VCL007 error).
+    std::map<std::string_view, std::size_t> def_by_name;
+    for (std::size_t i = 0; i < raw_defs_.size(); ++i) {
+      auto it = env_.find(raw_defs_[i].name);
+      if (it != env_.end() && it->second.is_base) continue;
+      def_by_name.emplace(raw_defs_[i].name, i);
+    }
+    const std::size_t n = raw_defs_.size();
+    std::vector<std::vector<std::size_t>> adj(n);
+    std::vector<bool> self_loop(n, false);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (const std::string& ref : raw_defs_[i].refs) {
+        auto it = def_by_name.find(ref);
+        if (it == def_by_name.end()) continue;
+        adj[i].push_back(it->second);
+        if (it->second == i) self_loop[i] = true;
+      }
+    }
+
+    // Tarjan's SCC, reporting each cyclic component once.
+    std::vector<std::size_t> index(n, 0);
+    std::vector<std::size_t> low(n, 0);
+    std::vector<bool> on_stack(n, false);
+    std::vector<std::size_t> stack;
+    std::size_t next_index = 1;
+    std::function<void(std::size_t)> strongconnect =
+        [&](std::size_t v) {
+          index[v] = low[v] = next_index++;
+          stack.push_back(v);
+          on_stack[v] = true;
+          for (std::size_t w : adj[v]) {
+            if (index[w] == 0) {
+              strongconnect(w);
+              low[v] = std::min(low[v], low[w]);
+            } else if (on_stack[w]) {
+              low[v] = std::min(low[v], index[w]);
+            }
+          }
+          if (low[v] != index[v]) return;
+          std::vector<std::size_t> component;
+          while (true) {
+            const std::size_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            component.push_back(w);
+            if (w == v) break;
+          }
+          if (component.size() < 2 && !self_loop[v]) return;
+          std::sort(component.begin(), component.end());
+          std::string chain;
+          for (std::size_t w : component) {
+            chain += StrCat(raw_defs_[w].name, " -> ");
+          }
+          chain += raw_defs_[component.front()].name;
+          sink_.Report(
+              Severity::kError, kDefinitionCycle,
+              raw_defs_[component.front()].name_span,
+              StrCat("view definitions form a reference cycle: ", chain),
+              "a cyclic program has no expansion to base relations "
+              "(Lemma 1.4.1); break the cycle to make these definitions "
+              "analyzable");
+        };
+    for (std::size_t v = 0; v < n; ++v) {
+      if (index[v] == 0) strongconnect(v);
+    }
+  }
+
   // ---------------------------------------------------------------- pass 2
 
   void SemanticPass() {
-    const AttrSet universe = catalog_.Universe(base_ids_);
+    universe_ = catalog_.Universe(base_ids_);
     SymbolPool pool;
     for (DefInfo& def : defs_) {
-      Result<Tableau> t = BuildTableau(catalog_, universe, *def.expanded,
+      Result<Tableau> t = BuildTableau(catalog_, universe_, *def.expanded,
                                        pool);
       if (!t.ok()) return;  // Cannot happen for lowered queries; bail out.
       def.reduced = engine_.Reduced(*t);
     }
     std::vector<bool> flagged(defs_.size(), false);
     FindEquivalentDefinitions(flagged);
-    FindRedundantAndNonSimple(universe, flagged);
-    FindReconstructible(universe, flagged);
+    FindRedundantAndNonSimple(flagged);
+    // Whole-program (VCL2xx) rules, on the same engine. Subsumption runs
+    // before reconstructibility so a dead view is one warning, not a
+    // warning plus a note per definition.
+    std::vector<bool> subsumed(views_.size(), false);
+    std::vector<bool> inconclusive(views_.size(), false);
+    FindSubsumedViews(subsumed, inconclusive);
+    FindCompositionLoss(inconclusive);
+    ReportDeterminacyBoundary(inconclusive);
+    FindReconstructible(flagged, subsumed);
+  }
+
+  /// Resolved definition indices per view, in program order.
+  std::map<std::size_t, std::vector<std::size_t>> GroupByView() const {
+    std::map<std::size_t, std::vector<std::size_t>> by_view;
+    for (std::size_t i = 0; i < defs_.size(); ++i) {
+      by_view[defs_[i].view_index].push_back(i);
+    }
+    return by_view;
   }
 
   /// VCL103: pairwise mapping equivalence through the engine's interning
@@ -346,47 +597,54 @@ class LintRun {
   }
 
   /// VCL101 and VCL102: per-view redundancy (Theorem 3.1.4) and simplicity
-  /// (Section 4 normal form).
-  void FindRedundantAndNonSimple(const AttrSet& universe,
-                                 std::vector<bool>& flagged) {
-    std::map<std::size_t, std::vector<std::size_t>> by_view;
-    for (std::size_t i = 0; i < defs_.size(); ++i) {
-      by_view[defs_[i].view_index].push_back(i);
-    }
-    for (const auto& [view_index, members] : by_view) {
-      std::vector<QuerySet::Member> qs_members;
-      qs_members.reserve(members.size());
-      for (std::size_t i : members) {
-        qs_members.push_back({defs_[i].rel, defs_[i].reduced});
-      }
-      Result<QuerySet> set =
-          QuerySet::Create(&catalog_, universe, std::move(qs_members));
-      if (!set.ok()) continue;
-      for (std::size_t pos = 0; pos < members.size(); ++pos) {
-        const DefInfo& def = defs_[members[pos]];
-        if (flagged[members[pos]]) continue;
-        if (members.size() > 1) {
+  /// (Section 4 normal form). Redundancy eliminates greedily — a flagged
+  /// definition leaves the working set before the next member is tested —
+  /// so applying every VCL101 fix-it at once is exactly the Theorem 3.1.4
+  /// fixpoint and can never over-delete.
+  void FindRedundantAndNonSimple(std::vector<bool>& flagged) {
+    for (const auto& [view_index, members] : GroupByView()) {
+      std::vector<std::size_t> active = members;
+      for (const std::size_t idx : members) {
+        const DefInfo& def = defs_[idx];
+        if (flagged[idx]) continue;  // VCL103 twins stay in the set.
+        const auto ait = std::find(active.begin(), active.end(), idx);
+        if (ait == active.end()) continue;
+        const std::size_t apos =
+            static_cast<std::size_t>(ait - active.begin());
+        std::vector<QuerySet::Member> qs_members;
+        qs_members.reserve(active.size());
+        for (std::size_t j : active) {
+          qs_members.push_back({defs_[j].rel, defs_[j].reduced});
+        }
+        Result<QuerySet> set =
+            QuerySet::Create(&catalog_, universe_, std::move(qs_members));
+        if (!set.ok()) continue;
+        if (active.size() > 1) {
           Result<RedundancyResult> red =
-              IsRedundant(engine_, *set, pos, options_.limits);
+              IsRedundant(engine_, *set, apos, options_.limits);
           if (red.ok() && red->redundant) {
-            std::string witness =
-                red->membership.witness != nullptr
-                    ? StrCat("reconstructible as ",
-                             viewcap::ToString(red->membership.witness,
-                                               catalog_))
-                    : std::string();
-            sink_.Report(
-                Severity::kWarning, kRedundantDefinition, def.name_span,
+            Diagnostic d;
+            d.severity = Severity::kWarning;
+            d.code = kRedundantDefinition;
+            d.span = def.name_span;
+            d.message =
                 StrCat("definition '", def.name,
                        "' is redundant: it is answerable from the view's "
-                       "other definitions (Theorem 3.1.4)"),
-                std::move(witness));
-            flagged[members[pos]] = true;
+                       "other definitions (Theorem 3.1.4)");
+            if (red->membership.witness != nullptr) {
+              d.note = StrCat("reconstructible as ",
+                              viewcap::ToString(red->membership.witness,
+                                                catalog_));
+            }
+            d.fixits.push_back(TextEdit{def.stmt_span, ""});
+            sink_.Add(std::move(d));
+            flagged[idx] = true;
+            active.erase(ait);
             continue;
           }
         }
         Result<SimplicityResult> simple =
-            IsSimple(engine_, &catalog_, *set, pos, options_.limits);
+            IsSimple(engine_, &catalog_, *set, apos, options_.limits);
         if (simple.ok() && !simple->simple &&
             !simple->membership.budget_exhausted) {
           sink_.Report(
@@ -396,20 +654,187 @@ class LintRun {
                      "' is not in the Section 4 simplified normal form"),
               "it is answerable from its own proper projections and the "
               "other definitions; run `simplify` to normalize");
-          flagged[members[pos]] = true;
+          flagged[idx] = true;
         }
       }
     }
   }
 
-  /// VCL104: derivability from the other views' definitions.
-  void FindReconstructible(const AttrSet& universe,
-                           std::vector<bool>& flagged) {
+  /// VCL201: a view whose every defining query is answerable from the rest
+  /// of the program is dead weight — Cap(V) is dominated by the program
+  /// without it (Lemma 1.5.4 applied program-wide). Views are tested in
+  /// program order and a subsumed view leaves the "rest" for later tests,
+  /// so deleting every flagged view at once preserves the program's
+  /// capacity (the greedy order never lets two views subsume each other).
+  void FindSubsumedViews(std::vector<bool>& subsumed,
+                         std::vector<bool>& inconclusive) {
+    const auto by_view = GroupByView();
+    if (by_view.size() < 2) return;
+    for (const auto& [v, members] : by_view) {
+      const ViewRec& view = views_[v];
+      // Only a fully resolved view may be declared dead: an unresolved
+      // definition has unknown capacity.
+      if (view.total_defs == 0 || view.resolved_defs != view.total_defs) {
+        continue;
+      }
+      std::vector<QuerySet::Member> others;
+      for (const auto& [w, rest] : by_view) {
+        if (w == v || subsumed[w]) continue;
+        for (std::size_t j : rest) {
+          others.push_back({defs_[j].rel, defs_[j].reduced});
+        }
+      }
+      if (others.empty()) continue;
+      Result<QuerySet> set =
+          QuerySet::Create(&catalog_, universe_, std::move(others));
+      if (!set.ok()) continue;
+      CapacityOracle oracle(&engine_, *set, options_.limits);
+      bool all_answerable = true;
+      std::vector<std::string> witnesses;
+      for (std::size_t i : members) {
+        Result<MembershipResult> member = oracle.Contains(defs_[i].reduced);
+        if (!member.ok()) {
+          all_answerable = false;
+          break;
+        }
+        if (!member->member) {
+          all_answerable = false;
+          if (member->budget_exhausted) inconclusive[v] = true;
+          break;
+        }
+        if (member->witness != nullptr) {
+          witnesses.push_back(
+              StrCat(defs_[i].name, " = ",
+                     viewcap::ToString(member->witness, catalog_)));
+        }
+      }
+      if (!all_answerable) continue;
+      Diagnostic d;
+      d.severity = Severity::kWarning;
+      d.code = kSubsumedView;
+      d.span = view.name_span;
+      d.message = StrCat(
+          "view '", view.name,
+          "' is subsumed: every definition is answerable from the rest "
+          "of the program (its capacity is dominated)");
+      d.note = Join(witnesses, "; ");
+      d.fixits.push_back(TextEdit{view.block_span, ""});
+      sink_.Add(std::move(d));
+      subsumed[v] = true;
+    }
+  }
+
+  /// VCL202: a view composed purely from one other view can only lose
+  /// capacity (Section 1.3 / compose.h: Cap(outer) is contained in
+  /// Cap(inner)); this reports when the containment is proper, i.e. some
+  /// definition of the inner view is no longer answerable through the
+  /// outer one. A note, not a warning — losing capacity is often the
+  /// point (e.g. a sanitized view).
+  void FindCompositionLoss(std::vector<bool>& inconclusive) {
+    std::map<std::string_view, std::size_t> def_by_name;
+    for (std::size_t i = 0; i < defs_.size(); ++i) {
+      def_by_name.emplace(defs_[i].name, i);
+    }
+    const auto by_view = GroupByView();
+    for (const auto& [v, members] : by_view) {
+      const ViewRec& outer = views_[v];
+      if (outer.total_defs == 0 || outer.resolved_defs != outer.total_defs) {
+        continue;
+      }
+      // Purity: every leaf of every definition must be a definition of one
+      // single other view — only then is Cap(outer) comparable to
+      // Cap(inner) by construction.
+      std::set<std::size_t> inner_views;
+      bool pure = true;
+      for (std::size_t i : members) {
+        for (const std::string& ref : defs_[i].refs) {
+          auto it = def_by_name.find(ref);
+          if (it == def_by_name.end() ||
+              defs_[it->second].view_index == v) {
+            pure = false;
+            break;
+          }
+          inner_views.insert(defs_[it->second].view_index);
+        }
+        if (!pure) break;
+      }
+      if (!pure || inner_views.size() != 1) continue;
+      const std::size_t w = *inner_views.begin();
+      const ViewRec& inner = views_[w];
+      if (inner.resolved_defs != inner.total_defs) continue;
+      std::vector<QuerySet::Member> outer_members;
+      outer_members.reserve(members.size());
+      for (std::size_t i : members) {
+        outer_members.push_back({defs_[i].rel, defs_[i].reduced});
+      }
+      Result<QuerySet> set =
+          QuerySet::Create(&catalog_, universe_, std::move(outer_members));
+      if (!set.ok()) continue;
+      CapacityOracle oracle(&engine_, *set, options_.limits);
+      std::vector<std::string> missing;
+      for (std::size_t i : by_view.at(w)) {
+        Result<MembershipResult> member = oracle.Contains(defs_[i].reduced);
+        if (!member.ok()) continue;
+        if (member->member) continue;
+        if (member->budget_exhausted) {
+          inconclusive[v] = true;
+        } else {
+          missing.push_back(StrCat("'", defs_[i].name, "'"));
+        }
+      }
+      if (missing.empty()) continue;
+      sink_.Report(
+          Severity::kNote, kCompositionLoss, outer.name_span,
+          StrCat("view '", outer.name,
+                 "' strictly loses capacity composing '", inner.name,
+                 "': ", Join(missing, ", "),
+                 missing.size() == 1 ? " is" : " are",
+                 " no longer answerable"),
+          "Cap(outer) is always contained in Cap(inner) under composition "
+          "(Section 1.3); a proper loss may be intended, e.g. for a "
+          "sanitized view");
+    }
+  }
+
+  /// VCL204: an inconclusive whole-program check is not silence — it is a
+  /// note placing the program relative to the determinacy decidability
+  /// boundary mapped by the modern literature.
+  void ReportDeterminacyBoundary(const std::vector<bool>& inconclusive) {
+    bool project_select = true;
+    for (const DefInfo& def : defs_) {
+      if (ContainsJoin(def.expanded)) {
+        project_select = false;
+        break;
+      }
+    }
+    for (std::size_t v = 0; v < views_.size(); ++v) {
+      if (!inconclusive[v]) continue;
+      sink_.Report(
+          Severity::kNote, kDeterminacyBoundary, views_[v].name_span,
+          StrCat("whole-program capacity analysis of view '",
+                 views_[v].name,
+                 "' is inconclusive: a closure search exhausted its "
+                 "candidate budget"),
+          project_select
+              ? "the program is in the project-select fragment, where "
+                "determinacy is decidable (arXiv:2411.08874): a larger "
+                "budget (max_candidates/max_leaves) can settle the verdict"
+              : "the program uses joins, and general conjunctive-query "
+                "determinacy is undecidable (arXiv:1501.01817): "
+                "budget-bounded search is the strongest complete check "
+                "available");
+    }
+  }
+
+  /// VCL104: derivability from the other views' definitions. Skips views
+  /// already reported subsumed (VCL201 states the stronger fact).
+  void FindReconstructible(const std::vector<bool>& flagged,
+                           const std::vector<bool>& subsumed) {
     std::set<std::size_t> views;
     for (const DefInfo& def : defs_) views.insert(def.view_index);
     if (views.size() < 2) return;
     for (std::size_t i = 0; i < defs_.size(); ++i) {
-      if (flagged[i]) continue;
+      if (flagged[i] || subsumed[defs_[i].view_index]) continue;
       std::vector<QuerySet::Member> others;
       for (std::size_t j = 0; j < defs_.size(); ++j) {
         if (defs_[j].view_index != defs_[i].view_index) {
@@ -418,7 +843,7 @@ class LintRun {
       }
       if (others.empty()) continue;
       Result<QuerySet> set =
-          QuerySet::Create(&catalog_, universe, std::move(others));
+          QuerySet::Create(&catalog_, universe_, std::move(others));
       if (!set.ok()) continue;
       CapacityOracle oracle(&engine_, *set, options_.limits);
       Result<MembershipResult> member = oracle.Contains(defs_[i].reduced);
@@ -437,7 +862,38 @@ class LintRun {
     }
   }
 
+  // ------------------------------------------------------------- epilogue
+
+  void ApplyInlineSuppressions(LintResult* result) {
+    const std::map<int, std::set<std::string>> ignores =
+        ParseIgnores(text_);
+    if (ignores.empty()) return;
+    std::vector<Diagnostic> kept;
+    kept.reserve(result->diagnostics.size());
+    for (Diagnostic& d : result->diagnostics) {
+      auto it = ignores.find(d.span.begin.line);
+      if (it != ignores.end() && it->second.count(d.code) > 0) {
+        ++result->suppressed;
+        continue;
+      }
+      kept.push_back(std::move(d));
+    }
+    result->diagnostics = std::move(kept);
+  }
+
+  static std::string Join(const std::vector<std::string>& parts,
+                          std::string_view sep) {
+    std::string out;
+    for (const std::string& part : parts) {
+      if (!out.empty()) out += sep;
+      out += part;
+    }
+    return out;
+  }
+
   const LintOptions& options_;
+  std::string_view text_;
+  std::optional<LineMap> map_;
   DiagnosticSink sink_;
   Catalog catalog_;
   Engine engine_{&catalog_};  // Shared by every semantic rule of the run.
@@ -446,6 +902,10 @@ class LintRun {
   std::vector<std::string> base_names_;
   Definitions known_;
   std::vector<DefInfo> defs_;
+  std::vector<RawDef> raw_defs_;
+  std::vector<ViewRec> views_;
+  std::vector<std::string> current_refs_;
+  AttrSet universe_;
 };
 
 }  // namespace
@@ -454,6 +914,14 @@ std::size_t LintResult::Count(Severity severity) const {
   std::size_t n = 0;
   for (const Diagnostic& d : diagnostics) {
     if (d.severity == severity) ++n;
+  }
+  return n;
+}
+
+std::size_t LintResult::Fixable() const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.fixable()) ++n;
   }
   return n;
 }

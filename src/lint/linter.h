@@ -1,6 +1,6 @@
 // viewcap-lint: static analysis over .vcp view programs.
 //
-// The linter parses a program leniently (algebra/ast.h), then runs two
+// The linter parses a program leniently (algebra/ast.h), then runs three
 // families of rules:
 //
 // Structural rules — pure static analysis over the raw AST, no closure
@@ -14,8 +14,10 @@
 //                                            empty scheme
 //   VCL004 duplicate-attribute     (warning) repeated attribute in a
 //                                            projection list / declaration
+//                                            [fix-it: drop the repeat]
 //   VCL005 identity-projection     (note)    pi onto the full scheme is
 //                                            the identity map
+//                                            [fix-it: unwrap the operand]
 //   VCL006 duplicate-definition    (error)   view relation name defined
 //                                            twice (any view)
 //   VCL007 shadowed-relation       (error)   definition shadows a base
@@ -25,6 +27,9 @@
 //   VCL009 conflicting-declaration (error/warning) relation redeclared
 //                                            with a different / identical
 //                                            scheme
+//   VCL010 semantic-skipped        (note)    the VCL1xx/VCL2xx passes were
+//                                            skipped: the program exceeds
+//                                            max_semantic_definitions
 //
 // Semantic rules — bounded, paper-backed closure analyses; they run only
 // over definitions whose queries resolved cleanly, and stay silent when a
@@ -32,6 +37,7 @@
 //   VCL101 redundant-definition    (warning) the defining query is in the
 //                                            closure of the view's other
 //                                            definitions (Theorem 3.1.4)
+//                                            [fix-it: drop the definition]
 //   VCL102 not-simplified          (warning) the definition is not simple,
 //                                            so the view is not in the
 //                                            Section 4 normal form
@@ -41,6 +47,38 @@
 //   VCL104 reconstructible-definition (note) the query is derivable from
 //                                            the definitions of the other
 //                                            views in the program
+//
+// Whole-program rules — the VCL2xx family analyzes the program as one
+// unit on the run's shared memoizing Engine (closure searches are sharded
+// per SearchLimits::threads). VCL203 is graph-only and always runs; the
+// rest are gated like the VCL1xx rules:
+//   VCL201 subsumed-view           (warning) every defining query of the
+//                                            view is answerable from the
+//                                            remaining program: Cap(V) is
+//                                            dominated, the view is dead
+//                                            [fix-it: delete the view]
+//   VCL202 composition-capacity-loss (note)  a view composed purely from
+//                                            another view strictly loses
+//                                            capacity (Section 1.3: the
+//                                            containment Cap(outer) subset
+//                                            Cap(inner) is proper)
+//   VCL203 definition-cycle        (error)   definitions reference each
+//                                            other cyclically: no
+//                                            stratified Lemma 1.4.1
+//                                            expansion exists
+//   VCL204 determinacy-boundary    (note)    a whole-program check ran out
+//                                            of budget; the note cites the
+//                                            decidability boundary
+//                                            (project-select determinacy
+//                                            is decidable, arXiv:2411.08874;
+//                                            general CQ determinacy is not,
+//                                            arXiv:1501.01817)
+//
+// Findings can be suppressed inline: a comment `-- vcl-ignore(VCL101)`
+// (also `#` / `//`) suppresses the listed codes on its own line, or on the
+// next line when the comment stands alone. Suppressed findings are counted
+// in LintResult::suppressed. Fix-its ride on Diagnostic::fixits and are
+// applied by lint/fixits.h (CLI: `lint --fix`).
 #ifndef VIEWCAP_LINT_LINTER_H_
 #define VIEWCAP_LINT_LINTER_H_
 
@@ -66,10 +104,14 @@ struct LintOptions {
 struct LintResult {
   /// All findings, sorted by source position.
   std::vector<Diagnostic> diagnostics;
+  /// Findings dropped by inline `vcl-ignore(...)` comments.
+  std::size_t suppressed = 0;
 
   std::size_t Count(Severity severity) const;
   bool HasErrors() const { return Count(Severity::kError) > 0; }
   bool HasWarnings() const { return Count(Severity::kWarning) > 0; }
+  /// Findings carrying machine-applicable fix-its.
+  std::size_t Fixable() const;
 };
 
 /// The rule-driven analysis engine. Stateless between runs; each Run owns a

@@ -1,0 +1,79 @@
+#include "lint/rules.h"
+
+namespace viewcap {
+
+const std::vector<RuleInfo>& AllRules() {
+  static const std::vector<RuleInfo> kRules = {
+      {"VCL000", "syntax-error", "The surface syntax is unparseable.",
+       false},
+      {"VCL001", "undefined-relation",
+       "A referenced relation name is never declared.", false},
+      {"VCL002", "unknown-attribute",
+       "A projection attribute is outside the operand's scheme TRS(E).",
+       false},
+      {"VCL003", "empty-attr-list",
+       "A projection list or relation scheme is empty.", false},
+      {"VCL004", "duplicate-attribute",
+       "An attribute is repeated in a projection list or declaration.",
+       true},
+      {"VCL005", "identity-projection",
+       "A projection onto the full scheme is the identity map.", true},
+      {"VCL006", "duplicate-definition",
+       "A view relation name is defined twice.", false},
+      {"VCL007", "shadowed-relation",
+       "A definition shadows a base relation.", false},
+      {"VCL008", "unused-relation",
+       "A schema relation is never read by any definition.", false},
+      {"VCL009", "conflicting-declaration",
+       "A relation is redeclared, with the same or a different scheme.",
+       false},
+      {"VCL010", "semantic-skipped",
+       "The semantic passes were skipped because the program exceeds "
+       "max-semantic-definitions.",
+       false},
+      {"VCL101", "redundant-definition",
+       "The defining query is in the closure of the view's other "
+       "definitions (Theorem 3.1.4).",
+       true},
+      {"VCL102", "not-simplified",
+       "The definition is not simple, so the view is not in the Section 4 "
+       "normal form.",
+       false},
+      {"VCL103", "equivalent-definitions",
+       "Two defining queries are equal up to canonical form of their "
+       "tableaux.",
+       false},
+      {"VCL104", "reconstructible-definition",
+       "The query is derivable from the definitions of the other views in "
+       "the program.",
+       false},
+      {"VCL201", "subsumed-view",
+       "Every defining query of the view is answerable from the rest of "
+       "the program: its capacity is dominated and the view is dead "
+       "weight.",
+       true},
+      {"VCL202", "composition-capacity-loss",
+       "A view composed from another view strictly loses capacity: some "
+       "definition of the inner view is no longer answerable "
+       "(Section 1.3).",
+       false},
+      {"VCL203", "definition-cycle",
+       "View definitions reference each other cyclically; the program has "
+       "no stratified expansion (Lemma 1.4.1).",
+       false},
+      {"VCL204", "determinacy-boundary",
+       "A whole-program capacity check exhausted its search budget; the "
+       "verdict sits at the determinacy decidability boundary.",
+       false},
+  };
+  return kRules;
+}
+
+const RuleInfo* FindRule(std::string_view code) {
+  for (const RuleInfo& rule : AllRules()) {
+    if (rule.code == code) return &rule;
+  }
+  return nullptr;
+}
+
+}  // namespace viewcap

@@ -1,0 +1,36 @@
+// The rule registry of viewcap-lint: one metadata record per stable rule
+// code. The registry is the single source for tool-facing rule metadata —
+// the SARIF renderer's `tool.driver.rules` array, the `--fix` engine's
+// "which codes are fixable" decision and the README's rule inventory all
+// read it, so a new rule only has to be described once.
+#ifndef VIEWCAP_LINT_RULES_H_
+#define VIEWCAP_LINT_RULES_H_
+
+#include <string_view>
+#include <vector>
+
+namespace viewcap {
+
+/// Metadata for one lint rule.
+struct RuleInfo {
+  /// Stable code ("VCL001").
+  std::string_view code;
+  /// Stable kebab-case rule name ("undefined-relation").
+  std::string_view name;
+  /// One-sentence description, rendered into SARIF shortDescription.
+  std::string_view summary;
+  /// True when the rule attaches machine-applicable fix-its.
+  bool fixable = false;
+};
+
+/// All registered rules, ordered by code. Every code a rule can emit is
+/// registered here (enforced by a lint test).
+const std::vector<RuleInfo>& AllRules();
+
+/// The registry entry for `code`, or nullptr for unknown codes (renderers
+/// degrade gracefully on forward-compatible inputs).
+const RuleInfo* FindRule(std::string_view code);
+
+}  // namespace viewcap
+
+#endif  // VIEWCAP_LINT_RULES_H_

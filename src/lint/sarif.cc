@@ -1,0 +1,117 @@
+#include "lint/sarif.h"
+
+#include <algorithm>
+#include <map>
+
+#include "base/strings.h"
+#include "lint/rules.h"
+
+namespace viewcap {
+
+namespace {
+
+/// note -> "note", warning -> "warning", error -> "error" (SARIF levels
+/// happen to share our severity names).
+std::string_view SarifLevel(Severity severity) {
+  return SeverityName(severity);
+}
+
+/// The SARIF region object for a span, e.g. {"startLine": 2, ...}.
+std::string Region(const SourceSpan& span) {
+  return StrCat("{\"startLine\": ", span.begin.line,
+                ", \"startColumn\": ", span.begin.column,
+                ", \"endLine\": ", span.end.line,
+                ", \"endColumn\": ", span.end.column, "}");
+}
+
+}  // namespace
+
+std::string RenderSarif(const std::vector<Diagnostic>& diagnostics,
+                        std::string_view filename) {
+  // The rules array lists exactly the codes that fired, sorted, so the
+  // log is self-contained but not bloated by the full registry.
+  std::map<std::string, std::size_t> rule_index;
+  for (const Diagnostic& d : diagnostics) {
+    rule_index.emplace(d.code, 0);
+  }
+  std::size_t next = 0;
+  for (auto& [code, index] : rule_index) index = next++;
+
+  const std::string uri = JsonEscape(filename);
+  std::string out =
+      "{\n"
+      "  \"$schema\": "
+      "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"viewcap-lint\",\n"
+      "          \"informationUri\": "
+      "\"https://github.com/viewcap/viewcap\",\n"
+      "          \"rules\": [";
+  bool first = true;
+  for (const auto& [code, index] : rule_index) {
+    const RuleInfo* info = FindRule(code);
+    out += StrCat(first ? "\n" : ",\n",
+                  "            {\"id\": \"", JsonEscape(code), "\"");
+    if (info != nullptr) {
+      out += StrCat(", \"name\": \"", JsonEscape(info->name),
+                    "\", \"shortDescription\": {\"text\": \"",
+                    JsonEscape(info->summary), "\"}");
+    }
+    out += "}";
+    first = false;
+  }
+  out += StrCat(rule_index.empty() ? "]\n" : "\n          ]\n",
+                "        }\n"
+                "      },\n"
+                "      \"results\": [");
+  first = true;
+  for (const Diagnostic& d : diagnostics) {
+    std::string message = d.message;
+    if (!d.note.empty()) {
+      message += "\nnote: ";
+      message += d.note;
+    }
+    out += StrCat(first ? "\n" : ",\n",
+                  "        {\n"
+                  "          \"ruleId\": \"", JsonEscape(d.code), "\",\n",
+                  "          \"ruleIndex\": ", rule_index.at(d.code), ",\n",
+                  "          \"level\": \"", SarifLevel(d.severity), "\",\n",
+                  "          \"message\": {\"text\": \"",
+                  JsonEscape(message), "\"},\n",
+                  "          \"locations\": [{\"physicalLocation\": "
+                  "{\"artifactLocation\": {\"uri\": \"", uri,
+                  "\"}, \"region\": ", Region(d.span), "}}]");
+    if (!d.fixits.empty()) {
+      out +=
+          ",\n"
+          "          \"fixes\": [{\"artifactChanges\": [{"
+          "\"artifactLocation\": {\"uri\": \"" +
+          std::string(uri) + "\"}, \"replacements\": [";
+      bool first_edit = true;
+      for (const TextEdit& edit : d.fixits) {
+        out += StrCat(first_edit ? "" : ", ", "{\"deletedRegion\": ",
+                      Region(edit.span));
+        if (!edit.replacement.empty()) {
+          out += StrCat(", \"insertedContent\": {\"text\": \"",
+                        JsonEscape(edit.replacement), "\"}");
+        }
+        out += "}";
+        first_edit = false;
+      }
+      out += "]}]}]";
+    }
+    out += "\n        }";
+    first = false;
+  }
+  out += StrCat(diagnostics.empty() ? "]\n" : "\n      ]\n",
+                "    }\n"
+                "  ]\n"
+                "}\n");
+  return out;
+}
+
+}  // namespace viewcap

@@ -1,0 +1,25 @@
+// SARIF 2.1.0 rendering of lint diagnostics, the interchange format that
+// CI systems and code-scanning UIs ingest directly. One run, one driver
+// ("viewcap-lint"); the `rules` array carries metadata (from lint/rules.h)
+// for exactly the codes that fired, results reference it by ruleIndex, and
+// fix-its are exported as SARIF `fixes` with deletedRegion/insertedContent
+// replacements. Deterministic (sort the diagnostics first), so the output
+// is golden-testable.
+#ifndef VIEWCAP_LINT_SARIF_H_
+#define VIEWCAP_LINT_SARIF_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/diagnostics.h"
+
+namespace viewcap {
+
+/// Renders `diagnostics` as one SARIF 2.1.0 log with a single run.
+std::string RenderSarif(const std::vector<Diagnostic>& diagnostics,
+                        std::string_view filename);
+
+}  // namespace viewcap
+
+#endif  // VIEWCAP_LINT_SARIF_H_

@@ -1,11 +1,19 @@
 #!/usr/bin/env sh
 # The full local CI gate: configure + build the ci-asan preset
 # (ASan/UBSan, warnings-as-errors), run the test suite under it, then the
-# concurrency-sensitive subset under ThreadSanitizer (ci-tsan preset), and
-# finally clang-tidy over the first-party sources. Mirrors what a hosted
-# pipeline would run; any stage failing fails the script.
+# concurrency-sensitive subset under ThreadSanitizer (ci-tsan preset), the
+# full suite again under standalone UBSan (ci-ubsan preset, catching UB
+# that the combined ASan build can mask), clang-tidy over the first-party
+# sources, and a threshold-gated benchmark comparison against the checked
+# in bench/BENCH_*.json baselines. Mirrors what a hosted pipeline would
+# run; any stage failing fails the script.
 #
 #   tools/run_ci.sh
+#
+# BENCH_THRESHOLD_PCT (default 50) is the allowed ns_per_op regression per
+# benchmark before the perf stage fails; baselines were recorded on a
+# different machine, so the gate is deliberately loose — it catches
+# order-of-magnitude mistakes, not percent-level drift.
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -32,7 +40,28 @@ cmake --build --preset ci-tsan
 echo "== test (ci-tsan, parallel subset) =="
 ctest --preset ci-tsan
 
+echo "== configure (ci-ubsan) =="
+cmake --preset ci-ubsan
+
+echo "== build (ci-ubsan) =="
+cmake --build --preset ci-ubsan
+
+echo "== test (ci-ubsan) =="
+ctest --preset ci-ubsan
+
 echo "== clang-tidy =="
 "$repo_root/tools/run_tidy.sh" "$repo_root/build-asan"
+
+echo "== bench (threshold-gated against bench/BENCH_*.json) =="
+cmake --preset default
+bench_out=$(mktemp -d)
+trap 'rm -rf "$bench_out"' EXIT
+for baseline in "$repo_root"/bench/BENCH_*.json; do
+  name=$(basename "$baseline" .json | sed 's/^BENCH_/bench_/')
+  cmake --build --preset default --target "$name"
+  "$repo_root/build/bench/$name" --json="$bench_out/$name.json"
+  python3 "$repo_root/tools/bench_compare.py" "$baseline" \
+      "$bench_out/$name.json" --threshold="${BENCH_THRESHOLD_PCT:-50}"
+done
 
 echo "run_ci.sh: all stages passed."

@@ -2,7 +2,9 @@
 //
 // Usage:
 //   viewcap_cli <program-file> <command> [args...] [--engine-stats]
-//   viewcap_cli lint <program-file> [--format=text|json] [--no-semantic]
+//   viewcap_cli lint <program-file> [--format=text|json|sarif]
+//       [--no-semantic] [--fix | --fix-dry-run] [--baseline=<file>]
+//       [--write-baseline=<file>] [--max-semantic-definitions=N]
 // Commands:
 //   list                          print the loaded views
 //   equiv <V> <W>                 decide view equivalence (Theorem 2.4.12)
@@ -26,6 +28,15 @@
 // across N threads (0 = one per hardware thread). Verdicts and witnesses
 // are identical for every N; the default 1 is the exact legacy serial path.
 //
+// lint flags:
+//   --format=sarif        emit SARIF 2.1.0 (for code-scanning upload)
+//   --fix                 apply every machine-applicable fix-it in place,
+//                         re-linting to a fixpoint (idempotent: the fixed
+//                         file re-lints with zero fixable findings)
+//   --fix-dry-run         print the fixed program to stdout instead
+//   --baseline=<file>     subtract known findings (lint/baseline.h)
+//   --write-baseline=<file>  record the current findings as the baseline
+//
 // lint exit codes are severity-based: 0 = clean (notes allowed),
 // 3 = warnings found, 4 = errors found (1 = I/O failure, 2 = usage).
 #include <cstdio>
@@ -39,7 +50,10 @@
 #include <vector>
 
 #include "core/viewcap.h"
+#include "lint/baseline.h"
+#include "lint/fixits.h"
 #include "lint/linter.h"
+#include "lint/sarif.h"
 
 namespace {
 
@@ -48,7 +62,9 @@ int Usage() {
                "usage: viewcap_cli <program-file> <command> [args...] "
                "[--engine-stats] [--threads=N]\n"
                "       viewcap_cli lint <program-file> "
-               "[--format=text|json] [--no-semantic] [--threads=N]\n"
+               "[--format=text|json|sarif] [--no-semantic] [--threads=N]\n"
+               "                   [--fix | --fix-dry-run] "
+               "[--baseline=<file>] [--write-baseline=<file>]\n"
                "commands:\n"
                "  list\n"
                "  equiv <V> <W>\n"
@@ -61,7 +77,7 @@ int Usage() {
                "  capacity <V> <max-leaves>\n"
                "  eval <V> <view-query> <data-file>\n"
                "  report | analyze [--engine-stats]\n"
-               "  lint [--format=text|json] [--no-semantic]\n");
+               "  lint [--format=text|json|sarif] [--no-semantic] [--fix]\n");
   return 2;
 }
 
@@ -92,16 +108,52 @@ bool ReadFile(const std::string& path, std::string* out) {
 int RunLint(const std::vector<std::string>& args, std::size_t path_at,
             std::size_t threads) {
   const std::string& path = args[path_at];
-  bool json = false;
+  enum class Format { kText, kJson, kSarif };
+  Format format = Format::kText;
+  bool fix = false;
+  bool fix_dry_run = false;
+  std::string baseline_path;
+  std::string write_baseline_path;
   viewcap::LintOptions options;
   options.limits.threads = threads;
   for (std::size_t i = 2; i < args.size(); ++i) {
     if (args[i] == "--format=json") {
-      json = true;
+      format = Format::kJson;
     } else if (args[i] == "--format=text") {
-      json = false;
+      format = Format::kText;
+    } else if (args[i] == "--format=sarif") {
+      format = Format::kSarif;
     } else if (args[i] == "--no-semantic") {
       options.semantic = false;
+    } else if (args[i] == "--fix") {
+      fix = true;
+    } else if (args[i] == "--fix-dry-run") {
+      fix_dry_run = true;
+    } else if (args[i].rfind("--baseline=", 0) == 0) {
+      baseline_path = args[i].substr(std::string("--baseline=").size());
+    } else if (args[i].rfind("--write-baseline=", 0) == 0) {
+      write_baseline_path =
+          args[i].substr(std::string("--write-baseline=").size());
+    } else if (args[i].rfind("--max-semantic-definitions=", 0) == 0) {
+      std::size_t value = 0;
+      const std::string count =
+          args[i].substr(std::string("--max-semantic-definitions=").size());
+      if (!ParseThreads(count.c_str(), &value)) {
+        std::fprintf(stderr, "viewcap_cli: bad definition count '%s'\n",
+                     count.c_str());
+        return 2;
+      }
+      options.max_semantic_definitions = value;
+    } else if (args[i].rfind("--max-candidates=", 0) == 0) {
+      std::size_t value = 0;
+      const std::string count =
+          args[i].substr(std::string("--max-candidates=").size());
+      if (!ParseThreads(count.c_str(), &value) || value == 0) {
+        std::fprintf(stderr, "viewcap_cli: bad candidate budget '%s'\n",
+                     count.c_str());
+        return 2;
+      }
+      options.limits.max_candidates = value;
     } else {
       std::fprintf(stderr, "viewcap_cli: unknown lint flag '%s'\n",
                    args[i].c_str());
@@ -113,14 +165,75 @@ int RunLint(const std::vector<std::string>& args, std::size_t path_at,
     std::fprintf(stderr, "viewcap_cli: cannot open '%s'\n", path.c_str());
     return 1;
   }
+  if (fix || fix_dry_run) {
+    viewcap::FixOutcome outcome = viewcap::FixProgram(text, options);
+    if (fix_dry_run) {
+      // Print the fixed program; leave the file untouched.
+      std::cout << outcome.text;
+      std::fprintf(stderr, "viewcap_cli: %zu edit%s in %zu round%s (dry run)\n",
+                   outcome.edits_applied, outcome.edits_applied == 1 ? "" : "s",
+                   outcome.rounds, outcome.rounds == 1 ? "" : "s");
+      return outcome.clean ? 0 : 1;
+    }
+    if (outcome.edits_applied > 0) {
+      std::ofstream out(path, std::ios::trunc);
+      if (!out) {
+        std::fprintf(stderr, "viewcap_cli: cannot write '%s'\n", path.c_str());
+        return 1;
+      }
+      out << outcome.text;
+    }
+    std::fprintf(stderr, "viewcap_cli: applied %zu edit%s in %zu round%s\n",
+                 outcome.edits_applied, outcome.edits_applied == 1 ? "" : "s",
+                 outcome.rounds, outcome.rounds == 1 ? "" : "s");
+    text = outcome.text;  // Report the remaining (unfixable) findings below.
+  }
   viewcap::Linter linter(options);
   viewcap::LintResult result = linter.Run(text);
-  if (json) {
-    std::cout << viewcap::RenderJson(result.diagnostics, path);
-  } else if (result.diagnostics.empty()) {
-    std::cout << path << ": no problems found\n";
-  } else {
-    std::cout << viewcap::RenderText(result.diagnostics, path);
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "viewcap_cli: cannot write '%s'\n",
+                   write_baseline_path.c_str());
+      return 1;
+    }
+    out << viewcap::WriteBaseline(result.diagnostics);
+  }
+  if (!baseline_path.empty()) {
+    std::string baseline_text;
+    if (!ReadFile(baseline_path, &baseline_text)) {
+      std::fprintf(stderr, "viewcap_cli: cannot open '%s'\n",
+                   baseline_path.c_str());
+      return 1;
+    }
+    std::size_t suppressed = 0;
+    result.diagnostics =
+        viewcap::FilterBaseline(std::move(result.diagnostics),
+                                viewcap::ParseBaseline(baseline_text),
+                                &suppressed);
+    result.suppressed += suppressed;
+  }
+  switch (format) {
+    case Format::kJson:
+      std::cout << viewcap::RenderJson(result.diagnostics, path);
+      break;
+    case Format::kSarif:
+      std::cout << viewcap::RenderSarif(result.diagnostics, path);
+      break;
+    case Format::kText:
+      if (result.diagnostics.empty()) {
+        std::cout << path << ": no problems found";
+        if (result.suppressed > 0) {
+          std::cout << " (" << result.suppressed << " suppressed)";
+        }
+        std::cout << "\n";
+      } else {
+        std::cout << viewcap::RenderText(result.diagnostics, path);
+        if (result.suppressed > 0) {
+          std::cout << result.suppressed << " suppressed.\n";
+        }
+      }
+      break;
   }
   if (result.HasErrors()) return 4;
   if (result.HasWarnings()) return 3;
