@@ -3,11 +3,19 @@
 // Workloads: chain-join templates. "Hit" maps a k-row chain into a 2k-row
 // template containing two interleaved copies; "Miss" maps into a template
 // whose last link was severed, forcing the search to exhaust candidates.
+//
+// The primary entry points (BM_HomomorphismHit/Miss, BM_EquivalenceCheck)
+// now run on the flat SoA kernel; the *Legacy twins pin the retired
+// pointer-walking HomSearch for a direct series-vs-series comparison, and
+// the Kernel/Wave series isolate the engine's steady state (templates
+// lowered once, scratch reused across calls).
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
 #include "tableau/build.h"
+#include "tableau/hom_kernel.h"
 #include "tableau/homomorphism.h"
+#include "tableau/soa.h"
 
 namespace viewcap {
 namespace bench {
@@ -78,6 +86,153 @@ void BM_EquivalenceCheck(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EquivalenceCheck)->DenseRange(2, 12, 2);
+
+// --- Legacy oracle twins: the same workloads on the retired pointer-
+// walking HomSearch, for the SoA-vs-legacy series. ---
+
+void BM_HomomorphismHitLegacy(benchmark::State& state) {
+  const std::size_t links = static_cast<std::size_t>(state.range(0));
+  auto schema = MakeChain(links);
+  SymbolPool pool;
+  Tableau from =
+      BuildTableau(schema->catalog, schema->universe, *ChainJoin(*schema),
+                   pool)
+          .value();
+  Tableau to =
+      JoinTableaux(schema->catalog, from,
+                   BuildTableau(schema->catalog, schema->universe,
+                                *ChainJoin(*schema), pool)
+                       .value(),
+                   pool)
+          .value();
+  for (auto _ : state) {
+    auto hom = legacy::FindHomomorphism(schema->catalog, from, to);
+    benchmark::DoNotOptimize(hom);
+  }
+}
+BENCHMARK(BM_HomomorphismHitLegacy)->DenseRange(2, 12, 2);
+
+void BM_HomomorphismMissLegacy(benchmark::State& state) {
+  const std::size_t links = static_cast<std::size_t>(state.range(0));
+  auto schema = MakeChain(links);
+  SymbolPool pool;
+  Tableau from =
+      BuildTableau(schema->catalog, schema->universe, *ChainJoin(*schema),
+                   pool)
+          .value();
+  AttrSet kept = from.Trs();
+  kept = kept.Difference(AttrSet{schema->attrs.back()});
+  Tableau to = ProjectTableau(schema->catalog, from, kept, pool).value();
+  for (auto _ : state) {
+    bool hom = legacy::HasHomomorphism(schema->catalog, from, to);
+    benchmark::DoNotOptimize(hom);
+  }
+}
+BENCHMARK(BM_HomomorphismMissLegacy)->DenseRange(2, 12, 2);
+
+void BM_EquivalenceCheckLegacy(benchmark::State& state) {
+  const std::size_t links = static_cast<std::size_t>(state.range(0));
+  auto schema = MakeChain(links);
+  SymbolPool pool;
+  Tableau a =
+      BuildTableau(schema->catalog, schema->universe, *ChainJoin(*schema),
+                   pool)
+          .value();
+  AttrSet half{schema->attrs[0], schema->attrs[1]};
+  Tableau extra = ProjectTableau(schema->catalog, a, half, pool).value();
+  Tableau b = JoinTableaux(schema->catalog, a, extra, pool).value();
+  for (auto _ : state) {
+    bool eq = legacy::EquivalentTableaux(schema->catalog, a, b);
+    benchmark::DoNotOptimize(eq);
+  }
+}
+BENCHMARK(BM_EquivalenceCheckLegacy)->DenseRange(2, 12, 2);
+
+// --- Kernel steady state: what an engine-resident search costs once the
+// SoA forms are cached and the scratch arena is warm. ---
+
+void BM_SoaLowering(benchmark::State& state) {
+  const std::size_t links = static_cast<std::size_t>(state.range(0));
+  auto schema = MakeChain(links);
+  SymbolPool pool;
+  Tableau from =
+      BuildTableau(schema->catalog, schema->universe, *ChainJoin(*schema),
+                   pool)
+          .value();
+  for (auto _ : state) {
+    SoaTemplate soa = SoaTemplate::Lower(from);
+    benchmark::DoNotOptimize(soa);
+  }
+}
+BENCHMARK(BM_SoaLowering)->DenseRange(2, 12, 2);
+
+void BM_HomKernelHitWarm(benchmark::State& state) {
+  const std::size_t links = static_cast<std::size_t>(state.range(0));
+  auto schema = MakeChain(links);
+  SymbolPool pool;
+  Tableau from =
+      BuildTableau(schema->catalog, schema->universe, *ChainJoin(*schema),
+                   pool)
+          .value();
+  Tableau to =
+      JoinTableaux(schema->catalog, from,
+                   BuildTableau(schema->catalog, schema->universe,
+                                *ChainJoin(*schema), pool)
+                       .value(),
+                   pool)
+          .value();
+  const SoaTemplate from_soa = SoaTemplate::Lower(from);
+  const SoaTemplate to_soa = SoaTemplate::Lower(to);
+  HomScratch scratch;
+  for (auto _ : state) {
+    bool found =
+        SoaSearch(from_soa, to_soa, HomMode::kHomomorphism, scratch, nullptr);
+    benchmark::DoNotOptimize(found);
+  }
+}
+BENCHMARK(BM_HomKernelHitWarm)->DenseRange(2, 12, 2);
+
+// Wave evaluation: `range(0)` chain sources probed against one two-copy
+// target in a single batch, vs. the same probes as scalar calls. The per-
+// probe cost difference is the amortization RowEmbedsBatch buys the
+// enumerator's level scans and the redundancy warm-up.
+void BM_RowEmbedWave(benchmark::State& state) {
+  const std::size_t sources = static_cast<std::size_t>(state.range(0));
+  auto schema = MakeChain(6);
+  SymbolPool pool;
+  Tableau chain =
+      BuildTableau(schema->catalog, schema->universe, *ChainJoin(*schema),
+                   pool)
+          .value();
+  Tableau to =
+      JoinTableaux(schema->catalog, chain,
+                   BuildTableau(schema->catalog, schema->universe,
+                                *ChainJoin(*schema), pool)
+                       .value(),
+                   pool)
+          .value();
+  const SoaTemplate to_soa = SoaTemplate::Lower(to);
+  // Distinct prefixes of the chain as the wave's sources.
+  std::vector<SoaTemplate> lowered;
+  std::vector<const SoaTemplate*> wave;
+  for (std::size_t i = 0; i < sources; ++i) {
+    AttrSet kept{schema->attrs[i % (schema->attrs.size() - 1)],
+                 schema->attrs[i % (schema->attrs.size() - 1) + 1]};
+    lowered.push_back(SoaTemplate::Lower(
+        ProjectTableau(schema->catalog, chain, kept, pool).value()));
+  }
+  for (const SoaTemplate& soa : lowered) wave.push_back(&soa);
+  HomScratch scratch;
+  for (auto _ : state) {
+    std::vector<char> verdicts =
+        SoaSearchWave(wave, to_soa, HomMode::kRowEmbedding, scratch);
+    benchmark::DoNotOptimize(verdicts);
+  }
+  state.counters["per_probe_ns"] = benchmark::Counter(
+      static_cast<double>(sources), benchmark::Counter::kIsIterationInvariantRate |
+                                        benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_RowEmbedWave)->DenseRange(4, 16, 4);
 
 }  // namespace
 }  // namespace bench

@@ -36,6 +36,7 @@ std::string RenderEngineStats(const EngineStats& stats) {
   row("row-embedding", stats.row_embedding);
   row("expansion", stats.expansion);
   row("verdict", stats.verdict);
+  row("dominance", stats.dominance);
   return out;
 }
 

@@ -42,8 +42,10 @@
 #include "tableau/canonical.h"
 #include "tableau/counterexample.h"
 #include "tableau/evaluate.h"
+#include "tableau/hom_kernel.h"
 #include "tableau/homomorphism.h"
 #include "tableau/recognize.h"
+#include "tableau/soa.h"
 #include "tableau/reduce.h"
 #include "tableau/substitution.h"
 #include "tableau/tableau.h"

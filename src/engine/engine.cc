@@ -1,21 +1,55 @@
 #include "engine/engine.h"
 
+#include <charconv>
+
 #include "base/check.h"
 #include "base/strings.h"
 #include "tableau/canonical.h"
+#include "tableau/hom_kernel.h"
 #include "tableau/homomorphism.h"
 #include "tableau/reduce.h"
 
 namespace viewcap {
 
+namespace {
+
+// Kernel scratch reused across every search a thread runs through this
+// translation unit: engine searches are frequent and small, so the
+// steady state does no allocation.
+HomScratch& KernelScratch() {
+  thread_local HomScratch scratch;
+  return scratch;
+}
+
+// Appends the decimal rendering of `v` without allocating. Fingerprints
+// sit on every memo-cache probe and on the interning fast path, so they
+// cannot afford the ostringstream that StrCat constructs per call.
+void AppendU32(std::uint32_t v, std::string* out) {
+  char buf[10];
+  char* end = std::to_chars(buf, buf + sizeof(buf), v).ptr;
+  out->append(buf, end);
+}
+
+}  // namespace
+
 std::string TableauFingerprint(const Tableau& t) {
-  std::string out = "U";
-  for (AttrId a : t.universe()) out += StrCat(a, ",");
+  std::string out;
+  out.reserve(32 + 8 * t.universe().size() + 24 * t.size());
+  out.push_back('U');
+  for (AttrId a : t.universe()) {
+    AppendU32(a, &out);
+    out.push_back(',');
+  }
   for (const TaggedTuple& row : t.rows()) {
-    out += StrCat("|r", row.rel, ":");
+    out += "|r";
+    AppendU32(row.rel, &out);
+    out.push_back(':');
     for (std::size_t k = 0; k < row.tuple.size(); ++k) {
       const Symbol& s = row.tuple.ValueAt(k);
-      out += StrCat(s.attr, ".", s.ordinal, ",");
+      AppendU32(s.attr, &out);
+      out.push_back('.');
+      AppendU32(s.ordinal, &out);
+      out.push_back(',');
     }
   }
   return out;
@@ -26,54 +60,86 @@ Engine::Engine(const Catalog* catalog, EngineOptions options)
       options_(options),
       reduce_cache_(options.max_memo_entries),
       key_cache_(options.max_memo_entries),
+      intern_cache_(options.max_memo_entries),
       hom_cache_(options.max_memo_entries),
       embed_cache_(options.max_memo_entries),
       expansion_cache_(options.max_memo_entries),
-      verdict_cache_(options.max_memo_entries) {}
+      verdict_cache_(options.max_memo_entries),
+      dominance_cache_(options.max_memo_entries) {}
 
 Tableau Engine::Reduced(const Tableau& t) {
   Bump(reduce_requests_);
   const std::string fingerprint = TableauFingerprint(t);
-  if (std::optional<Tableau> hit = reduce_cache_.Get(fingerprint)) {
-    return *std::move(hit);
+  bool ran = false;
+  std::optional<Tableau> reduced = reduce_cache_.GetOrCompute(
+      fingerprint,
+      [&]() -> std::optional<Tableau> { return Reduce(*catalog_, t); },
+      &ran);
+  if (ran) {
+    Bump(reduce_runs_);
+    // A core is its own reduction, so pre-seed the result's entry too:
+    // later requests for the already-reduced form (e.g. re-interning a
+    // representative) stay hits.
+    const std::string reduced_fingerprint = TableauFingerprint(*reduced);
+    if (reduced_fingerprint != fingerprint) {
+      reduce_cache_.Put(reduced_fingerprint, *reduced);
+    }
   }
-  Bump(reduce_runs_);
-  Tableau reduced = Reduce(*catalog_, t);
-  // A core is its own reduction, so pre-seed the result's entry too: later
-  // requests for the already-reduced form (e.g. re-interning a
-  // representative) stay hits.
-  const std::string reduced_fingerprint = TableauFingerprint(reduced);
-  if (reduced_fingerprint != fingerprint) {
-    reduce_cache_.Put(reduced_fingerprint, reduced);
-  }
-  reduce_cache_.Put(fingerprint, reduced);
-  return reduced;
+  return *std::move(reduced);
 }
 
 std::string Engine::Key(const Tableau& t) {
   Bump(key_requests_);
   const std::string fingerprint = TableauFingerprint(t);
-  if (std::optional<std::string> hit = key_cache_.Get(fingerprint)) {
-    return *std::move(hit);
-  }
-  Bump(key_runs_);
-  std::string key = CanonicalKey(t);
-  key_cache_.Put(fingerprint, key);
-  return key;
+  bool ran = false;
+  std::optional<std::string> key = key_cache_.GetOrCompute(
+      fingerprint,
+      [&]() -> std::optional<std::string> { return CanonicalKey(t); }, &ran);
+  if (ran) Bump(key_runs_);
+  return *std::move(key);
 }
 
 TableauId Engine::Intern(const Tableau& t) {
   Bump(intern_requests_);
+  // Fast path: an exact form interned before maps straight to its id —
+  // the warm-engine steady state, where the same query templates are
+  // re-interned on every request. Skips the reduce / canonical-key /
+  // lowering kernels and the bucket confirms entirely. The request
+  // counters of the skipped kernels are still bumped: a completed prior
+  // intern of this exact form left their cache entries warm, so the
+  // calls this path replaces would have been pure hits — bumping keeps
+  // the counter flow identical whichever path answers, which the
+  // differential tests rely on at every thread count.
+  const std::string fingerprint = TableauFingerprint(t);
+  if (std::optional<TableauId> memo = intern_cache_.Get(fingerprint)) {
+    Bump(reduce_requests_);
+    Bump(key_requests_);
+    Bump(intern_hits_);
+    return *memo;
+  }
   // The expensive kernels run before any interning lock is taken: they are
-  // memoized behind their own stripe locks.
+  // memoized behind their own stripe locks. The SoA lowering of the
+  // reduced form also happens here, once: on a new class it is published
+  // as the class's cached form, on a hit it backed the confirms.
   Tableau reduced = Reduced(t);
   const std::string key = Key(reduced);
+  SoaTemplate reduced_soa = SoaTemplate::Lower(reduced);
   // The shard lock serializes the whole insert-or-confirm for this key
   // (equivalent templates reduce to isomorphic cores, so they share a
   // canonical key and therefore a shard): two threads interning one class
   // concurrently agree on a single id.
   std::lock_guard<std::mutex> shard_lock(
       intern_shard_mu_[std::hash<std::string>{}(key) % kInternShards]);
+  // Double-check the fingerprint memo under the shard lock: a racing
+  // intern of this exact form publishes its id before releasing the lock
+  // (equal forms share a canonical key and therefore a shard), so losing
+  // the race is detected here deterministically instead of re-running
+  // the bucket confirms — keeping the confirm counters independent of
+  // thread interleaving.
+  if (std::optional<TableauId> memo = intern_cache_.Get(fingerprint)) {
+    Bump(intern_hits_);
+    return *memo;
+  }
   std::vector<TableauId>* bucket;
   {
     // References to mapped values survive unordered_map rehashes, so the
@@ -87,16 +153,38 @@ TableauId Engine::Intern(const Tableau& t) {
     // threshold keys are invariant signatures that non-equivalent
     // templates may share.
     Bump(equivalence_confirms_);
-    if (EquivalentTableaux(*catalog_, Representative(id), reduced)) {
+    if (ConfirmEquivalent(id, reduced, reduced_soa)) {
       Bump(intern_hits_);
+      intern_cache_.Put(fingerprint, id);
       return id;
     }
   }
-  std::lock_guard<std::shared_mutex> classes_lock(classes_mu_);
-  const TableauId id = classes_.size();
-  classes_.push_back(std::move(reduced));
-  bucket->push_back(id);
+  TableauId id;
+  {
+    std::lock_guard<std::shared_mutex> classes_lock(classes_mu_);
+    id = classes_.size();
+    classes_.push_back(std::move(reduced));
+    soa_classes_.push_back(std::move(reduced_soa));
+    bucket->push_back(id);
+  }
+  intern_cache_.Put(fingerprint, id);
   return id;
+}
+
+bool Engine::ConfirmEquivalent(TableauId id, const Tableau& reduced,
+                               const SoaTemplate& reduced_soa) {
+  const Tableau& rep = Representative(id);
+  if (!options_.use_soa_kernel) {
+    return legacy::EquivalentTableaux(*catalog_, rep, reduced);
+  }
+  if (rep.Trs() != reduced.Trs()) return false;
+  if (rep.universe() != reduced.universe()) return false;
+  const SoaTemplate& rep_soa = SoaForm(id);
+  HomScratch& scratch = KernelScratch();
+  return SoaSearch(rep_soa, reduced_soa, HomMode::kHomomorphism, scratch,
+                   nullptr) &&
+         SoaSearch(reduced_soa, rep_soa, HomMode::kHomomorphism, scratch,
+                   nullptr);
 }
 
 const Tableau& Engine::Representative(TableauId id) const {
@@ -107,6 +195,12 @@ const Tableau& Engine::Representative(TableauId id) const {
   return classes_[id];
 }
 
+const SoaTemplate& Engine::SoaForm(TableauId id) const {
+  std::shared_lock<std::shared_mutex> lock(classes_mu_);
+  VIEWCAP_CHECK(id < soa_classes_.size());
+  return soa_classes_[id];
+}
+
 bool Engine::Equivalent(const Tableau& a, const Tableau& b) {
   return Intern(a) == Intern(b);
 }
@@ -114,23 +208,76 @@ bool Engine::Equivalent(const Tableau& a, const Tableau& b) {
 bool Engine::HomomorphismExists(TableauId from, TableauId to) {
   Bump(hom_requests_);
   const std::string key = StrCat(from, "~", to);
-  if (std::optional<bool> hit = hom_cache_.Get(key)) return *hit;
-  Bump(hom_runs_);
-  const bool exists =
-      HasHomomorphism(*catalog_, Representative(from), Representative(to));
-  hom_cache_.Put(key, exists);
-  return exists;
+  bool ran = false;
+  std::optional<bool> exists = hom_cache_.GetOrCompute(
+      key,
+      [&]() -> std::optional<bool> {
+        if (options_.use_soa_kernel) {
+          return Representative(from).universe() ==
+                     Representative(to).universe() &&
+                 SoaSearch(SoaForm(from), SoaForm(to),
+                           HomMode::kHomomorphism, KernelScratch(), nullptr);
+        }
+        return legacy::HasHomomorphism(*catalog_, Representative(from),
+                                       Representative(to));
+      },
+      &ran);
+  if (ran) Bump(hom_runs_);
+  return *exists;
 }
 
 bool Engine::RowEmbeds(TableauId from, TableauId to) {
   Bump(embed_requests_);
   const std::string key = StrCat(from, "~", to);
-  if (std::optional<bool> hit = embed_cache_.Get(key)) return *hit;
-  Bump(embed_runs_);
-  const bool embeds =
-      HasRowEmbedding(*catalog_, Representative(from), Representative(to));
-  embed_cache_.Put(key, embeds);
-  return embeds;
+  bool ran = false;
+  std::optional<bool> embeds = embed_cache_.GetOrCompute(
+      key,
+      [&]() -> std::optional<bool> {
+        if (options_.use_soa_kernel) {
+          return Representative(from).universe() ==
+                     Representative(to).universe() &&
+                 SoaSearch(SoaForm(from), SoaForm(to),
+                           HomMode::kRowEmbedding, KernelScratch(), nullptr);
+        }
+        return legacy::HasRowEmbedding(*catalog_, Representative(from),
+                                       Representative(to));
+      },
+      &ran);
+  if (ran) Bump(embed_runs_);
+  return *embeds;
+}
+
+std::vector<char> Engine::RowEmbedsBatch(const std::vector<TableauId>& froms,
+                                         TableauId to) {
+  std::vector<char> results(froms.size(), 0);
+  if (froms.empty()) return results;
+  // Target-side state is resolved once for the whole wave; per-pair cache
+  // consults and counters stay identical to sequential RowEmbeds calls so
+  // the batch entry is semantically (and statistically) transparent.
+  const Tableau& to_rep = Representative(to);
+  const SoaTemplate& to_soa = SoaForm(to);
+  HomScratch& scratch = KernelScratch();
+  for (std::size_t i = 0; i < froms.size(); ++i) {
+    const TableauId from = froms[i];
+    Bump(embed_requests_);
+    const std::string key = StrCat(from, "~", to);
+    bool ran = false;
+    std::optional<bool> embeds = embed_cache_.GetOrCompute(
+        key,
+        [&]() -> std::optional<bool> {
+          if (options_.use_soa_kernel) {
+            return Representative(from).universe() == to_rep.universe() &&
+                   SoaSearch(SoaForm(from), to_soa, HomMode::kRowEmbedding,
+                             scratch, nullptr);
+          }
+          return legacy::HasRowEmbedding(*catalog_, Representative(from),
+                                         to_rep);
+        },
+        &ran);
+    if (ran) Bump(embed_runs_);
+    results[i] = *embeds ? 1 : 0;
+  }
+  return results;
 }
 
 Result<TableauId> Engine::ExpansionClass(TableauId level,
@@ -148,18 +295,33 @@ Result<TableauId> Engine::ExpansionClass(TableauId level,
     }
     key += StrCat(rel, ">", Intern(it->second), ";");
   }
-  if (keyed) {
-    if (std::optional<TableauId> hit = expansion_cache_.Get(key)) {
-      return *hit;
-    }
+  if (!keyed) {
+    Bump(expansion_runs_);
+    SymbolPool pool;
+    VIEWCAP_ASSIGN_OR_RETURN(Tableau expansion,
+                             SubstituteTableau(*catalog_, rep, beta, pool));
+    return Intern(expansion);
   }
-  Bump(expansion_runs_);
-  SymbolPool pool;
-  VIEWCAP_ASSIGN_OR_RETURN(Tableau expansion,
-                           SubstituteTableau(*catalog_, rep, beta, pool));
-  const TableauId id = Intern(expansion);
-  if (keyed) expansion_cache_.Put(key, id);
-  return id;
+  Status failure = Status::OK();
+  bool ran = false;
+  std::optional<TableauId> id = expansion_cache_.GetOrCompute(
+      key,
+      [&]() -> std::optional<TableauId> {
+        SymbolPool pool;
+        Result<Tableau> expansion =
+            SubstituteTableau(*catalog_, rep, beta, pool);
+        if (!expansion.ok()) {
+          // Not cached: the error is surfaced by this caller and any
+          // waiter re-runs the substitution for its own error.
+          failure = expansion.status();
+          return std::nullopt;
+        }
+        return Intern(*std::move(expansion));
+      },
+      &ran);
+  if (ran) Bump(expansion_runs_);
+  if (!id.has_value()) return failure;
+  return *id;
 }
 
 std::optional<MembershipResult> Engine::LookupVerdict(
@@ -173,6 +335,19 @@ std::optional<MembershipResult> Engine::LookupVerdict(
 void Engine::StoreVerdict(const std::string& key,
                           const MembershipResult& verdict) {
   verdict_cache_.Put(key, verdict);
+}
+
+std::optional<DominanceResult> Engine::LookupDominance(
+    const std::string& key) {
+  Bump(dominance_requests_);
+  std::optional<DominanceResult> hit = dominance_cache_.Get(key);
+  if (!hit.has_value()) Bump(dominance_runs_);
+  return hit;
+}
+
+void Engine::StoreDominance(const std::string& key,
+                            const DominanceResult& verdict) {
+  dominance_cache_.Put(key, verdict);
 }
 
 ThreadPool* Engine::SharedPool(std::size_t total_threads) {
@@ -200,6 +375,8 @@ EngineStats Engine::Stats() const {
                      expansion_cache_.evictions(), expansion_cache_.size()};
   stats.verdict = {Load(verdict_requests_), Load(verdict_runs_),
                    verdict_cache_.evictions(), verdict_cache_.size()};
+  stats.dominance = {Load(dominance_requests_), Load(dominance_runs_),
+                     dominance_cache_.evictions(), dominance_cache_.size()};
   stats.intern_requests = Load(intern_requests_);
   stats.intern_hits = Load(intern_hits_);
   {

@@ -18,9 +18,18 @@
 // representatives are immutable and their references stable), and the
 // statistics counters are relaxed atomics. The expensive kernels
 // themselves (reduce, canonicalize, substitute, homomorphism search) run
-// OUTSIDE all locks, so concurrent misses on the same key may compute the
-// same value twice — the caches are semantically transparent, so this
-// costs duplicate work, never a wrong answer. The catalog behind the
+// OUTSIDE all locks; concurrent misses on the same key are collapsed to
+// one execution by the caches' compute-once entry point (waiters block
+// until the first caller publishes), so each kernel runs at most once per
+// key and every request counter is a function of the request sequence,
+// not of thread timing. One determinism caveat remains by design: when
+// equivalent-but-distinct templates intern concurrently, the race winner
+// becomes the class representative, and since expansions substitute the
+// representative, the fingerprint sets reaching the reduce/key caches
+// (their run/entry counts, not any verdict or witness) can differ between
+// parallel runs. The SoA/legacy differential suite pins the full counter
+// vector at threads=1 and the scheduling-invariant subset beyond. The
+// catalog behind the
 // engine is only read; callers minting relations concurrently with
 // searches must provide their own exclusion (the library's drivers mint
 // before searching).
@@ -29,6 +38,7 @@
 
 #include <array>
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
@@ -39,12 +49,14 @@
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "algebra/expr.h"
 #include "base/status.h"
 #include "base/thread_pool.h"
+#include "tableau/soa.h"
 #include "tableau/substitution.h"
 #include "tableau/tableau.h"
 
@@ -80,6 +92,23 @@ struct MembershipResult {
   std::size_t leaf_budget = 0;
 };
 
+/// Outcome of a dominance test "does `v` dominate `w`", i.e. is Cap(W)
+/// contained in Cap(V)? Decided via Lemma 1.5.4: every defining query of
+/// W must lie in Cap(V). Lives in the engine layer for the same reason as
+/// MembershipResult — whole dominance answers are what the engine's
+/// dominance cache stores; views/equivalence.h re-exports it.
+struct DominanceResult {
+  bool dominates = false;
+  /// True when some membership test hit its candidate budget: a negative
+  /// answer is then not a proof of non-dominance.
+  bool inconclusive = false;
+  /// For each definition of `w` (by index) that was found in Cap(V): an
+  /// expression over V's schema whose expansion answers it.
+  std::vector<ExprPtr> witnesses;
+  /// Indices of `w` definitions not found in Cap(V).
+  std::vector<std::size_t> missing;
+};
+
 /// Engine tuning.
 struct EngineOptions {
   /// Per-cache entry bound for the memo caches (reduce, canonical key,
@@ -87,6 +116,14 @@ struct EngineOptions {
   /// request is a miss and nothing is stored). The interning store is
   /// exempt: evicting a class would invalidate issued TableauIds.
   std::size_t max_memo_entries = 1 << 16;
+
+  /// Run the Section 2.4 pair predicates (intern confirms, homomorphism,
+  /// row embedding) on the flat SoA kernel over per-class cached SoA
+  /// forms (tableau/hom_kernel.h). Off routes them through the legacy
+  /// pointer-walking search instead — same verdicts and counters, used by
+  /// the engine-level differential tests. SoA forms are cached either
+  /// way, so flipping the flag never changes interning behavior.
+  bool use_soa_kernel = true;
 };
 
 /// Counter snapshot for one memo cache. `requests - runs` is the hit
@@ -113,6 +150,7 @@ struct EngineStats {
   CacheCounters row_embedding;  ///< Row-embedding between interned pairs.
   CacheCounters expansion;      ///< Reduced T -> beta expansion classes.
   CacheCounters verdict;        ///< Membership verdicts per (set, query).
+  CacheCounters dominance;      ///< Dominance verdicts per (view pair).
 
   std::size_t intern_requests = 0;
   std::size_t intern_hits = 0;       ///< Existing class found.
@@ -221,6 +259,47 @@ class StripedMemoCache {
     stripe.cache.Put(key, std::move(value));
   }
 
+  /// Compute-once get. On a miss, exactly one caller runs `compute`
+  /// (outside the stripe lock); concurrent requests for the same key
+  /// block until the result is published and then return it as a hit.
+  /// `*ran` reports whether THIS call executed `compute`, so run counters
+  /// derived from it count one execution per key regardless of how the
+  /// requests interleave — the property the engine's differential stats
+  /// tests depend on. `compute` returns std::optional<Value>; nullopt is
+  /// not cached (the caller surfaces its own error) and releases any
+  /// waiters to compute for themselves, matching the serial behavior of
+  /// re-running an uncacheable request. With the cache disabled
+  /// (capacity 0) every call computes immediately and nothing blocks.
+  template <typename Fn>
+  std::optional<Value> GetOrCompute(const std::string& key,
+                                    const Fn& compute, bool* ran) {
+    Stripe& stripe = StripeFor(key);
+    {
+      std::unique_lock<std::mutex> lock(stripe.mu);
+      if (!stripe.disabled) {
+        for (;;) {
+          if (const Value* hit = stripe.cache.Get(key)) {
+            *ran = false;
+            return *hit;
+          }
+          if (stripe.in_flight.find(key) == stripe.in_flight.end()) break;
+          stripe.cv.wait(lock);
+        }
+        stripe.in_flight.insert(key);
+      }
+    }
+    *ran = true;
+    std::optional<Value> value = compute();
+    if (stripe.disabled) return value;
+    {
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      stripe.in_flight.erase(key);
+      if (value.has_value()) stripe.cache.Put(key, *value);
+    }
+    stripe.cv.notify_all();
+    return value;
+  }
+
   std::size_t size() const {
     std::size_t total = 0;
     for (const auto& stripe : stripes_) {
@@ -241,9 +320,16 @@ class StripedMemoCache {
 
  private:
   struct Stripe {
-    explicit Stripe(std::size_t capacity) : cache(capacity) {}
+    explicit Stripe(std::size_t capacity)
+        : cache(capacity), disabled(capacity == 0) {}
     mutable std::mutex mu;
+    std::condition_variable cv;
     MemoCache<Value> cache;
+    /// Keys whose value is being computed by some caller right now
+    /// (GetOrCompute); requests for them wait instead of duplicating the
+    /// kernel execution.
+    std::unordered_set<std::string> in_flight;
+    const bool disabled;
   };
 
   Stripe& StripeFor(const std::string& key) {
@@ -275,7 +361,10 @@ class Engine {
   /// confirm collisions with EquivalentTableaux. Every template is reduced
   /// and canonicalized at most once per engine. The bucket insert-or-
   /// confirm is atomic under a per-key shard lock, so concurrent interns
-  /// of equivalent templates agree on one id.
+  /// of equivalent templates agree on one id. A bounded fingerprint ->
+  /// id memo short-circuits re-interning an exact previously seen form
+  /// (the warm-engine steady state) without touching the reduce /
+  /// canonical-key / lowering kernels.
   TableauId Intern(const Tableau& t);
 
   /// The class's stored reduced representative. The reference is stable
@@ -283,6 +372,12 @@ class Engine {
   /// classes never moves previously stored representatives, and published
   /// representatives are immutable.
   const Tableau& Representative(TableauId id) const;
+
+  /// The class representative's cached SoA lowering — computed exactly
+  /// once per equivalence class, when the class is interned. Reference
+  /// stability mirrors Representative(): the store is a deque of
+  /// immutable published entries.
+  const SoaTemplate& SoaForm(TableauId id) const;
 
   /// Mapping equivalence as an id comparison (Proposition 2.4.3 via the
   /// interning invariant).
@@ -298,6 +393,15 @@ class Engine {
   /// capacity search's completeness-preserving prune). Row embeddings also
   /// compose with homomorphisms, so the verdict is class-invariant.
   bool RowEmbeds(TableauId from, TableauId to);
+
+  /// Wave form of RowEmbeds: evaluates every (froms[i], to) pair against
+  /// the one shared target, reusing kernel scratch and the target's SoA
+  /// form across the batch. results[i] == RowEmbeds(froms[i], to), with
+  /// identical per-pair cache consults and counter bumps in index order —
+  /// the bulk-submission entry the sharded enumerator and the redundancy
+  /// scans feed.
+  std::vector<char> RowEmbedsBatch(const std::vector<TableauId>& froms,
+                                   TableauId to);
 
   /// The class of the reduced expansion Reduce(Representative(level) ->
   /// beta), memoized by (level, interned classes of beta's assignments on
@@ -315,6 +419,14 @@ class Engine {
   /// dangle on the next store.
   std::optional<MembershipResult> LookupVerdict(const std::string& key);
   void StoreVerdict(const std::string& key, const MembershipResult& verdict);
+
+  /// Cached dominance verdict lookup (whole Lemma 1.5.4 answers, one
+  /// level above the membership verdicts). Keys are built by
+  /// views/equivalence from the member-wise fingerprints of both views
+  /// plus the search limits — fingerprints, not interned ids, so a warm
+  /// hit costs string building and one probe, never an intern.
+  std::optional<DominanceResult> LookupDominance(const std::string& key);
+  void StoreDominance(const std::string& key, const DominanceResult& verdict);
 
   /// The worker pool shared by every parallel search running over this
   /// engine, sized for `total_threads` concurrent threads (the pool holds
@@ -346,8 +458,14 @@ class Engine {
   // representative). classes_mu_ guards the deque's internal structure
   // only: published elements are immutable and their references stable, so
   // readers hold the lock just for the index operation.
+  /// True when the class's representative and `reduced` realize the same
+  /// mapping; `reduced_soa` is the caller's lowering of `reduced`.
+  bool ConfirmEquivalent(TableauId id, const Tableau& reduced,
+                         const SoaTemplate& reduced_soa);
+
   mutable std::shared_mutex classes_mu_;
   std::deque<Tableau> classes_;  // id -> reduced representative.
+  std::deque<SoaTemplate> soa_classes_;  // id -> cached SoA lowering.
 
   // Canonical-key buckets. buckets_mu_ guards the map's find-or-insert
   // (references to mapped vectors survive rehashing); each vector is then
@@ -363,10 +481,16 @@ class Engine {
 
   StripedMemoCache<Tableau> reduce_cache_;
   StripedMemoCache<std::string> key_cache_;
+  // Exact-fingerprint -> interned id fast path. Ids are never invalidated
+  // (classes are not evicted), so a bounded LRU over the mapping is safe:
+  // eviction only re-routes a future request through the slow path, which
+  // re-derives the same id.
+  StripedMemoCache<TableauId> intern_cache_;
   StripedMemoCache<bool> hom_cache_;
   StripedMemoCache<bool> embed_cache_;
   StripedMemoCache<TableauId> expansion_cache_;
   StripedMemoCache<MembershipResult> verdict_cache_;
+  StripedMemoCache<DominanceResult> dominance_cache_;
 
   // requests/runs counters; entries/evictions come from the caches.
   Counter reduce_requests_{0}, reduce_runs_{0};
@@ -375,6 +499,7 @@ class Engine {
   Counter embed_requests_{0}, embed_runs_{0};
   Counter expansion_requests_{0}, expansion_runs_{0};
   Counter verdict_requests_{0}, verdict_runs_{0};
+  Counter dominance_requests_{0}, dominance_runs_{0};
   Counter intern_requests_{0}, intern_hits_{0};
   Counter equivalence_confirms_{0};
 };

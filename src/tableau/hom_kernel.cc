@@ -1,0 +1,282 @@
+#include "tableau/hom_kernel.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace viewcap {
+
+namespace {
+
+// One search instance over prepared scratch. The candidate lists, visit
+// order and per-row unification loop mirror legacy HomSearch exactly so
+// the first witness found is the same map.
+class KernelSearch {
+ public:
+  /// `exclude_target_row` (when >= 0) removes one target row from every
+  /// candidate list — the reduction probe's "search t into t minus one
+  /// row" without lowering the subset template.
+  KernelSearch(const SoaTemplate& from, const SoaTemplate& to, HomMode mode,
+               HomScratch& scratch, std::int32_t exclude_target_row = -1)
+      : from_(from),
+        to_(to),
+        fix_distinguished_(mode != HomMode::kRowEmbedding),
+        injective_(mode == HomMode::kIsomorphism),
+        exclude_target_row_(exclude_target_row),
+        s_(scratch) {}
+
+  bool Run() {
+    BuildCandidates();
+    s_.binding.assign(static_cast<std::size_t>(from_.num_symbols()),
+                      kNoDenseSymbol);
+    if (injective_) {
+      s_.used.assign(static_cast<std::size_t>(to_.num_symbols()), 0);
+    }
+    s_.trail.clear();
+    return Recurse(0);
+  }
+
+ private:
+  // Candidate target rows per source row: same relation tag, and (in
+  // fix-distinguished modes) distinguished wherever the source row is —
+  // the legacy constructor's checks — plus the occurrence-signature
+  // unification prune: f maps every row onto a same-tagged row, so the
+  // value a symbol binds to must occur in every (rel, column) context the
+  // symbol occurs in. The prune is applied identically by the legacy
+  // search, keeping candidate lists (and hence witnesses) bit-identical.
+  void BuildCandidates() {
+    const std::int32_t rows = from_.num_rows();
+    s_.candidates.clear();
+    s_.cand_begin.assign(static_cast<std::size_t>(rows) + 1, 0);
+    const std::int32_t words = from_.dist_words();
+    for (std::int32_t i = 0; i < rows; ++i) {
+      const DenseSymbolId* row = from_.row(i);
+      const std::uint64_t* row_mask = from_.dist_mask(i);
+      const SoaRowGroup* group = to_.GroupFor(from_.row_rel(i));
+      if (group != nullptr) {
+        for (std::int32_t j = group->begin; j < group->end; ++j) {
+          if (j == exclude_target_row_) continue;
+          if (fix_distinguished_) {
+            const std::uint64_t* target_mask = to_.dist_mask(j);
+            bool covered = true;
+            for (std::int32_t w = 0; w < words; ++w) {
+              if ((row_mask[w] & ~target_mask[w]) != 0) {
+                covered = false;
+                break;
+              }
+            }
+            if (!covered) continue;
+          }
+          const DenseSymbolId* target = to_.row(j);
+          bool unifiable = true;
+          for (std::int32_t k = 0; k < from_.width(); ++k) {
+            if (!SignatureSubset(from_.signature(row[k]),
+                                 to_.signature(target[k]))) {
+              unifiable = false;
+              break;
+            }
+          }
+          if (unifiable) s_.candidates.push_back(j);
+        }
+      }
+      s_.cand_begin[static_cast<std::size_t>(i) + 1] =
+          static_cast<std::int32_t>(s_.candidates.size());
+    }
+    s_.order.resize(static_cast<std::size_t>(rows));
+    for (std::int32_t i = 0; i < rows; ++i) {
+      s_.order[static_cast<std::size_t>(i)] = i;
+    }
+    std::sort(s_.order.begin(), s_.order.end(),
+              [&](std::int32_t a, std::int32_t b) {
+                const std::int32_t ca = CandCount(a);
+                const std::int32_t cb = CandCount(b);
+                if (ca != cb) return ca < cb;
+                return a < b;
+              });
+  }
+
+  std::int32_t CandCount(std::int32_t i) const {
+    return s_.cand_begin[static_cast<std::size_t>(i) + 1] -
+           s_.cand_begin[static_cast<std::size_t>(i)];
+  }
+
+  bool Recurse(std::int32_t depth) {
+    if (depth == static_cast<std::int32_t>(s_.order.size())) return true;
+    const std::int32_t i = s_.order[static_cast<std::size_t>(depth)];
+    const DenseSymbolId* row = from_.row(i);
+    const std::int32_t cand_end = s_.cand_begin[static_cast<std::size_t>(i) + 1];
+    for (std::int32_t c = s_.cand_begin[static_cast<std::size_t>(i)];
+         c < cand_end; ++c) {
+      const std::int32_t j = s_.candidates[static_cast<std::size_t>(c)];
+      const DenseSymbolId* target = to_.row(j);
+      const std::size_t trail_start = s_.trail.size();
+      bool ok = true;
+      for (std::int32_t k = 0; k < from_.width(); ++k) {
+        const DenseSymbolId var = row[k];
+        const DenseSymbolId value = target[k];
+        if (fix_distinguished_ && from_.IsDistinguished(var)) {
+          // Column k holds only symbols of attribute A_k, so "value is
+          // distinguished" already means value == 0_{A_k} == var.
+          if (!to_.IsDistinguished(value)) {
+            ok = false;
+            break;
+          }
+          continue;
+        }
+        const DenseSymbolId bound = s_.binding[static_cast<std::size_t>(var)];
+        if (bound != kNoDenseSymbol) {
+          if (bound != value) {
+            ok = false;
+            break;
+          }
+        } else {
+          if (injective_ && (to_.IsDistinguished(value) ||
+                             s_.used[static_cast<std::size_t>(value)] != 0)) {
+            ok = false;
+            break;
+          }
+          s_.binding[static_cast<std::size_t>(var)] = value;
+          if (injective_) s_.used[static_cast<std::size_t>(value)] = 1;
+          s_.trail.push_back(var);
+        }
+      }
+      if (ok && Recurse(depth + 1)) return true;
+      while (s_.trail.size() > trail_start) {
+        const DenseSymbolId var = s_.trail.back();
+        s_.trail.pop_back();
+        DenseSymbolId& slot = s_.binding[static_cast<std::size_t>(var)];
+        if (injective_) s_.used[static_cast<std::size_t>(slot)] = 0;
+        slot = kNoDenseSymbol;
+      }
+    }
+    return false;
+  }
+
+  const SoaTemplate& from_;
+  const SoaTemplate& to_;
+  bool fix_distinguished_;
+  bool injective_;
+  std::int32_t exclude_target_row_;
+  HomScratch& s_;
+};
+
+}  // namespace
+
+bool SoaSearch(const SoaTemplate& from, const SoaTemplate& to, HomMode mode,
+               HomScratch& scratch, std::vector<DenseSymbolId>* witness) {
+  VIEWCAP_CHECK(from.width() == to.width() &&
+                "SoaSearch: templates over different universes");
+  KernelSearch search(from, to, mode, scratch);
+  if (!search.Run()) return false;
+  if (witness != nullptr) *witness = scratch.binding;
+  return true;
+}
+
+bool SoaReduceProbe(const SoaTemplate& t, std::int32_t drop,
+                    HomScratch& scratch) {
+  // Homomorphism of t into t minus row `drop` over one shared lowering.
+  // Target-side signatures come from the full template, so the
+  // unification prune is a (sound) overapproximation of the subset's —
+  // the search is complete either way, and the reduction loop only
+  // consumes the verdict.
+  KernelSearch search(t, t, HomMode::kHomomorphism, scratch, drop);
+  return search.Run();
+}
+
+std::vector<char> SoaSearchWave(const std::vector<const SoaTemplate*>& froms,
+                                const SoaTemplate& to, HomMode mode,
+                                HomScratch& scratch) {
+  std::vector<char> results(froms.size(), 0);
+  for (std::size_t i = 0; i < froms.size(); ++i) {
+    const SoaTemplate* from = froms[i];
+    if (from == nullptr || from->width() != to.width()) continue;
+    results[i] = SoaSearch(*from, to, mode, scratch, nullptr) ? 1 : 0;
+  }
+  return results;
+}
+
+SymbolMap DecodeWitness(const SoaTemplate& from, const SoaTemplate& to,
+                        const std::vector<DenseSymbolId>& witness) {
+  SymbolMap map;
+  map.reserve(static_cast<std::size_t>(from.num_symbols()));
+  for (std::int32_t d = 0; d < from.num_symbols(); ++d) {
+    const DenseSymbolId value = witness[static_cast<std::size_t>(d)];
+    if (value != kNoDenseSymbol) map.emplace(from.symbol(d), to.symbol(value));
+  }
+  // Identity on distinguished symbols, without overwriting entries the
+  // embedding-mode search bound — the exact completion HomSearch::Run
+  // performs.
+  for (std::int32_t d = 0; d < from.num_distinguished(); ++d) {
+    map.emplace(from.symbol(d), from.symbol(d));
+  }
+  return map;
+}
+
+namespace {
+
+HomScratch& LocalScratch() {
+  thread_local HomScratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
+namespace {
+
+/// Necessary condition for a distinguished-fixing map, checked before
+/// paying for the lowerings: f(0_A) = 0_A, so every attribute whose
+/// distinguished symbol occurs in `from` must occur distinguished in
+/// `to` as well. Restores the legacy constructor's instant failure on
+/// projection-severed targets.
+bool TrsCompatible(const Tableau& from, const Tableau& to) {
+  return from.Trs().SubsetOf(to.Trs());
+}
+
+}  // namespace
+
+std::optional<SymbolMap> SoaFindHomomorphism(const Tableau& from,
+                                             const Tableau& to) {
+  if (from.universe() != to.universe()) return std::nullopt;
+  if (!TrsCompatible(from, to)) return std::nullopt;
+  const SoaTemplate sf = SoaTemplate::Lower(from);
+  const SoaTemplate st = SoaTemplate::Lower(to);
+  HomScratch& scratch = LocalScratch();
+  std::vector<DenseSymbolId> witness;
+  if (!SoaSearch(sf, st, HomMode::kHomomorphism, scratch, &witness)) {
+    return std::nullopt;
+  }
+  return DecodeWitness(sf, st, witness);
+}
+
+bool SoaHasHomomorphism(const Tableau& from, const Tableau& to) {
+  if (from.universe() != to.universe()) return false;
+  if (!TrsCompatible(from, to)) return false;
+  const SoaTemplate sf = SoaTemplate::Lower(from);
+  const SoaTemplate st = SoaTemplate::Lower(to);
+  return SoaSearch(sf, st, HomMode::kHomomorphism, LocalScratch(), nullptr);
+}
+
+bool SoaHasRowEmbedding(const Tableau& from, const Tableau& to) {
+  if (from.universe() != to.universe()) return false;
+  const SoaTemplate sf = SoaTemplate::Lower(from);
+  const SoaTemplate st = SoaTemplate::Lower(to);
+  return SoaSearch(sf, st, HomMode::kRowEmbedding, LocalScratch(), nullptr);
+}
+
+std::optional<SymbolMap> SoaFindIsomorphism(const Tableau& a,
+                                            const Tableau& b) {
+  if (a.universe() != b.universe()) return std::nullopt;
+  if (a.size() != b.size()) return std::nullopt;
+  if (!TrsCompatible(a, b)) return std::nullopt;
+  const SoaTemplate sa = SoaTemplate::Lower(a);
+  const SoaTemplate sb = SoaTemplate::Lower(b);
+  if (sa.num_symbols() != sb.num_symbols()) return std::nullopt;
+  HomScratch& scratch = LocalScratch();
+  std::vector<DenseSymbolId> witness;
+  if (!SoaSearch(sa, sb, HomMode::kIsomorphism, scratch, &witness)) {
+    return std::nullopt;
+  }
+  return DecodeWitness(sa, sb, witness);
+}
+
+}  // namespace viewcap

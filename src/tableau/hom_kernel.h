@@ -1,0 +1,110 @@
+// Dense homomorphism kernel over SoaTemplate (DESIGN.md, "Flat template
+// encoding").
+//
+// Runs the Section 2.4 backtracking searches (homomorphism, row
+// embedding, isomorphism) on the flat SoA form: bindings live in a flat
+// int32_t vector indexed by dense symbol id, candidate sets are
+// precomputed per-relation row ranges filtered by distinguished-position
+// masks and occurrence-signature unification prunes, and undo trails
+// reuse one scratch arena across searches. The search visits candidate
+// rows in exactly the same deterministic most-constrained-first order as
+// the legacy pointer-walking HomSearch (same candidate lists, same
+// (count, row-index) ordering), so verdicts and decoded SymbolMap
+// witnesses are bit-identical to the legacy path.
+//
+// The wave entry point evaluates a batch of source templates against one
+// shared target, amortizing scratch reuse and the target-side structures
+// across the batch — the bulk-submission interface the sharded
+// enumerator and the redundancy leave-one-out scan feed.
+#ifndef VIEWCAP_TABLEAU_HOM_KERNEL_H_
+#define VIEWCAP_TABLEAU_HOM_KERNEL_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "tableau/soa.h"
+#include "tableau/tableau.h"
+
+namespace viewcap {
+
+/// Which Section 2.4 search the kernel runs.
+enum class HomMode {
+  /// Proposition 2.4.1: valuation with f(0_A) = 0_A mapping every row
+  /// onto a same-tagged target row.
+  kHomomorphism,
+  /// Row embedding: consistent symbol map onto same-tagged rows, with no
+  /// constraint on distinguished symbols.
+  kRowEmbedding,
+  /// Isomorphism search: homomorphism that is injective and maps
+  /// nondistinguished symbols to nondistinguished ones.
+  kIsomorphism,
+};
+
+/// Reusable per-thread search state. All arrays are sized on first use
+/// and only grow, so a scratch reused across a wave of searches does no
+/// steady-state allocation. Default-constructed scratch is valid.
+struct HomScratch {
+  /// from-dense-id -> to-dense-id, kNoDenseSymbol when unbound.
+  std::vector<DenseSymbolId> binding;
+  /// Injective mode: to-dense-id -> taken flag.
+  std::vector<char> used;
+  /// Undo trail of from-dense ids bound so far, truncated on backtrack.
+  std::vector<DenseSymbolId> trail;
+  /// Candidate arena: target row indices for all source rows,
+  /// concatenated; source row i owns [cand_begin[i], cand_begin[i+1]).
+  std::vector<std::int32_t> candidates;
+  std::vector<std::int32_t> cand_begin;
+  /// Source rows in most-constrained-first (count, index) order.
+  std::vector<std::int32_t> order;
+};
+
+/// Runs one search from `from` into `to`, which must be lowered from
+/// templates over the same universe (equal width; callers check universe
+/// equality first, as the legacy entry points do). Returns true when a
+/// map exists; when `witness` is non-null it receives the final binding
+/// as a from-dense-id -> to-dense-id vector (kNoDenseSymbol for symbols
+/// the search never bound, i.e. distinguished ids in kHomomorphism /
+/// kIsomorphism modes, which map to themselves).
+bool SoaSearch(const SoaTemplate& from, const SoaTemplate& to, HomMode mode,
+               HomScratch& scratch, std::vector<DenseSymbolId>* witness);
+
+/// Reduction probe (tableau/reduce.cc): is there a homomorphism of `t`
+/// into `t` minus row `drop`? Runs on one shared lowering of `t` — the
+/// excluded row is removed from every candidate list instead of
+/// re-lowering the (n-1)-row subset per probe. Verdict-equivalent to
+/// SoaHasHomomorphism(t, t.SubsetRows(all but drop)).
+bool SoaReduceProbe(const SoaTemplate& t, std::int32_t drop,
+                    HomScratch& scratch);
+
+/// Evaluates a wave of source templates against one shared target,
+/// reusing `scratch` across the batch. results[i] is the verdict for
+/// froms[i] (null pointers yield false). Width-mismatched entries are
+/// false, mirroring the universe check of the scalar entry points.
+std::vector<char> SoaSearchWave(const std::vector<const SoaTemplate*>& froms,
+                                const SoaTemplate& to, HomMode mode,
+                                HomScratch& scratch);
+
+/// Decodes a dense witness back into the legacy SymbolMap form: bound
+/// pairs become symbol entries, then (matching HomSearch::Run) identity
+/// entries are added for every distinguished symbol of `from` that is
+/// not already bound.
+SymbolMap DecodeWitness(const SoaTemplate& from, const SoaTemplate& to,
+                        const std::vector<DenseSymbolId>& witness);
+
+/// SoA-backed equivalents of the tableau/homomorphism.h entry points:
+/// lower both sides, search, decode. Bit-identical verdicts and
+/// witnesses to the legacy implementations (tests/hom_kernel_test.cc
+/// asserts this differentially). The engine layer avoids the per-call
+/// lowering by caching SoA forms per interned class and calling
+/// SoaSearch directly.
+std::optional<SymbolMap> SoaFindHomomorphism(const Tableau& from,
+                                             const Tableau& to);
+bool SoaHasHomomorphism(const Tableau& from, const Tableau& to);
+bool SoaHasRowEmbedding(const Tableau& from, const Tableau& to);
+std::optional<SymbolMap> SoaFindIsomorphism(const Tableau& a,
+                                            const Tableau& b);
+
+}  // namespace viewcap
+
+#endif  // VIEWCAP_TABLEAU_HOM_KERNEL_H_

@@ -1,13 +1,38 @@
 #include "tableau/homomorphism.h"
 
 #include <algorithm>
+#include <map>
 #include <unordered_set>
 
 #include "base/check.h"
+#include "tableau/hom_kernel.h"
 
 namespace viewcap {
 
 namespace {
+
+// Occurrence signatures over Symbol values: the same (rel, column)
+// context sets the SoA lowering precomputes (soa.h), packed identically
+// as rel * width + column. Used by the legacy search so its candidate
+// prune — and therefore its candidate lists and witnesses — match the
+// kernel's bit for bit.
+using SymbolSignatures = std::map<Symbol, std::vector<std::uint64_t>>;
+
+SymbolSignatures ComputeSignatures(const Tableau& t) {
+  SymbolSignatures sigs;
+  const std::uint64_t width = t.universe().size();
+  for (const TaggedTuple& row : t.rows()) {
+    for (std::size_t k = 0; k < row.tuple.size(); ++k) {
+      sigs[row.tuple.ValueAt(k)].push_back(
+          static_cast<std::uint64_t>(row.rel) * width + k);
+    }
+  }
+  for (auto& [symbol, sig] : sigs) {
+    std::sort(sig.begin(), sig.end());
+    sig.erase(std::unique(sig.begin(), sig.end()), sig.end());
+  }
+  return sigs;
+}
 
 // Backtracking matcher. Rows of `from` are matched, in a
 // most-constrained-first order, against same-tagged rows of `to`;
@@ -21,12 +46,19 @@ class HomSearch {
   // injective, the symbol map must be one-to-one and map nondistinguished
   // symbols to nondistinguished ones (the isomorphism search).
   HomSearch(const Catalog& catalog, const Tableau& from, const Tableau& to,
-            bool fix_distinguished, bool injective = false)
+            bool fix_distinguished, bool injective = false,
+            bool unification_prune = true)
       : from_(from),
         to_(to),
         fix_distinguished_(fix_distinguished),
         injective_(injective) {
     (void)catalog;
+    SymbolSignatures from_sigs;
+    SymbolSignatures to_sigs;
+    if (unification_prune) {
+      from_sigs = ComputeSignatures(from);
+      to_sigs = ComputeSignatures(to);
+    }
     candidates_.resize(from.size());
     for (std::size_t i = 0; i < from.size(); ++i) {
       const TaggedTuple& row = from.rows()[i];
@@ -45,13 +77,32 @@ class HomSearch {
             }
           }
         }
+        // Unification prune: any symbol map sends rows onto same-tagged
+        // rows, so a symbol can only bind a value occurring in every
+        // (rel, column) context the symbol occurs in. Prunes rows whose
+        // repeated-symbol pattern cannot unify with the target row.
+        if (compatible && unification_prune) {
+          for (std::size_t k = 0; k < row.tuple.size(); ++k) {
+            if (!SignatureSubset(from_sigs.at(row.tuple.ValueAt(k)),
+                                 to_sigs.at(target.tuple.ValueAt(k)))) {
+              compatible = false;
+              break;
+            }
+          }
+        }
         if (compatible) candidates_[i].push_back(j);
       }
     }
     order_.resize(from.size());
     for (std::size_t i = 0; i < from.size(); ++i) order_[i] = i;
+    // Deterministic (count, index) order — ties broken by row index, the
+    // same order the SoA kernel uses, so both paths replay the identical
+    // search and return the identical first witness.
     std::sort(order_.begin(), order_.end(), [&](std::size_t a, std::size_t b) {
-      return candidates_[a].size() < candidates_[b].size();
+      if (candidates_[a].size() != candidates_[b].size()) {
+        return candidates_[a].size() < candidates_[b].size();
+      }
+      return a < b;
     });
   }
 
@@ -75,7 +126,10 @@ class HomSearch {
     const TaggedTuple& row = from_.rows()[i];
     for (std::size_t j : candidates_[i]) {
       const TaggedTuple& target = to_.rows()[j];
-      std::vector<std::pair<Symbol, Symbol>> bound;  // Trail for undo.
+      // Undo trail lives in a member scratch buffer: truncating back to
+      // trail_start on backtrack reuses the allocation across the whole
+      // search instead of heap-allocating per candidate row.
+      const std::size_t trail_start = trail_.size();
       bool ok = true;
       for (std::size_t k = 0; k < row.tuple.size(); ++k) {
         const Symbol& var = row.tuple.ValueAt(k);
@@ -103,13 +157,15 @@ class HomSearch {
           }
           binding_.emplace(var, value);
           if (injective_) used_values_.insert(value);
-          bound.push_back({var, value});
+          trail_.push_back({var, value});
         }
       }
       if (ok && Recurse(depth + 1)) return true;
-      for (const auto& [var, value] : bound) {
+      while (trail_.size() > trail_start) {
+        const auto& [var, value] = trail_.back();
         binding_.erase(var);
         if (injective_) used_values_.erase(value);
+        trail_.pop_back();
       }
     }
     return false;
@@ -123,6 +179,7 @@ class HomSearch {
   std::vector<std::size_t> order_;
   SymbolMap binding_;
   std::unordered_set<Symbol, SymbolHash> used_values_;
+  std::vector<std::pair<Symbol, Symbol>> trail_;
 };
 
 }  // namespace
@@ -130,14 +187,78 @@ class HomSearch {
 std::optional<SymbolMap> FindHomomorphism(const Catalog& catalog,
                                           const Tableau& from,
                                           const Tableau& to) {
-  if (from.universe() != to.universe()) return std::nullopt;
-  return HomSearch(catalog, from, to, /*fix_distinguished=*/true).Run();
+  (void)catalog;
+  return SoaFindHomomorphism(from, to);
 }
 
 bool HasRowEmbedding(const Catalog& catalog, const Tableau& from,
                      const Tableau& to) {
+  (void)catalog;
+  return SoaHasRowEmbedding(from, to);
+}
+
+std::optional<SymbolMap> FindIsomorphism(const Catalog& catalog,
+                                         const Tableau& a, const Tableau& b) {
+  (void)catalog;
+  return SoaFindIsomorphism(a, b);
+}
+
+bool HasHomomorphism(const Catalog& catalog, const Tableau& from,
+                     const Tableau& to) {
+  (void)catalog;
+  return SoaHasHomomorphism(from, to);
+}
+
+bool EquivalentTableaux(const Catalog& catalog, const Tableau& a,
+                        const Tableau& b) {
+  (void)catalog;
+  if (a.Trs() != b.Trs()) return false;
+  if (a.universe() != b.universe()) return false;
+  // Lower both sides once and run the kernel in both directions.
+  const SoaTemplate sa = SoaTemplate::Lower(a);
+  const SoaTemplate sb = SoaTemplate::Lower(b);
+  HomScratch scratch;
+  return SoaSearch(sa, sb, HomMode::kHomomorphism, scratch, nullptr) &&
+         SoaSearch(sb, sa, HomMode::kHomomorphism, scratch, nullptr);
+}
+
+std::vector<std::size_t> RowImage(const Catalog& catalog, const Tableau& from,
+                                  const Tableau& to, const SymbolMap& hom) {
+  (void)catalog;
+  std::vector<std::size_t> image(from.size());
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    const TaggedTuple& row = from.rows()[i];
+    TaggedTuple mapped{row.rel, row.tuple.Apply(hom)};
+    bool found = false;
+    for (std::size_t j = 0; j < to.size(); ++j) {
+      if (to.rows()[j] == mapped) {
+        image[i] = j;
+        found = true;
+        break;
+      }
+    }
+    VIEWCAP_CHECK(found && "RowImage: not a homomorphism into `to`");
+  }
+  return image;
+}
+
+namespace legacy {
+
+std::optional<SymbolMap> FindHomomorphism(const Catalog& catalog,
+                                          const Tableau& from,
+                                          const Tableau& to,
+                                          bool unification_prune) {
+  if (from.universe() != to.universe()) return std::nullopt;
+  return HomSearch(catalog, from, to, /*fix_distinguished=*/true,
+                   /*injective=*/false, unification_prune)
+      .Run();
+}
+
+bool HasRowEmbedding(const Catalog& catalog, const Tableau& from,
+                     const Tableau& to, bool unification_prune) {
   if (from.universe() != to.universe()) return false;
-  return HomSearch(catalog, from, to, /*fix_distinguished=*/false)
+  return HomSearch(catalog, from, to, /*fix_distinguished=*/false,
+                   /*injective=*/false, unification_prune)
       .Run()
       .has_value();
 }
@@ -160,34 +281,19 @@ std::optional<SymbolMap> FindIsomorphism(const Catalog& catalog,
 }
 
 bool HasHomomorphism(const Catalog& catalog, const Tableau& from,
-                     const Tableau& to) {
-  return FindHomomorphism(catalog, from, to).has_value();
+                     const Tableau& to, bool unification_prune) {
+  return FindHomomorphism(catalog, from, to, unification_prune).has_value();
 }
 
 bool EquivalentTableaux(const Catalog& catalog, const Tableau& a,
                         const Tableau& b) {
   if (a.Trs() != b.Trs()) return false;
-  return HasHomomorphism(catalog, a, b) && HasHomomorphism(catalog, b, a);
+  // Qualified: ADL on the viewcap arguments would otherwise pull the
+  // SoA-backed overload into the set and make the call ambiguous.
+  return legacy::HasHomomorphism(catalog, a, b) &&
+         legacy::HasHomomorphism(catalog, b, a);
 }
 
-std::vector<std::size_t> RowImage(const Catalog& catalog, const Tableau& from,
-                                  const Tableau& to, const SymbolMap& hom) {
-  (void)catalog;
-  std::vector<std::size_t> image(from.size());
-  for (std::size_t i = 0; i < from.size(); ++i) {
-    const TaggedTuple& row = from.rows()[i];
-    TaggedTuple mapped{row.rel, row.tuple.Apply(hom)};
-    bool found = false;
-    for (std::size_t j = 0; j < to.size(); ++j) {
-      if (to.rows()[j] == mapped) {
-        image[i] = j;
-        found = true;
-        break;
-      }
-    }
-    VIEWCAP_CHECK(found && "RowImage: not a homomorphism into `to`");
-  }
-  return image;
-}
+}  // namespace legacy
 
 }  // namespace viewcap

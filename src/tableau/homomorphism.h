@@ -1,5 +1,10 @@
 // Template homomorphisms (Section 2.4): the containment and equivalence
 // tests of Propositions 2.4.1-2.4.3.
+//
+// The primary entry points run on the flat SoA kernel
+// (tableau/hom_kernel.h); the original pointer-walking search is kept in
+// namespace legacy as the differential oracle (tests/hom_kernel_test.cc
+// asserts verdicts and witnesses are bit-identical).
 #ifndef VIEWCAP_TABLEAU_HOMOMORPHISM_H_
 #define VIEWCAP_TABLEAU_HOMOMORPHISM_H_
 
@@ -56,6 +61,29 @@ bool HasRowEmbedding(const Catalog& catalog, const Tableau& from,
 /// from `from` to `to` (used to trace T-blocks in Section 3).
 std::vector<std::size_t> RowImage(const Catalog& catalog, const Tableau& from,
                                   const Tableau& to, const SymbolMap& hom);
+
+namespace legacy {
+
+/// The original pointer-walking HomSearch entry points, kept as the
+/// differential oracle for the SoA kernel. Same contracts as the
+/// same-named functions above; with `unification_prune` false the
+/// occurrence-signature candidate prune is disabled, giving a
+/// prune-free ground truth for verdict soundness tests (the witness may
+/// then differ — pruning shrinks candidate lists before ordering).
+std::optional<SymbolMap> FindHomomorphism(const Catalog& catalog,
+                                          const Tableau& from,
+                                          const Tableau& to,
+                                          bool unification_prune = true);
+bool HasHomomorphism(const Catalog& catalog, const Tableau& from,
+                     const Tableau& to, bool unification_prune = true);
+bool EquivalentTableaux(const Catalog& catalog, const Tableau& a,
+                        const Tableau& b);
+std::optional<SymbolMap> FindIsomorphism(const Catalog& catalog,
+                                         const Tableau& a, const Tableau& b);
+bool HasRowEmbedding(const Catalog& catalog, const Tableau& from,
+                     const Tableau& to, bool unification_prune = true);
+
+}  // namespace legacy
 
 }  // namespace viewcap
 

@@ -3,28 +3,34 @@
 #include <numeric>
 
 #include "base/check.h"
-#include "tableau/homomorphism.h"
+#include "tableau/hom_kernel.h"
+#include "tableau/soa.h"
 
 namespace viewcap {
 
 Tableau Reduce(const Catalog& catalog, const Tableau& t) {
   Tableau current = t;
   bool changed = true;
+  HomScratch scratch;
   while (changed && current.size() > 1) {
     changed = false;
+    // One lowering serves every drop probe of this pass: the probe
+    // searches current -> current minus one row over the same SoA form
+    // instead of building and lowering each (n-1)-row subset.
+    const SoaTemplate soa = SoaTemplate::Lower(current);
     for (std::size_t drop = 0; drop < current.size(); ++drop) {
-      std::vector<std::size_t> keep;
-      keep.reserve(current.size() - 1);
-      for (std::size_t i = 0; i < current.size(); ++i) {
-        if (i != drop) keep.push_back(i);
-      }
-      Tableau sub = current.SubsetRows(keep);
-      // sub is a subset, so current(alpha) is contained in sub(alpha) for
-      // every alpha; equivalence therefore needs exactly a homomorphism
-      // current -> sub. That homomorphism fixes distinguished symbols, so
-      // TRS and condition (iii) survive automatically.
-      if (HasHomomorphism(catalog, current, sub)) {
-        current = std::move(sub);
+      // current minus a row is a subset, so current(alpha) is contained
+      // in the subset's result for every alpha; equivalence therefore
+      // needs exactly a homomorphism current -> current minus the row.
+      // That homomorphism fixes distinguished symbols, so TRS and
+      // condition (iii) survive automatically.
+      if (SoaReduceProbe(soa, static_cast<std::int32_t>(drop), scratch)) {
+        std::vector<std::size_t> keep;
+        keep.reserve(current.size() - 1);
+        for (std::size_t i = 0; i < current.size(); ++i) {
+          if (i != drop) keep.push_back(i);
+        }
+        current = current.SubsetRows(keep);
         changed = true;
         break;
       }

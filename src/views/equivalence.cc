@@ -1,17 +1,56 @@
 #include "views/equivalence.h"
 
 #include <optional>
+#include <string>
 
-#include "base/strings.h"
 #include "base/thread_pool.h"
 
 namespace viewcap {
+
+namespace {
+
+// Cache key for a whole dominance answer: the member-wise exact
+// fingerprints of both views (handles included — witnesses are
+// expressions over v's handles, and `missing` indexes w's definitions in
+// order) plus the search limits. Built from fingerprints rather than
+// interned ids so a warm repeat never touches the interning store;
+// `threads` is deliberately absent (verdicts are thread-count invariant,
+// as for the membership verdict cache).
+std::string DominanceKey(const View& v, const View& w,
+                         const SearchLimits& limits) {
+  std::string key = "D";
+  const auto append_members = [&key](const View& view) {
+    for (const ViewDefinition& d : view.definitions()) {
+      key += std::to_string(d.rel);
+      key += ':';
+      key += TableauFingerprint(d.tableau);
+      key += ';';
+    }
+  };
+  append_members(v);
+  key += '|';
+  append_members(w);
+  key += '|';
+  key += std::to_string(limits.extra_leaves);
+  key += ',';
+  key += std::to_string(limits.max_leaves);
+  key += ',';
+  key += std::to_string(limits.max_candidates);
+  return key;
+}
+
+}  // namespace
 
 Result<DominanceResult> Dominates(Engine& engine, const View& v,
                                   const View& w, SearchLimits limits) {
   if (v.universe() != w.universe()) {
     return Status::IllFormed(
         "views are not over the same underlying universe");
+  }
+  const std::string dominance_key = DominanceKey(v, w, limits);
+  if (std::optional<DominanceResult> cached =
+          engine.LookupDominance(dominance_key)) {
+    return *std::move(cached);
   }
   CapacityOracle oracle(&engine, v, limits);
   DominanceResult result;
@@ -29,6 +68,7 @@ Result<DominanceResult> Dominates(Engine& engine, const View& v,
       if (membership.budget_exhausted) result.inconclusive = true;
     }
   }
+  engine.StoreDominance(dominance_key, result);
   return result;
 }
 

@@ -6,20 +6,9 @@
 
 namespace viewcap {
 
-/// Outcome of a dominance test "does `v` dominate `w`", i.e. is
-/// Cap(W) contained in Cap(V)? Decided via Lemma 1.5.4: every defining
-/// query of W must lie in Cap(V).
-struct DominanceResult {
-  bool dominates = false;
-  /// True when some membership test hit its candidate budget: a negative
-  /// answer is then not a proof of non-dominance.
-  bool inconclusive = false;
-  /// For each definition of `w` (by index) that was found in Cap(V): an
-  /// expression over V's schema whose expansion answers it.
-  std::vector<ExprPtr> witnesses;
-  /// Indices of `w` definitions not found in Cap(V).
-  std::vector<std::size_t> missing;
-};
+// DominanceResult is defined in engine/engine.h (the engine's dominance
+// cache stores whole dominance answers) and re-exported here through
+// views/capacity.h.
 
 /// Tests whether `v` dominates `w` through a shared engine: the oracle
 /// over v reuses every template class and verdict the engine has already

@@ -1,0 +1,500 @@
+// Differential suite for the flat SoA homomorphism kernel
+// (tableau/soa.h, tableau/hom_kernel.h): across a seeded random corpus
+// the kernel must match the legacy HomSearch oracle bit for bit —
+// verdicts, SymbolMap witnesses, and (at the engine level) EngineStats
+// counters for threads {1, 2, 8}.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algebra/printer.h"
+#include "base/random.h"
+#include "base/strings.h"
+#include "engine/engine.h"
+#include "tableau/build.h"
+#include "tableau/hom_kernel.h"
+#include "tableau/homomorphism.h"
+#include "tableau/soa.h"
+#include "tests/test_util.h"
+#include "views/capacity.h"
+#include "views/equivalence.h"
+#include "views/redundancy.h"
+
+namespace viewcap {
+namespace {
+
+using testing::MustParse;
+using testing::Unwrap;
+
+// A schema with overlapping binary relations over {A, B, C, D}: joins
+// repeat symbols across rows, projections mint nondistinguished symbols —
+// the two axes the kernel's candidate prunes and binding trail must get
+// right.
+class HomKernelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    universe_ = catalog_.MakeScheme({"A", "B", "C", "D"});
+    rels_.push_back(
+        Unwrap(catalog_.AddRelation("r", catalog_.MakeScheme({"A", "B"}))));
+    rels_.push_back(
+        Unwrap(catalog_.AddRelation("s", catalog_.MakeScheme({"B", "C"}))));
+    rels_.push_back(
+        Unwrap(catalog_.AddRelation("t", catalog_.MakeScheme({"C", "D"}))));
+    rels_.push_back(
+        Unwrap(catalog_.AddRelation("u", catalog_.MakeScheme({"A", "C"}))));
+  }
+
+  Tableau T(const std::string& text) {
+    return MustBuildTableau(catalog_, universe_, *MustParse(catalog_, text));
+  }
+
+  /// Random normalized expression with `leaves` leaf occurrences: a leaf,
+  /// or a join of two random subexpressions, optionally wrapped in a
+  /// random nontrivial projection. Always yields a valid template.
+  ExprPtr RandomExpr(Random& rng, std::size_t leaves) {
+    ExprPtr expr;
+    if (leaves <= 1) {
+      expr = Expr::Rel(catalog_, rels_[rng.Index(rels_.size())]);
+    } else {
+      const std::size_t left = 1 + rng.Index(leaves - 1);
+      expr = Expr::MustJoin(
+          {RandomExpr(rng, left), RandomExpr(rng, leaves - left)});
+    }
+    const AttrSet trs = expr->trs();
+    if (trs.size() > 1 && rng.Chance(0.4)) {
+      // Random proper nonempty projection of the TRS.
+      const std::size_t keep = 1 + rng.Index(trs.size() - 1);
+      std::vector<std::size_t> picks = rng.Sample(trs.size(), keep);
+      AttrSet kept;
+      std::size_t pos = 0, pick = 0;
+      for (AttrId a : trs) {
+        if (pick < picks.size() && picks[pick] == pos) {
+          kept = kept.Union(AttrSet{a});
+          ++pick;
+        }
+        ++pos;
+      }
+      expr = Expr::MustProject(kept, std::move(expr));
+    }
+    return expr;
+  }
+
+  Tableau RandomTableau(Random& rng, std::size_t max_leaves) {
+    return MustBuildTableau(catalog_, universe_,
+                            *RandomExpr(rng, 1 + rng.Index(max_leaves)));
+  }
+
+  /// Injectively renames every nondistinguished symbol to a fresh high
+  /// ordinal — an isomorphic copy of `t` (validity is preserved:
+  /// conditions (i)-(iii) are invariant under injective nondistinguished
+  /// renaming).
+  Tableau RenamedCopy(const Tableau& t, std::uint32_t offset) {
+    SymbolMap rename;
+    for (const Symbol& s : t.Symbols()) {
+      if (!s.IsDistinguished()) {
+        rename.emplace(s,
+                       Symbol::Nondistinguished(s.attr, s.ordinal + offset));
+      }
+    }
+    Tableau out = t.Apply(rename);
+    VIEWCAP_EXPECT_OK(out.Validate(catalog_));
+    return out;
+  }
+
+  Catalog catalog_;
+  AttrSet universe_;
+  std::vector<RelId> rels_;
+};
+
+// --- SoA encoding invariants -------------------------------------------
+
+TEST_F(HomKernelTest, LoweringRoundTripsRowsAndSymbols) {
+  Tableau t = T("pi{A,C}(r * s) * u");
+  const SoaTemplate soa = SoaTemplate::Lower(t);
+  ASSERT_EQ(soa.num_rows(), static_cast<std::int32_t>(t.size()));
+  ASSERT_EQ(soa.width(), static_cast<std::int32_t>(t.universe().size()));
+  // Row i of the encoding is row i of the tableau, cell for cell.
+  for (std::int32_t i = 0; i < soa.num_rows(); ++i) {
+    const TaggedTuple& row = t.rows()[static_cast<std::size_t>(i)];
+    EXPECT_EQ(soa.row_rel(i), row.rel);
+    for (std::int32_t k = 0; k < soa.width(); ++k) {
+      EXPECT_EQ(soa.symbol(soa.row(i)[k]),
+                row.tuple.ValueAt(static_cast<std::size_t>(k)));
+    }
+  }
+  // Distinguished ids form the dense prefix [0, num_distinguished).
+  for (std::int32_t id = 0; id < soa.num_symbols(); ++id) {
+    EXPECT_EQ(soa.symbol(id).IsDistinguished(), soa.IsDistinguished(id));
+  }
+  EXPECT_EQ(static_cast<std::size_t>(soa.num_symbols()), t.Symbols().size());
+}
+
+TEST_F(HomKernelTest, TagGroupsPartitionRowsContiguously) {
+  Tableau t = T("r * s * t * u * r");
+  const SoaTemplate soa = SoaTemplate::Lower(t);
+  std::int32_t covered = 0;
+  for (const SoaRowGroup& g : soa.groups()) {
+    EXPECT_EQ(g.begin, covered);
+    for (std::int32_t i = g.begin; i < g.end; ++i) {
+      EXPECT_EQ(soa.row_rel(i), g.rel);
+    }
+    EXPECT_EQ(soa.GroupFor(g.rel), &g);
+    covered = g.end;
+  }
+  EXPECT_EQ(covered, soa.num_rows());
+  EXPECT_EQ(soa.GroupFor(kInvalidRel), nullptr);
+}
+
+TEST_F(HomKernelTest, DistinguishedMasksMatchCells) {
+  Tableau t = T("pi{B}(r * s) * t");
+  const SoaTemplate soa = SoaTemplate::Lower(t);
+  for (std::int32_t i = 0; i < soa.num_rows(); ++i) {
+    for (std::int32_t k = 0; k < soa.width(); ++k) {
+      const bool mask_bit =
+          (soa.dist_mask(i)[k / 64] >> (k % 64) & 1) != 0;
+      EXPECT_EQ(mask_bit, soa.IsDistinguished(soa.row(i)[k])) << i << "," << k;
+    }
+  }
+}
+
+// --- Kernel vs legacy oracle: randomized differential ------------------
+
+TEST_F(HomKernelTest, RandomizedDifferentialAgainstLegacy) {
+  Random rng(20260808);
+  std::size_t homs_found = 0, embeds_found = 0, isos_found = 0;
+  for (int round = 0; round < 150; ++round) {
+    const Tableau a = RandomTableau(rng, 4);
+    // Mix of related targets (joins containing `a`-like structure,
+    // renamed copies) and independent ones, so both verdicts occur.
+    Tableau b = rng.Chance(0.5) ? RandomTableau(rng, 4)
+                                : RenamedCopy(RandomTableau(rng, 3), 100);
+
+    // Homomorphism: verdict AND witness must be bit-identical.
+    const std::optional<SymbolMap> kernel_hom =
+        FindHomomorphism(catalog_, a, b);
+    const std::optional<SymbolMap> legacy_hom =
+        legacy::FindHomomorphism(catalog_, a, b);
+    ASSERT_EQ(kernel_hom.has_value(), legacy_hom.has_value()) << round;
+    if (kernel_hom.has_value()) {
+      ++homs_found;
+      EXPECT_EQ(*kernel_hom, *legacy_hom) << round;
+      // Witness validity: RowImage CHECK-fails unless the map really is a
+      // homomorphism of a into b.
+      RowImage(catalog_, a, b, *kernel_hom);
+    }
+    // Prune soundness: disabling the unification prune must not change
+    // the verdict (satellite: candidate lists shrink, answers don't).
+    EXPECT_EQ(kernel_hom.has_value(),
+              legacy::HasHomomorphism(catalog_, a, b,
+                                      /*unification_prune=*/false))
+        << round;
+
+    // Row embedding (distinguished symbols free).
+    const bool kernel_embed = HasRowEmbedding(catalog_, a, b);
+    EXPECT_EQ(kernel_embed, legacy::HasRowEmbedding(catalog_, a, b)) << round;
+    EXPECT_EQ(kernel_embed,
+              legacy::HasRowEmbedding(catalog_, a, b,
+                                      /*unification_prune=*/false))
+        << round;
+    if (kernel_embed) ++embeds_found;
+
+    // Equivalence, both engines of it.
+    EXPECT_EQ(EquivalentTableaux(catalog_, a, b),
+              legacy::EquivalentTableaux(catalog_, a, b))
+        << round;
+
+    // Isomorphism (injective + nondistinguished-preserving).
+    const std::optional<SymbolMap> kernel_iso =
+        FindIsomorphism(catalog_, a, b);
+    const std::optional<SymbolMap> legacy_iso =
+        legacy::FindIsomorphism(catalog_, a, b);
+    ASSERT_EQ(kernel_iso.has_value(), legacy_iso.has_value()) << round;
+    if (kernel_iso.has_value()) {
+      ++isos_found;
+      EXPECT_EQ(*kernel_iso, *legacy_iso) << round;
+    }
+  }
+  // The corpus must actually exercise the positive paths.
+  EXPECT_GE(homs_found, 10u);
+  EXPECT_GE(embeds_found, 10u);
+}
+
+TEST_F(HomKernelTest, IsomorphicRenamedCopiesFoundIdentically) {
+  Random rng(77);
+  std::size_t isos = 0;
+  for (int round = 0; round < 40; ++round) {
+    const Tableau a = RandomTableau(rng, 4);
+    const Tableau b = RenamedCopy(a, 1000);
+    const std::optional<SymbolMap> kernel_iso =
+        FindIsomorphism(catalog_, a, b);
+    const std::optional<SymbolMap> legacy_iso =
+        legacy::FindIsomorphism(catalog_, a, b);
+    ASSERT_EQ(kernel_iso.has_value(), legacy_iso.has_value()) << round;
+    if (kernel_iso.has_value()) {
+      ++isos;
+      EXPECT_EQ(*kernel_iso, *legacy_iso) << round;
+      RowImage(catalog_, a, b, *kernel_iso);
+    }
+  }
+  EXPECT_GT(isos, 30u);  // Renamed copies are isomorphic by construction.
+}
+
+TEST_F(HomKernelTest, EmbeddingWitnessMayMoveDistinguished) {
+  // pi{A}(r) row-embeds into pi{B}(r) by mapping 0_A to a
+  // nondistinguished symbol — a homomorphism cannot.
+  const Tableau narrow_a = T("pi{A}(r)");
+  const Tableau narrow_b = T("pi{B}(r)");
+  EXPECT_FALSE(HasHomomorphism(catalog_, narrow_a, narrow_b));
+  EXPECT_TRUE(HasRowEmbedding(catalog_, narrow_a, narrow_b));
+  EXPECT_EQ(legacy::HasRowEmbedding(catalog_, narrow_a, narrow_b), true);
+}
+
+TEST_F(HomKernelTest, UnificationPruneCutsRepeatedSymbolCandidates) {
+  // from joins r and s on a shared B symbol; the target keeps r and s
+  // rows whose B symbols differ, so no row pair can unify. The signature
+  // prune empties the candidate lists; with or without it the verdict is
+  // the same (no embedding).
+  const Tableau from = T("pi{A,C}(r * s)");
+  const Tableau to = T("pi{A}(r) * pi{C}(s)");
+  EXPECT_FALSE(HasRowEmbedding(catalog_, from, to));
+  EXPECT_FALSE(legacy::HasRowEmbedding(catalog_, from, to));
+  EXPECT_FALSE(legacy::HasRowEmbedding(catalog_, from, to,
+                                       /*unification_prune=*/false));
+  // And the unifiable direction still succeeds with the prune on.
+  EXPECT_TRUE(HasRowEmbedding(catalog_, to, from));
+}
+
+TEST_F(HomKernelTest, ReduceProbeMatchesSubsetSearch) {
+  // The reduction probe (one lowering, excluded target row) must return
+  // exactly the verdict of searching into the separately-built subset.
+  Random rng(99);
+  HomScratch scratch;
+  for (int round = 0; round < 60; ++round) {
+    const Tableau t = RandomTableau(rng, 4);
+    if (t.size() < 2) continue;
+    const SoaTemplate soa = SoaTemplate::Lower(t);
+    for (std::size_t drop = 0; drop < t.size(); ++drop) {
+      std::vector<std::size_t> keep;
+      for (std::size_t i = 0; i < t.size(); ++i) {
+        if (i != drop) keep.push_back(i);
+      }
+      const Tableau sub = t.SubsetRows(keep);
+      EXPECT_EQ(SoaReduceProbe(soa, static_cast<std::int32_t>(drop), scratch),
+                legacy::HasHomomorphism(catalog_, t, sub))
+          << round << "," << drop;
+    }
+  }
+}
+
+TEST_F(HomKernelTest, WaveMatchesScalarSearches) {
+  Random rng(4242);
+  const Tableau target = T("r * s * t");
+  const SoaTemplate target_soa = SoaTemplate::Lower(target);
+  std::vector<Tableau> sources;
+  std::vector<SoaTemplate> lowered;
+  for (int i = 0; i < 12; ++i) {
+    sources.push_back(RandomTableau(rng, 3));
+    lowered.push_back(SoaTemplate::Lower(sources.back()));
+  }
+  std::vector<const SoaTemplate*> pointers;
+  for (const SoaTemplate& soa : lowered) pointers.push_back(&soa);
+  HomScratch scratch;
+  const std::vector<char> wave =
+      SoaSearchWave(pointers, target_soa, HomMode::kRowEmbedding, scratch);
+  ASSERT_EQ(wave.size(), sources.size());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    EXPECT_EQ(wave[i] != 0, HasRowEmbedding(catalog_, sources[i], target))
+        << i;
+  }
+}
+
+// --- Engine level: SoA vs legacy kernels, threads {1,2,8} --------------
+
+/// Asserts counter identity between two engine runs. With `exact` every
+/// field must match — valid only for runs whose scheduling is
+/// deterministic (threads=1). Under real parallelism the comparison drops
+/// the fingerprint-set-sensitive fields: when two equivalent-but-distinct
+/// candidates intern concurrently, whichever wins the race becomes the
+/// class representative, and every later expansion is substituted from
+/// that representative — so the *set* of template fingerprints flowing
+/// through the reduce/key caches (and with it their run/entry counts,
+/// intern fast-path hits, and confirm scans) can shift by ±1 collision
+/// accidents between any two parallel runs, including two runs of the
+/// same kernel. Request totals are per-call and the remaining caches key
+/// on interned class ids, which relabel bijectively when representatives
+/// swap, so those counters are scheduling-invariant and stay compared.
+void ExpectSameStats(const EngineStats& soa, const EngineStats& legacy_stats,
+                     bool exact) {
+  const auto same = [exact](const CacheCounters& a, const CacheCounters& b,
+                            bool fingerprint_keyed, const char* which) {
+    EXPECT_EQ(a.requests, b.requests) << which;
+    if (exact || !fingerprint_keyed) {
+      EXPECT_EQ(a.runs, b.runs) << which;
+      EXPECT_EQ(a.entries, b.entries) << which;
+      EXPECT_EQ(a.evictions, b.evictions) << which;
+    }
+  };
+  same(soa.reduce, legacy_stats.reduce, /*fingerprint_keyed=*/true, "reduce");
+  same(soa.canonical_key, legacy_stats.canonical_key,
+       /*fingerprint_keyed=*/true, "canonical_key");
+  same(soa.homomorphism, legacy_stats.homomorphism,
+       /*fingerprint_keyed=*/false, "homomorphism");
+  same(soa.row_embedding, legacy_stats.row_embedding,
+       /*fingerprint_keyed=*/false, "row_embedding");
+  same(soa.expansion, legacy_stats.expansion, /*fingerprint_keyed=*/false,
+       "expansion");
+  same(soa.verdict, legacy_stats.verdict, /*fingerprint_keyed=*/false,
+       "verdict");
+  same(soa.dominance, legacy_stats.dominance, /*fingerprint_keyed=*/false,
+       "dominance");
+  EXPECT_EQ(soa.intern_requests, legacy_stats.intern_requests);
+  EXPECT_EQ(soa.interned_classes, legacy_stats.interned_classes);
+  if (exact) {
+    EXPECT_EQ(soa.intern_hits, legacy_stats.intern_hits);
+    EXPECT_EQ(soa.equivalence_confirms, legacy_stats.equivalence_confirms);
+  }
+}
+
+class EngineDifferentialTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    u_ = catalog_.MakeScheme({"A", "B", "C"});
+    r_ = Unwrap(catalog_.AddRelation("r", u_));
+    base_ = DbSchema(catalog_, {r_});
+    w1_ = Unwrap(catalog_.AddRelation("w1", catalog_.MakeScheme({"A", "B"})));
+    w2_ = Unwrap(catalog_.AddRelation("w2", catalog_.MakeScheme({"B", "C"})));
+    w3_ = Unwrap(catalog_.AddRelation("w3", catalog_.MakeScheme({"A", "B"})));
+    // The equivalence test's view relation, minted once here so every
+    // workload run sees an identical catalog.
+    l_ = catalog_.MintRelation("l", u_);
+    view_ = Unwrap(View::Create(
+        &catalog_, base_,
+        {{w1_, MustParse(catalog_, "pi{A,B}(r)")},
+         {w2_, MustParse(catalog_, "pi{B,C}(r)")},
+         {w3_, MustParse(catalog_, "pi{A,B}(r)")}},
+        "W"));
+  }
+
+  static EngineOptions KernelOptions(bool use_soa) {
+    EngineOptions options;
+    options.use_soa_kernel = use_soa;
+    return options;
+  }
+
+  /// Runs the full mixed workload — membership (enumeration + canonical
+  /// paths, repeated for warmth), view equivalence, redundancy
+  /// elimination — on one engine and returns (stats, observable outcome
+  /// rendering).
+  std::pair<EngineStats, std::string> RunWorkload(bool use_soa,
+                                                  std::size_t threads) {
+    Engine engine(&catalog_, KernelOptions(use_soa));
+    SearchLimits limits;
+    limits.threads = threads;
+    std::string log;
+    for (int repeat = 0; repeat < 2; ++repeat) {
+      CapacityOracle oracle(&engine, *view_, limits);
+      for (const char* query :
+           {"pi{A}(r) * pi{C}(r)", "r", "pi{A,B}(r) * pi{B,C}(r)"}) {
+        MembershipResult m =
+            Unwrap(oracle.Contains(MustParse(catalog_, query)));
+        log += StrCat(query, "=>", m.member ? 1 : 0, ",",
+                      m.candidates_tried, ",",
+                      m.witness == nullptr
+                          ? std::string("<none>")
+                          : ToString(*m.witness, catalog_),
+                      ";");
+      }
+    }
+    View v = Unwrap(View::Create(
+        &catalog_, base_,
+        {{l_, MustParse(catalog_, "pi{A,B}(r) * pi{B,C}(r)")}}, "V"));
+    EquivalenceResult eq = Unwrap(AreEquivalent(engine, v, *view_, limits));
+    log += StrCat("eq=>", eq.equivalent ? 1 : 0, ";");
+    NonredundantViewResult nr =
+        Unwrap(MakeNonredundant(engine, *view_, limits));
+    log += StrCat("kept=>");
+    for (std::size_t k : nr.kept) log += StrCat(k, ",");
+    return {engine.Stats(), log};
+  }
+
+  Catalog catalog_;
+  AttrSet u_;
+  RelId r_ = kInvalidRel, w1_ = kInvalidRel, w2_ = kInvalidRel,
+        w3_ = kInvalidRel, l_ = kInvalidRel;
+  DbSchema base_;
+  std::optional<View> view_;
+};
+
+TEST_F(EngineDifferentialTest, SoaAndLegacyEnginesAgreeForEveryThreadCount) {
+  std::optional<std::pair<EngineStats, std::string>> reference;
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    SCOPED_TRACE(StrCat("threads=", threads));
+    auto soa = RunWorkload(/*use_soa=*/true, threads);
+    auto legacy_run = RunWorkload(/*use_soa=*/false, threads);
+    // Same thread count, different kernels: identical outcomes AND
+    // identical engine counters (the kernels sit below every counter).
+    // At threads=1 the whole run is deterministic, so every field must
+    // match bit for bit; parallel runs compare the scheduling-invariant
+    // subset (see ExpectSameStats).
+    EXPECT_EQ(soa.second, legacy_run.second);
+    {
+      SCOPED_TRACE("soa-vs-legacy");
+      ExpectSameStats(soa.first, legacy_run.first, /*exact=*/threads == 1);
+    }
+    // And the SoA *outcomes* are thread-count invariant. (Cache request
+    // counters are not compared across thread counts: concurrent level
+    // scans evaluate a timing-dependent number of items past the stop
+    // index speculatively, so raw cache traffic may differ even though
+    // every observed verdict, witness and candidates_tried is identical.)
+    if (!reference.has_value()) {
+      reference = soa;
+    } else {
+      EXPECT_EQ(soa.second, reference->second);
+    }
+  }
+}
+
+TEST_F(EngineDifferentialTest, RowEmbedsBatchMatchesScalarAndCounters) {
+  Engine engine(&catalog_);
+  std::vector<TableauId> ids;
+  for (const char* text :
+       {"pi{A,B}(r)", "pi{B,C}(r)", "pi{A}(r)", "pi{A,B}(r) * pi{B,C}(r)"}) {
+    ids.push_back(engine.Intern(
+        MustBuildTableau(catalog_, u_, *MustParse(catalog_, text))));
+  }
+  const TableauId target = ids.back();
+  const std::vector<char> batch = engine.RowEmbedsBatch(ids, target);
+  const EngineStats after_batch = engine.Stats();
+  ASSERT_EQ(batch.size(), ids.size());
+  // Scalar replay: verdicts identical, and every probe now hits the cache
+  // (same keys), so runs stay flat while requests double.
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(batch[i] != 0, engine.RowEmbeds(ids[i], target)) << i;
+  }
+  const EngineStats after_scalar = engine.Stats();
+  EXPECT_EQ(after_batch.row_embedding.requests, ids.size());
+  EXPECT_EQ(after_scalar.row_embedding.requests, 2 * ids.size());
+  EXPECT_EQ(after_scalar.row_embedding.runs, after_batch.row_embedding.runs);
+}
+
+TEST_F(EngineDifferentialTest, SoaFormIsCachedPerClass) {
+  Engine engine(&catalog_);
+  const Tableau t =
+      MustBuildTableau(catalog_, u_, *MustParse(catalog_, "pi{A,B}(r)"));
+  const TableauId id = engine.Intern(t);
+  const SoaTemplate& soa = engine.SoaForm(id);
+  EXPECT_EQ(soa.num_rows(),
+            static_cast<std::int32_t>(engine.Representative(id).size()));
+  // Interning an equivalent form lands in the same class; the cached SoA
+  // form is the same object.
+  const TableauId again = engine.Intern(
+      MustBuildTableau(catalog_, u_, *MustParse(catalog_, "pi{A,B}(r * r)")));
+  EXPECT_EQ(again, id);
+  EXPECT_EQ(&engine.SoaForm(again), &soa);
+}
+
+}  // namespace
+}  // namespace viewcap

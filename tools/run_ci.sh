@@ -36,7 +36,10 @@ cmake --build --preset ci-tsan
 
 # The ci-tsan test preset filters to the suites that exercise the parallel
 # closure search (thread pool, sharded enumeration, engine sharing,
-# capacity/equivalence/redundancy drivers).
+# capacity/equivalence/redundancy drivers) plus the SoA-vs-legacy
+# homomorphism differential suite (hom_kernel_test), which drives the
+# engine at several thread counts. The asan/ubsan presets run the full
+# suite, so the differential tests run under all three sanitizers.
 echo "== test (ci-tsan, parallel subset) =="
 ctest --preset ci-tsan
 
@@ -52,6 +55,9 @@ ctest --preset ci-ubsan
 echo "== clang-tidy =="
 "$repo_root/tools/run_tidy.sh" "$repo_root/build-asan"
 
+# Every checked-in baseline is gated, including BENCH_homomorphism.json
+# (the SoA kernel vs legacy pointer-walking series — the guard against
+# regressing the hot homomorphism path).
 echo "== bench (threshold-gated against bench/BENCH_*.json) =="
 cmake --preset default
 bench_out=$(mktemp -d)
