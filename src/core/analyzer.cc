@@ -54,6 +54,7 @@ Status Analyzer::RegisterView(View view, const std::string& name) {
   if (views_.count(name) > 0) {
     return Status::IllFormed(StrCat("view '", name, "' already defined"));
   }
+  view.set_name(name);
   views_.emplace(name, std::move(view));
   view_order_.push_back(name);
   return Status::OK();
@@ -72,10 +73,17 @@ Result<const View*> Analyzer::GetView(const std::string& name) const {
 Result<EquivalenceResult> Analyzer::CheckEquivalence(const std::string& left,
                                                      const std::string& right,
                                                      std::string* report) {
+  return CheckEquivalence(left, right, limits_, report);
+}
+
+Result<EquivalenceResult> Analyzer::CheckEquivalence(const std::string& left,
+                                                     const std::string& right,
+                                                     const SearchLimits& limits,
+                                                     std::string* report) {
   VIEWCAP_ASSIGN_OR_RETURN(const View* v, GetView(left));
   VIEWCAP_ASSIGN_OR_RETURN(const View* w, GetView(right));
   VIEWCAP_ASSIGN_OR_RETURN(EquivalenceResult result,
-                           AreEquivalent(*engine_, *v, *w, limits_));
+                           AreEquivalent(*engine_, *v, *w, limits));
   if (report != nullptr) {
     std::string out = StrCat("equivalent(", left, ", ", right, ") = ",
                              result.equivalent ? "true" : "false",
@@ -106,6 +114,12 @@ Result<EquivalenceResult> Analyzer::CheckEquivalence(const std::string& left,
 Result<MembershipResult> Analyzer::CheckAnswerable(
     const std::string& name, const std::string& query_text,
     std::string* report) {
+  return CheckAnswerable(name, query_text, limits_, report);
+}
+
+Result<MembershipResult> Analyzer::CheckAnswerable(
+    const std::string& name, const std::string& query_text,
+    const SearchLimits& limits, std::string* report) {
   VIEWCAP_ASSIGN_OR_RETURN(const View* view, GetView(name));
   VIEWCAP_ASSIGN_OR_RETURN(ExprPtr query,
                            ParseExpr(*catalog_, query_text));
@@ -116,7 +130,7 @@ Result<MembershipResult> Analyzer::CheckAnswerable(
                  catalog_->RelationName(rel), "'"));
     }
   }
-  CapacityOracle oracle(engine_.get(), *view, limits_);
+  CapacityOracle oracle(engine_.get(), *view, limits);
   VIEWCAP_ASSIGN_OR_RETURN(MembershipResult result, oracle.Contains(query));
   if (report != nullptr) {
     if (result.member) {
@@ -133,9 +147,15 @@ Result<MembershipResult> Analyzer::CheckAnswerable(
 
 Result<NonredundantViewResult> Analyzer::EliminateRedundancy(
     const std::string& name, std::string* report) {
+  return EliminateRedundancy(name, limits_, report);
+}
+
+Result<NonredundantViewResult> Analyzer::EliminateRedundancy(
+    const std::string& name, const SearchLimits& limits,
+    std::string* report) {
   VIEWCAP_ASSIGN_OR_RETURN(const View* view, GetView(name));
   VIEWCAP_ASSIGN_OR_RETURN(NonredundantViewResult result,
-                           MakeNonredundant(*engine_, *view, limits_));
+                           MakeNonredundant(*engine_, *view, limits));
   if (report != nullptr) {
     *report = StrCat("kept ", result.kept.size(), " of ", view->size(),
                      " definitions\n", result.view.ToString());
@@ -150,9 +170,15 @@ Result<NonredundantViewResult> Analyzer::EliminateRedundancy(
 
 Result<SimplifyOutcome> Analyzer::SimplifyView(const std::string& name,
                                                std::string* report) {
+  return SimplifyView(name, limits_, report);
+}
+
+Result<SimplifyOutcome> Analyzer::SimplifyView(const std::string& name,
+                                               const SearchLimits& limits,
+                                               std::string* report) {
   VIEWCAP_ASSIGN_OR_RETURN(const View* view, GetView(name));
   VIEWCAP_ASSIGN_OR_RETURN(SimplifyOutcome outcome,
-                           Simplify(*engine_, catalog_.get(), *view, limits_));
+                           Simplify(*engine_, catalog_.get(), *view, limits));
   if (report != nullptr) {
     *report = StrCat("simplified in ", outcome.rounds, " round(s)\n",
                      outcome.view.ToString());
@@ -167,15 +193,20 @@ Result<SimplifyOutcome> Analyzer::SimplifyView(const std::string& name,
 
 Result<std::vector<Analyzer::LatticeEntry>> Analyzer::CompareAllViews(
     std::string* report) {
+  return CompareAllViews(limits_, report);
+}
+
+Result<std::vector<Analyzer::LatticeEntry>> Analyzer::CompareAllViews(
+    const SearchLimits& limits, std::string* report) {
   std::vector<LatticeEntry> entries;
   for (std::size_t i = 0; i < view_order_.size(); ++i) {
     for (std::size_t j = i + 1; j < view_order_.size(); ++j) {
       const View& left = views_.at(view_order_[i]);
       const View& right = views_.at(view_order_[j]);
       VIEWCAP_ASSIGN_OR_RETURN(DominanceResult lr,
-                               Dominates(*engine_, left, right, limits_));
+                               Dominates(*engine_, left, right, limits));
       VIEWCAP_ASSIGN_OR_RETURN(DominanceResult rl,
-                               Dominates(*engine_, right, left, limits_));
+                               Dominates(*engine_, right, left, limits));
       entries.push_back(LatticeEntry{view_order_[i], view_order_[j],
                                      lr.dominates, rl.dominates,
                                      lr.inconclusive || rl.inconclusive});
@@ -199,6 +230,12 @@ Result<std::vector<Analyzer::LatticeEntry>> Analyzer::CompareAllViews(
 
 Result<MinimizeResult> Analyzer::MinimizeQuery(const std::string& expr_text,
                                                std::string* report) {
+  return MinimizeQuery(expr_text, limits_, report);
+}
+
+Result<MinimizeResult> Analyzer::MinimizeQuery(const std::string& expr_text,
+                                               const SearchLimits& limits,
+                                               std::string* report) {
   VIEWCAP_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr(*catalog_, expr_text));
   for (RelId rel : expr->RelNames()) {
     if (!base_.Contains(rel)) {
@@ -209,7 +246,7 @@ Result<MinimizeResult> Analyzer::MinimizeQuery(const std::string& expr_text,
   }
   VIEWCAP_ASSIGN_OR_RETURN(
       MinimizeResult result,
-      MinimizeExpression(*catalog_, base_.universe(), expr, limits_));
+      MinimizeExpression(*catalog_, base_.universe(), expr, limits));
   if (report != nullptr) {
     *report = StrCat(ToString(*result.expression, *catalog_), "\n  (",
                      result.leaves_before, " -> ", result.leaves_after,
@@ -260,8 +297,18 @@ Analyzer::EnumerateViewCapacity(const std::string& name,
                                 std::size_t max_leaves,
                                 std::size_t max_entries,
                                 std::string* report) {
+  return EnumerateViewCapacity(name, max_leaves, limits_, max_entries,
+                               report);
+}
+
+Result<std::vector<CapacityOracle::CapacityEntry>>
+Analyzer::EnumerateViewCapacity(const std::string& name,
+                                std::size_t max_leaves,
+                                const SearchLimits& limits,
+                                std::size_t max_entries,
+                                std::string* report) {
   VIEWCAP_ASSIGN_OR_RETURN(const View* view, GetView(name));
-  CapacityOracle oracle(engine_.get(), *view, limits_);
+  CapacityOracle oracle(engine_.get(), *view, limits);
   VIEWCAP_ASSIGN_OR_RETURN(
       std::vector<CapacityOracle::CapacityEntry> entries,
       oracle.EnumerateCapacity(max_leaves, max_entries));

@@ -37,8 +37,9 @@ class Analyzer {
   /// runs: repeated questions about the same views hit its caches.
   Engine& engine() { return *engine_; }
 
-  /// Snapshot of the shared engine's cache and interning counters.
-  EngineStats engine_stats() const { return engine_->Stats(); }
+  /// Consistent snapshot of the shared engine's cache and interning
+  /// counters (Engine::StatsSnapshot).
+  EngineStats engine_stats() const { return engine_->StatsSnapshot(); }
 
   /// The names of loaded views, in load order.
   std::vector<std::string> ViewNames() const;
@@ -46,10 +47,20 @@ class Analyzer {
   /// Fails with NotFound for unknown names.
   Result<const View*> GetView(const std::string& name) const;
 
+  // Every decision method below exists in two forms: the historical one
+  // reading this analyzer's member limits(), and an explicit-limits
+  // overload taking the SearchLimits per call. The explicit form is what
+  // the service layer's shared-lock handlers use — per-request limits
+  // without mutating analyzer state (see service/workspace.h).
+
   /// Theorem 2.4.12. Also renders a human-readable report into `*report`
   /// when non-null (witnessing expressions, missing queries).
   Result<EquivalenceResult> CheckEquivalence(const std::string& left,
                                              const std::string& right,
+                                             std::string* report = nullptr);
+  Result<EquivalenceResult> CheckEquivalence(const std::string& left,
+                                             const std::string& right,
+                                             const SearchLimits& limits,
                                              std::string* report = nullptr);
 
   /// Theorem 2.4.11: is `query_text` (an expression over the base schema)
@@ -57,14 +68,24 @@ class Analyzer {
   Result<MembershipResult> CheckAnswerable(const std::string& name,
                                            const std::string& query_text,
                                            std::string* report = nullptr);
+  Result<MembershipResult> CheckAnswerable(const std::string& name,
+                                           const std::string& query_text,
+                                           const SearchLimits& limits,
+                                           std::string* report = nullptr);
 
   /// Theorem 3.1.4: redundancy elimination; registers the result as
   /// "<name>_nr".
   Result<NonredundantViewResult> EliminateRedundancy(
       const std::string& name, std::string* report = nullptr);
+  Result<NonredundantViewResult> EliminateRedundancy(
+      const std::string& name, const SearchLimits& limits,
+      std::string* report = nullptr);
 
   /// Theorem 4.1.3: normalization; registers the result as "<name>_simplified".
   Result<SimplifyOutcome> SimplifyView(const std::string& name,
+                                       std::string* report = nullptr);
+  Result<SimplifyOutcome> SimplifyView(const std::string& name,
+                                       const SearchLimits& limits,
                                        std::string* report = nullptr);
 
   /// One cell of the pairwise dominance classification.
@@ -80,11 +101,16 @@ class Analyzer {
   /// equivalence is mutual dominance. Renders a matrix into `*report`.
   Result<std::vector<LatticeEntry>> CompareAllViews(
       std::string* report = nullptr);
+  Result<std::vector<LatticeEntry>> CompareAllViews(
+      const SearchLimits& limits, std::string* report = nullptr);
 
   /// Tableau minimization of a base-schema expression (the reference [2]
   /// application): returns an equivalent expression with the fewest leaf
   /// occurrences found.
   Result<MinimizeResult> MinimizeQuery(const std::string& expr_text,
+                                       std::string* report = nullptr);
+  Result<MinimizeResult> MinimizeQuery(const std::string& expr_text,
+                                       const SearchLimits& limits,
                                        std::string* report = nullptr);
 
   /// Flattens view `outer` (defined over `inner`'s schema... i.e. whose
@@ -103,6 +129,10 @@ class Analyzer {
   Result<std::vector<CapacityOracle::CapacityEntry>> EnumerateViewCapacity(
       const std::string& name, std::size_t max_leaves,
       std::size_t max_entries = 256, std::string* report = nullptr);
+  Result<std::vector<CapacityOracle::CapacityEntry>> EnumerateViewCapacity(
+      const std::string& name, std::size_t max_leaves,
+      const SearchLimits& limits, std::size_t max_entries = 256,
+      std::string* report = nullptr);
 
   /// Evaluates a view-schema query against a concrete database instance
   /// (`data_text` in the relation/data_parser.h format): computes the

@@ -361,7 +361,7 @@ ThreadPool* Engine::SharedPool(std::size_t total_threads) {
   return pool_.get();
 }
 
-EngineStats Engine::Stats() const {
+EngineStats Engine::ReadStatsOnce() const {
   EngineStats stats;
   stats.reduce = {Load(reduce_requests_), Load(reduce_runs_),
                   reduce_cache_.evictions(), reduce_cache_.size()};
@@ -385,6 +385,23 @@ EngineStats Engine::Stats() const {
   }
   stats.equivalence_confirms = Load(equivalence_confirms_);
   return stats;
+}
+
+EngineStats Engine::StatsSnapshot() const {
+  // Seqlock-style consistency without a writer lock: keep re-reading the
+  // whole counter vector until two consecutive reads agree. On a
+  // quiescent engine the first retry confirms immediately; under heavy
+  // concurrent mutation the loop gives up after a few rounds and returns
+  // the freshest read (momentary cross-counter skew is acceptable there
+  // by the EngineStats contract).
+  constexpr int kMaxRetries = 4;
+  EngineStats prev = ReadStatsOnce();
+  for (int i = 0; i < kMaxRetries; ++i) {
+    EngineStats next = ReadStatsOnce();
+    if (next == prev) return next;
+    prev = next;
+  }
+  return prev;
 }
 
 }  // namespace viewcap

@@ -135,6 +135,8 @@ struct CacheCounters {
   std::size_t entries = 0;
 
   std::size_t hits() const { return requests - runs; }
+
+  bool operator==(const CacheCounters&) const = default;
 };
 
 /// Point-in-time snapshot of an engine's caches (see
@@ -158,6 +160,8 @@ struct EngineStats {
   /// EquivalentTableaux confirmations run to resolve canonical-key bucket
   /// collisions during interning.
   std::size_t equivalence_confirms = 0;
+
+  bool operator==(const EngineStats&) const = default;
 };
 
 /// Exact structural fingerprint of a template: equal strings iff equal
@@ -435,9 +439,24 @@ class Engine {
   /// thread — and grown, never shrunk, by later calls asking for more.
   ThreadPool* SharedPool(std::size_t total_threads);
 
-  EngineStats Stats() const;
+  /// One-call consistent snapshot of the relaxed-atomic statistics: the
+  /// counters are re-read until two consecutive full reads agree (bounded
+  /// retries), so a quiescent engine always reports an exact, mutually
+  /// consistent vector and a busy one reports the last stable-enough
+  /// read. This is the single entry point for every stats consumer — the
+  /// CLI's --engine-stats, the daemon's live `stats` method, the report
+  /// renderer — none of them read individual counters field-by-field.
+  EngineStats StatsSnapshot() const;
+
+  /// Deprecated spelling of StatsSnapshot(), kept for older callers.
+  EngineStats Stats() const { return StatsSnapshot(); }
 
  private:
+  /// One relaxed pass over every counter; under concurrent use the result
+  /// may mix before/after values of a racing update (StatsSnapshot's
+  /// retry loop is what restores consistency).
+  EngineStats ReadStatsOnce() const;
+
   /// Relaxed-atomic counter shorthand (statistics only; never used for
   /// synchronization).
   using Counter = std::atomic<std::size_t>;

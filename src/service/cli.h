@@ -1,0 +1,63 @@
+// The canonical command-line grammar shared by every front end.
+//
+// Historically tools/viewcap_cli.cc parsed flags ad hoc and dispatched
+// lint through a special case (`args[0] == "lint" || args[1] == "lint"`).
+// This header owns the one grammar both shells use:
+//
+//   <program-file> <command> [args...] [--flags]
+//   lint <program-file> [--flags]          (also: <program-file> lint)
+//
+// Flags may appear anywhere; `--threads=N`, `--max-candidates=N` and
+// `--engine-stats` are valid on every command, the lint flags only on
+// lint. ParseCommandLine turns argv into a typed Request plus the file
+// side effects the shell must perform (which files to read before
+// dispatch and to write after) — the dispatcher itself never touches the
+// filesystem.
+#ifndef VIEWCAP_SERVICE_CLI_H_
+#define VIEWCAP_SERVICE_CLI_H_
+
+#include <string>
+#include <vector>
+
+#include "service/dispatcher.h"
+
+namespace viewcap {
+
+/// A parsed command line: the Request to dispatch plus the shell-side
+/// file effects. Paths are what the user named; the shell reads
+/// program/data/baseline files into the Request before dispatching and
+/// writes fixed-program/baseline text from the Response after.
+struct CliInvocation {
+  Request request;
+  /// Program file to read into request.program_text (every command).
+  std::string program_path;
+  /// Data file to read into request.data_text (eval only).
+  std::string data_path;
+  /// Baseline file to read into request.lint.baseline_text (lint).
+  std::string baseline_path;
+  /// File to write Response::baseline_text to (lint --write-baseline).
+  std::string write_baseline_path;
+  /// Write Response::fixed_text back over program_path (lint --fix).
+  bool fix_in_place = false;
+};
+
+/// Parses `argv` (without the binary name) against the canonical grammar.
+/// Fails with InvalidArgument on unknown commands, arity mismatches,
+/// malformed counts, or flags used outside their command; the message is
+/// the diagnostic to print (may be empty when the usage text says it all).
+Result<CliInvocation> ParseCommandLine(const std::vector<std::string>& argv);
+
+/// The usage text both shells print on a grammar error.
+std::string UsageText();
+
+/// Parses a decimal count ("--threads=N" values). Returns false on a
+/// malformed number, leaving `*value` untouched; 0 is valid.
+bool ParseCount(const std::string& text, std::size_t* value);
+
+/// Reads a regular file fully into `*out`; false on any I/O failure
+/// (including directories). Shared by the tool shells.
+bool ReadFileToString(const std::string& path, std::string* out);
+
+}  // namespace viewcap
+
+#endif  // VIEWCAP_SERVICE_CLI_H_

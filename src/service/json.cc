@@ -1,0 +1,352 @@
+#include "service/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "base/strings.h"
+
+namespace viewcap {
+namespace {
+
+/// Nesting cap for untrusted input: deep enough for any real request,
+/// shallow enough that a hostile "[[[[..." line cannot overflow the stack.
+constexpr int kMaxDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    VIEWCAP_ASSIGN_OR_RETURN(JsonValue value, ParseValue(0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(std::string_view message) const {
+    return Status::ParseError(
+        StrCat("json: ", message, " at offset ", pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(depth);
+    if (c == '[') return ParseArray(depth);
+    if (c == '"') {
+      VIEWCAP_ASSIGN_OR_RETURN(std::string s, ParseString());
+      return JsonValue::Str(std::move(s));
+    }
+    if (ConsumeWord("true")) return JsonValue::Bool(true);
+    if (ConsumeWord("false")) return JsonValue::Bool(false);
+    if (ConsumeWord("null")) return JsonValue::Null();
+    if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber();
+    return Error(StrCat("unexpected character '", c, "'"));
+  }
+
+  Result<JsonValue> ParseObject(int depth) {
+    ++pos_;  // '{'
+    JsonValue object = JsonValue::Object();
+    SkipWhitespace();
+    if (Consume('}')) return object;
+    for (;;) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key string");
+      }
+      VIEWCAP_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      VIEWCAP_ASSIGN_OR_RETURN(JsonValue value, ParseValue(depth + 1));
+      object.Set(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return object;
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Result<JsonValue> ParseArray(int depth) {
+    ++pos_;  // '['
+    JsonValue array = JsonValue::Array();
+    SkipWhitespace();
+    if (Consume(']')) return array;
+    for (;;) {
+      VIEWCAP_ASSIGN_OR_RETURN(JsonValue value, ParseValue(depth + 1));
+      array.Push(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return array;
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // backslash
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          VIEWCAP_ASSIGN_OR_RETURN(unsigned code, ParseHex4());
+          // Surrogate pair: combine into one code point.
+          if (code >= 0xD800 && code <= 0xDBFF &&
+              text_.substr(pos_, 2) == "\\u") {
+            pos_ += 2;
+            VIEWCAP_ASSIGN_OR_RETURN(unsigned low, ParseHex4());
+            if (low >= 0xDC00 && low <= 0xDFFF) {
+              code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            } else {
+              return Error("invalid low surrogate");
+            }
+          }
+          AppendUtf8(code, &out);
+          break;
+        }
+        default:
+          return Error("invalid escape sequence");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<unsigned> ParseHex4() {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      code <<= 4;
+      if (c >= '0' && c <= '9') {
+        code |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        code |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        code |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return Error("invalid \\u escape digit");
+      }
+    }
+    return code;
+  }
+
+  static void AppendUtf8(unsigned code, std::string* out) {
+    if (code < 0x80) {
+      *out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      *out += static_cast<char>(0xC0 | (code >> 6));
+      *out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      *out += static_cast<char>(0xE0 | (code >> 12));
+      *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      *out += static_cast<char>(0xF0 | (code >> 18));
+      *out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const std::size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    if (Consume('.')) {
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    const std::string literal(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(literal.c_str(), &end);
+    if (end == literal.c_str() || *end != '\0') {
+      return Error(StrCat("malformed number '", literal, "'"));
+    }
+    return JsonValue::Number(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void WriteEscaped(std::string_view s, std::string* out) {
+  *out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+  *out += '"';
+}
+
+void WriteValue(const JsonValue& value, std::string* out) {
+  switch (value.type()) {
+    case JsonValue::Type::kNull:
+      *out += "null";
+      break;
+    case JsonValue::Type::kBool:
+      *out += value.AsBool() ? "true" : "false";
+      break;
+    case JsonValue::Type::kNumber: {
+      const double d = value.AsNumber();
+      // Exact integers (the protocol's counters and ids) print without a
+      // fraction so round trips stay textually stable.
+      if (std::floor(d) == d && std::abs(d) < 9.0e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(d));
+        *out += buf;
+      } else {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", d);
+        *out += buf;
+      }
+      break;
+    }
+    case JsonValue::Type::kString:
+      WriteEscaped(value.AsString(), out);
+      break;
+    case JsonValue::Type::kArray: {
+      *out += '[';
+      bool first = true;
+      for (const JsonValue& item : value.items()) {
+        if (!first) *out += ',';
+        first = false;
+        WriteValue(item, out);
+      }
+      *out += ']';
+      break;
+    }
+    case JsonValue::Type::kObject: {
+      *out += '{';
+      bool first = true;
+      for (const auto& [key, member] : value.members()) {
+        if (!first) *out += ',';
+        first = false;
+        WriteEscaped(key, out);
+        *out += ':';
+        WriteValue(member, out);
+      }
+      *out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+void JsonValue::Set(std::string key, JsonValue value) {
+  VIEWCAP_CHECK(type_ == Type::kObject);
+  for (auto& [name, member] : members_) {
+    if (name == key) {
+      member = std::move(value);
+      return;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(value));
+}
+
+void JsonValue::Push(JsonValue value) {
+  VIEWCAP_CHECK(type_ == Type::kArray);
+  items_.push_back(std::move(value));
+}
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+std::string WriteJson(const JsonValue& value) {
+  std::string out;
+  WriteValue(value, &out);
+  return out;
+}
+
+}  // namespace viewcap

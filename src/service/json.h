@@ -1,0 +1,122 @@
+// A minimal JSON value model for the service protocol (service/protocol.h).
+//
+// The repo's other JSON surfaces (lint --format=json, SARIF, bench
+// baselines) only *emit* JSON; the daemon must also *parse* untrusted
+// request lines, so this header adds a small self-contained value type
+// with a recursive-descent parser (depth-capped against adversarial
+// nesting) and a compact single-line writer. Object member order is
+// preserved (vector of pairs, linear lookup) — protocol objects are tiny
+// and deterministic output matters more than O(1) field access.
+#ifndef VIEWCAP_SERVICE_JSON_H_
+#define VIEWCAP_SERVICE_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+
+namespace viewcap {
+
+/// One JSON value: null, bool, number, string, array or object.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;  // null
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool value) {
+    JsonValue v;
+    v.type_ = Type::kBool;
+    v.bool_ = value;
+    return v;
+  }
+  static JsonValue Number(double value) {
+    JsonValue v;
+    v.type_ = Type::kNumber;
+    v.number_ = value;
+    return v;
+  }
+  static JsonValue Str(std::string value) {
+    JsonValue v;
+    v.type_ = Type::kString;
+    v.string_ = std::move(value);
+    return v;
+  }
+  static JsonValue Array() {
+    JsonValue v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_bool() const { return type_ == Type::kBool; }
+
+  /// Typed reads with fallbacks for absent/mistyped values.
+  bool AsBool(bool fallback = false) const {
+    return type_ == Type::kBool ? bool_ : fallback;
+  }
+  double AsNumber(double fallback = 0.0) const {
+    return type_ == Type::kNumber ? number_ : fallback;
+  }
+  /// Truncating read for count-valued protocol fields; negatives clamp
+  /// to `fallback`.
+  std::size_t AsSize(std::size_t fallback = 0) const {
+    if (type_ != Type::kNumber || number_ < 0) return fallback;
+    return static_cast<std::size_t>(number_);
+  }
+  const std::string& AsString() const {
+    static const std::string kEmpty;
+    return type_ == Type::kString ? string_ : kEmpty;
+  }
+
+  const std::vector<JsonValue>& items() const { return items_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Object lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Object field append-or-overwrite. The value must be an object.
+  void Set(std::string key, JsonValue value);
+
+  /// Array append. The value must be an array.
+  void Push(JsonValue value);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> members_;  // kObject
+};
+
+/// Parses one JSON document. The whole text must be consumed (trailing
+/// whitespace allowed). Fails with ParseError on malformed input or
+/// nesting beyond an internal depth cap.
+Result<JsonValue> ParseJson(std::string_view text);
+
+/// Writes `value` compactly on one line (no spaces or newlines — the
+/// line-delimited protocol frames messages by '\n'). Numbers that hold
+/// exact integers print without a fraction; strings escape control
+/// characters, quotes and backslashes.
+std::string WriteJson(const JsonValue& value);
+
+}  // namespace viewcap
+
+#endif  // VIEWCAP_SERVICE_JSON_H_

@@ -1,0 +1,108 @@
+// Workspace: the long-lived state behind one serving process.
+//
+// A Workspace owns exactly one Analyzer — and through it the catalog and
+// the warm, thread-safe Engine (engine/engine.h) — for the lifetime of the
+// process. Every front end (the one-shot viewcap_cli, the viewcapd
+// daemon, tests) funnels requests through a Dispatcher over one Workspace,
+// so the warm-engine steady state that BENCH_capacity.json measures
+// (10-100x over a cold run) is what repeated requests actually hit.
+//
+// Concurrency contract (see DESIGN.md, "Service core"): the Engine itself
+// is safe for concurrent use, but the surrounding program state is not —
+// ParseExpr interns attributes into the shared catalog, redundancy/
+// simplify/compose register result views, and Simplify mints catalog
+// relations. The Workspace therefore classifies request handling into two
+// lock classes on one reader/writer mutex:
+//
+//   - shared   (WithShared): handlers that only read the view map and run
+//     engine searches — list, export, equivalence, lattice, stats. Any
+//     number run concurrently; their closure searches multiplex onto the
+//     engine's striped caches and shared thread pool.
+//   - exclusive (WithExclusive): handlers that parse expressions, mint
+//     relations, or register views — load, membership, minimize, eval,
+//     capacity, redundancy, simplify, compose, report.
+//
+// Handlers running under the shared lock must not call the Analyzer
+// methods that read its mutable default SearchLimits; they pass explicit
+// per-request limits instead (the Analyzer's explicit-limits overloads),
+// so nothing mutates under a shared lock. Verdicts stay bit-identical
+// regardless of interleaving: the engine's compute-once caches make every
+// verdict a function of the request, not of thread timing (PR 5's
+// determinism guarantee), which the concurrent-session tests pin.
+#ifndef VIEWCAP_SERVICE_WORKSPACE_H_
+#define VIEWCAP_SERVICE_WORKSPACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <shared_mutex>
+#include <string_view>
+#include <utility>
+
+#include "core/analyzer.h"
+
+namespace viewcap {
+
+class Workspace {
+ public:
+  /// `default_limits` seeds the per-request SearchLimits when a request
+  /// does not override them (the daemon's --threads / --max-candidates
+  /// startup flags).
+  explicit Workspace(SearchLimits default_limits = {})
+      : default_limits_(default_limits) {
+    analyzer_.set_limits(default_limits);
+  }
+
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// Parses and registers `program_text`'s schema and views into the
+  /// shared analyzer (exclusive). View names accumulate across loads, so
+  /// a daemon can grow its workspace one program at a time; a duplicate
+  /// view name fails the load and leaves earlier state intact.
+  Status Load(std::string_view program_text) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    return analyzer_.Load(program_text);
+  }
+
+  /// Runs `fn(analyzer)` under the shared (reader) lock. `fn` must follow
+  /// the file-comment contract: no catalog/view mutation, explicit limits.
+  template <typename Fn>
+  auto WithShared(Fn&& fn) {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return std::forward<Fn>(fn)(analyzer_);
+  }
+
+  /// Runs `fn(analyzer)` under the exclusive (writer) lock.
+  template <typename Fn>
+  auto WithExclusive(Fn&& fn) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    return std::forward<Fn>(fn)(analyzer_);
+  }
+
+  const SearchLimits& default_limits() const { return default_limits_; }
+
+  /// Consistent copy of the shared engine's counters (thread-safe, no
+  /// workspace lock: the engine publishes its own snapshot).
+  EngineStats EngineStatsSnapshot() const {
+    return analyzer_.engine_stats();
+  }
+
+  /// Served-request counter for the daemon's `stats` method. Counted once
+  /// per dispatched request, including failed ones.
+  void CountRequest() {
+    requests_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::shared_mutex mu_;
+  Analyzer analyzer_;
+  SearchLimits default_limits_;
+  std::atomic<std::uint64_t> requests_{0};
+};
+
+}  // namespace viewcap
+
+#endif  // VIEWCAP_SERVICE_WORKSPACE_H_

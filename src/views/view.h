@@ -45,6 +45,10 @@ class View {
   const std::vector<ViewDefinition>& definitions() const { return defs_; }
   std::size_t size() const { return defs_.size(); }
   const std::string& name() const { return name_; }
+  /// Rebinds the display name; used when registering derived views (e.g.
+  /// `W_nr`, `V_simplified`) under their catalog name so `list` output is
+  /// unambiguous.
+  void set_name(std::string name) { name_ = std::move(name); }
 
   /// The view schema {eta_i} — itself a database schema.
   DbSchema ViewSchema() const;

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Differential test: viewcap_cli and viewcapd must agree byte for byte.
+
+For every program under examples/programs/*.vcp, runs a suite of commands
+through the one-shot CLI and through a fresh viewcapd stdio session, and
+asserts stdout and exit code are identical. Then re-runs each read-only
+command twice against one warm daemon and asserts the two replies are
+identical — the warm engine may answer faster, but never differently.
+
+Usage: diff_cli_daemon.py <viewcap_cli> <viewcapd> <programs-dir>
+"""
+
+import glob
+import json
+import os
+import re
+import subprocess
+import sys
+
+
+def cli_run(cli, argv):
+    proc = subprocess.run([cli] + argv, capture_output=True, text=True,
+                          timeout=120)
+    return proc.stdout, proc.returncode
+
+
+def daemon_session(daemon, requests):
+    """Runs one stdio session; returns the parsed reply list."""
+    payload = "".join(json.dumps(r) + "\n" for r in requests)
+    payload += json.dumps({"id": 999, "method": "shutdown"}) + "\n"
+    proc = subprocess.run([daemon], input=payload, capture_output=True,
+                          text=True, timeout=120)
+    assert proc.returncode == 0, proc.stderr
+    return [json.loads(line) for line in proc.stdout.splitlines() if line]
+
+
+def daemon_run(daemon, program, method, params):
+    """One command in a fresh daemon; returns (stdout, exit_code) in CLI
+    terms: a failed load or command maps to empty output and exit 1."""
+    requests = []
+    if method != "lint":
+        requests.append(
+            {"id": 1, "method": "load", "params": {"program": program}})
+    requests.append({"id": 2, "method": method, "params": params})
+    replies = daemon_session(daemon, requests)
+    by_id = {r.get("id"): r for r in replies}
+    if method != "lint" and "error" in by_id[1]:
+        return "", 1
+    reply = by_id[2]
+    if "error" in reply:
+        return "", 1
+    return reply["result"]["output"], reply["result"]["exit_code"]
+
+
+def commands_for(program_text, program_path):
+    """The per-program differential suite: (cli-argv, method, params)."""
+    views = re.findall(r"^\s*view\s+(\w+)", program_text, re.MULTILINE)
+    cases = [
+        ([program_path, "list"], "list", {}),
+        ([program_path, "lattice"], "lattice", {}),
+        ([program_path, "report"], "report", {}),
+        (["lint", program_path], "lint",
+         {"program": program_text, "path": program_path}),
+        (["lint", program_path, "--format=json"], "lint",
+         {"program": program_text, "path": program_path, "format": "json"}),
+    ]
+    for view in views:
+        cases.append(([program_path, "export", view], "export",
+                      {"view": view}))
+    if len(views) >= 2:
+        cases.append(([program_path, "equiv", views[0], views[1]], "equiv",
+                      {"left": views[0], "right": views[1]}))
+        cases.append(
+            ([program_path, "equiv", views[0], views[1], "--threads=2"],
+             "equiv", {"left": views[0], "right": views[1], "threads": 2}))
+    if views:
+        cases.append(([program_path, "simplify", views[0]], "simplify",
+                      {"view": views[0]}))
+        cases.append(([program_path, "nonredundant", views[0]],
+                      "nonredundant", {"view": views[0]}))
+    return cases
+
+
+def main():
+    if len(sys.argv) != 4:
+        print(__doc__, file=sys.stderr)
+        return 2
+    cli, daemon, programs_dir = sys.argv[1], sys.argv[2], sys.argv[3]
+    programs = sorted(glob.glob(os.path.join(programs_dir, "*.vcp")))
+    assert programs, f"no programs under {programs_dir}"
+
+    checked = 0
+    for program_path in programs:
+        with open(program_path) as f:
+            program_text = f.read()
+        for argv, method, params in commands_for(program_text, program_path):
+            cli_out, cli_code = cli_run(cli, argv)
+            daemon_out, daemon_code = daemon_run(
+                daemon, program_text, method, params)
+            label = f"{os.path.basename(program_path)}: {' '.join(argv)}"
+            assert cli_out == daemon_out, (
+                f"{label}: stdout differs\n--- cli ---\n{cli_out}"
+                f"--- daemon ---\n{daemon_out}")
+            assert cli_code == daemon_code, (
+                f"{label}: exit {cli_code} (cli) vs {daemon_code} (daemon)")
+            checked += 1
+
+    # Warm pass: repeated identical requests in one session answer
+    # identically (the memo caches change latency, never verdicts).
+    for program_path in programs:
+        with open(program_path) as f:
+            program_text = f.read()
+        read_only = [(m, p) for _, m, p in
+                     commands_for(program_text, program_path)
+                     if m in ("list", "lattice", "report", "export", "equiv",
+                              "lint")]
+        requests = [
+            {"id": 1, "method": "load", "params": {"program": program_text}}]
+        for i, (method, params) in enumerate(read_only):
+            for repeat in (0, 1):
+                requests.append({"id": 10 + 2 * i + repeat,
+                                 "method": method, "params": params})
+        replies = {r.get("id"): r for r in daemon_session(daemon, requests)}
+        for i in range(len(read_only)):
+            first, second = replies[10 + 2 * i], replies[10 + 2 * i + 1]
+            first.pop("id"), second.pop("id")
+            assert first == second, (
+                f"{program_path}: warm reply differs for "
+                f"{read_only[i][0]}: {first} vs {second}")
+            checked += 1
+
+    print(f"diff_cli_daemon: {checked} cases agree")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,6 +28,14 @@ cmake --build --preset ci-asan
 echo "== test (ci-asan) =="
 ctest --preset ci-asan
 
+# Drive the daemon end to end under ASan: scripted stdio and TCP
+# sessions (load, membership at two thread counts, live stats), then a
+# protocol shutdown — the script asserts verdicts and a clean exit.
+echo "== daemon smoke (viewcapd scripted session) =="
+python3 "$repo_root/tools/daemon_smoke.py" \
+    "$repo_root/build-asan/tools/viewcapd" \
+    "$repo_root/examples/programs/example315.vcp"
+
 echo "== configure (ci-tsan) =="
 cmake --preset ci-tsan
 

@@ -1,4 +1,11 @@
-// viewcap_cli: command-line front end for the view-capacity analyses.
+// viewcap_cli: one-shot command-line front end for the view-capacity
+// analyses.
+//
+// This is a thin shell over the service core (src/service): argv is
+// parsed by the canonical grammar (service/cli.h) into a typed Request,
+// the Request runs through the same Dispatcher the viewcapd daemon uses,
+// and the Response renders back to stdout/stderr/exit code. All file I/O
+// happens here at the edges; the dispatcher never touches the filesystem.
 //
 // Usage:
 //   viewcap_cli <program-file> <command> [args...] [--engine-stats]
@@ -17,6 +24,7 @@
 //   capacity <V> <max-leaves>     list Cap(V) members up to a size budget
 //   eval <V> <view-query> <data-file>
 //                                 run a view query against a data file
+//   compose <inner> <outer>       flatten a view-over-a-view to the base
 //   report (alias: analyze)       full markdown audit of every view
 //   lint                          static analysis: structural and
 //                                 paper-backed semantic diagnostics
@@ -28,398 +36,111 @@
 // across N threads (0 = one per hardware thread). Verdicts and witnesses
 // are identical for every N; the default 1 is the exact legacy serial path.
 //
-// lint flags:
-//   --format=sarif        emit SARIF 2.1.0 (for code-scanning upload)
-//   --fix                 apply every machine-applicable fix-it in place,
-//                         re-linting to a fixpoint (idempotent: the fixed
-//                         file re-lints with zero fixable findings)
-//   --fix-dry-run         print the fixed program to stdout instead
-//   --baseline=<file>     subtract known findings (lint/baseline.h)
-//   --write-baseline=<file>  record the current findings as the baseline
-//
 // lint exit codes are severity-based: 0 = clean (notes allowed),
 // 3 = warnings found, 4 = errors found (1 = I/O failure, 2 = usage).
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <filesystem>
 #include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
-#include "core/viewcap.h"
-#include "lint/baseline.h"
-#include "lint/fixits.h"
-#include "lint/linter.h"
-#include "lint/sarif.h"
+#include "service/cli.h"
+#include "service/dispatcher.h"
 
 namespace {
 
-int Usage() {
-  std::fprintf(stderr,
-               "usage: viewcap_cli <program-file> <command> [args...] "
-               "[--engine-stats] [--threads=N]\n"
-               "       viewcap_cli lint <program-file> "
-               "[--format=text|json|sarif] [--no-semantic] [--threads=N]\n"
-               "                   [--fix | --fix-dry-run] "
-               "[--baseline=<file>] [--write-baseline=<file>]\n"
-               "commands:\n"
-               "  list\n"
-               "  equiv <V> <W>\n"
-               "  answerable <V> <query-expr>\n"
-               "  nonredundant <V>\n"
-               "  simplify <V>\n"
-               "  lattice\n"
-               "  minimize <query-expr>\n"
-               "  export <V>\n"
-               "  capacity <V> <max-leaves>\n"
-               "  eval <V> <view-query> <data-file>\n"
-               "  report | analyze [--engine-stats]\n"
-               "  lint [--format=text|json|sarif] [--no-semantic] [--fix]\n");
-  return 2;
+int CannotOpen(const std::string& path) {
+  std::fprintf(stderr, "viewcap_cli: cannot open '%s'\n", path.c_str());
+  return 1;
 }
 
-/// Parses the value of a `--threads=N` flag. Returns false (leaving
-/// `*threads` untouched) on a malformed count; 0 is valid and means one
-/// thread per hardware thread.
-bool ParseThreads(const char* text, std::size_t* threads) {
-  char* end = nullptr;
-  const unsigned long value = std::strtoul(text, &end, 10);
-  if (end == text || *end != '\0') return false;
-  *threads = static_cast<std::size_t>(value);
+int CannotWrite(const std::string& path) {
+  std::fprintf(stderr, "viewcap_cli: cannot write '%s'\n", path.c_str());
+  return 1;
+}
+
+bool WriteFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << text;
   return true;
-}
-
-bool ReadFile(const std::string& path, std::string* out) {
-  std::error_code ec;
-  if (std::filesystem::is_directory(path, ec)) return false;
-  std::ifstream in(path);
-  if (!in) return false;
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  *out = buffer.str();
-  return true;
-}
-
-/// `viewcap_cli lint <file> [flags]` or `viewcap_cli <file> lint [flags]`.
-/// `path` is args[path_at]; everything else in `args` past index 1 is a flag.
-int RunLint(const std::vector<std::string>& args, std::size_t path_at,
-            std::size_t threads) {
-  const std::string& path = args[path_at];
-  enum class Format { kText, kJson, kSarif };
-  Format format = Format::kText;
-  bool fix = false;
-  bool fix_dry_run = false;
-  std::string baseline_path;
-  std::string write_baseline_path;
-  viewcap::LintOptions options;
-  options.limits.threads = threads;
-  for (std::size_t i = 2; i < args.size(); ++i) {
-    if (args[i] == "--format=json") {
-      format = Format::kJson;
-    } else if (args[i] == "--format=text") {
-      format = Format::kText;
-    } else if (args[i] == "--format=sarif") {
-      format = Format::kSarif;
-    } else if (args[i] == "--no-semantic") {
-      options.semantic = false;
-    } else if (args[i] == "--fix") {
-      fix = true;
-    } else if (args[i] == "--fix-dry-run") {
-      fix_dry_run = true;
-    } else if (args[i].rfind("--baseline=", 0) == 0) {
-      baseline_path = args[i].substr(std::string("--baseline=").size());
-    } else if (args[i].rfind("--write-baseline=", 0) == 0) {
-      write_baseline_path =
-          args[i].substr(std::string("--write-baseline=").size());
-    } else if (args[i].rfind("--max-semantic-definitions=", 0) == 0) {
-      std::size_t value = 0;
-      const std::string count =
-          args[i].substr(std::string("--max-semantic-definitions=").size());
-      if (!ParseThreads(count.c_str(), &value)) {
-        std::fprintf(stderr, "viewcap_cli: bad definition count '%s'\n",
-                     count.c_str());
-        return 2;
-      }
-      options.max_semantic_definitions = value;
-    } else if (args[i].rfind("--max-candidates=", 0) == 0) {
-      std::size_t value = 0;
-      const std::string count =
-          args[i].substr(std::string("--max-candidates=").size());
-      if (!ParseThreads(count.c_str(), &value) || value == 0) {
-        std::fprintf(stderr, "viewcap_cli: bad candidate budget '%s'\n",
-                     count.c_str());
-        return 2;
-      }
-      options.limits.max_candidates = value;
-    } else {
-      std::fprintf(stderr, "viewcap_cli: unknown lint flag '%s'\n",
-                   args[i].c_str());
-      return Usage();
-    }
-  }
-  std::string text;
-  if (!ReadFile(path, &text)) {
-    std::fprintf(stderr, "viewcap_cli: cannot open '%s'\n", path.c_str());
-    return 1;
-  }
-  if (fix || fix_dry_run) {
-    viewcap::FixOutcome outcome = viewcap::FixProgram(text, options);
-    if (fix_dry_run) {
-      // Print the fixed program; leave the file untouched.
-      std::cout << outcome.text;
-      std::fprintf(stderr, "viewcap_cli: %zu edit%s in %zu round%s (dry run)\n",
-                   outcome.edits_applied, outcome.edits_applied == 1 ? "" : "s",
-                   outcome.rounds, outcome.rounds == 1 ? "" : "s");
-      return outcome.clean ? 0 : 1;
-    }
-    if (outcome.edits_applied > 0) {
-      std::ofstream out(path, std::ios::trunc);
-      if (!out) {
-        std::fprintf(stderr, "viewcap_cli: cannot write '%s'\n", path.c_str());
-        return 1;
-      }
-      out << outcome.text;
-    }
-    std::fprintf(stderr, "viewcap_cli: applied %zu edit%s in %zu round%s\n",
-                 outcome.edits_applied, outcome.edits_applied == 1 ? "" : "s",
-                 outcome.rounds, outcome.rounds == 1 ? "" : "s");
-    text = outcome.text;  // Report the remaining (unfixable) findings below.
-  }
-  viewcap::Linter linter(options);
-  viewcap::LintResult result = linter.Run(text);
-  if (!write_baseline_path.empty()) {
-    std::ofstream out(write_baseline_path, std::ios::trunc);
-    if (!out) {
-      std::fprintf(stderr, "viewcap_cli: cannot write '%s'\n",
-                   write_baseline_path.c_str());
-      return 1;
-    }
-    out << viewcap::WriteBaseline(result.diagnostics);
-  }
-  if (!baseline_path.empty()) {
-    std::string baseline_text;
-    if (!ReadFile(baseline_path, &baseline_text)) {
-      std::fprintf(stderr, "viewcap_cli: cannot open '%s'\n",
-                   baseline_path.c_str());
-      return 1;
-    }
-    std::size_t suppressed = 0;
-    result.diagnostics =
-        viewcap::FilterBaseline(std::move(result.diagnostics),
-                                viewcap::ParseBaseline(baseline_text),
-                                &suppressed);
-    result.suppressed += suppressed;
-  }
-  switch (format) {
-    case Format::kJson:
-      std::cout << viewcap::RenderJson(result.diagnostics, path);
-      break;
-    case Format::kSarif:
-      std::cout << viewcap::RenderSarif(result.diagnostics, path);
-      break;
-    case Format::kText:
-      if (result.diagnostics.empty()) {
-        std::cout << path << ": no problems found";
-        if (result.suppressed > 0) {
-          std::cout << " (" << result.suppressed << " suppressed)";
-        }
-        std::cout << "\n";
-      } else {
-        std::cout << viewcap::RenderText(result.diagnostics, path);
-        if (result.suppressed > 0) {
-          std::cout << result.suppressed << " suppressed.\n";
-        }
-      }
-      break;
-  }
-  if (result.HasErrors()) return 4;
-  if (result.HasWarnings()) return 3;
-  return 0;
-}
-
-/// Runs one analysis command against a loaded analyzer. `args` is the
-/// positional argument vector: args[0] = program file, args[1] = command.
-int Dispatch(viewcap::Analyzer& analyzer, const std::vector<std::string>& args) {
-  const std::string& command = args[1];
-  std::string report;
-  if (command == "list") {
-    for (const std::string& name : analyzer.ViewNames()) {
-      auto view = analyzer.GetView(name);
-      std::cout << (*view)->ToString();
-    }
-    return 0;
-  }
-  if (command == "equiv" && args.size() == 4) {
-    auto result = analyzer.CheckEquivalence(args[2], args[3], &report);
-    if (!result.ok()) {
-      std::fprintf(stderr, "viewcap_cli: %s\n",
-                   result.status().ToString().c_str());
-      return 1;
-    }
-    std::cout << report;
-    return result->equivalent ? 0 : 3;
-  }
-  if (command == "answerable" && args.size() == 4) {
-    auto result = analyzer.CheckAnswerable(args[2], args[3], &report);
-    if (!result.ok()) {
-      std::fprintf(stderr, "viewcap_cli: %s\n",
-                   result.status().ToString().c_str());
-      return 1;
-    }
-    std::cout << report;
-    return result->member ? 0 : 3;
-  }
-  if (command == "nonredundant" && args.size() == 3) {
-    auto result = analyzer.EliminateRedundancy(args[2], &report);
-    if (!result.ok()) {
-      std::fprintf(stderr, "viewcap_cli: %s\n",
-                   result.status().ToString().c_str());
-      return 1;
-    }
-    std::cout << report;
-    return 0;
-  }
-  if (command == "simplify" && args.size() == 3) {
-    auto result = analyzer.SimplifyView(args[2], &report);
-    if (!result.ok()) {
-      std::fprintf(stderr, "viewcap_cli: %s\n",
-                   result.status().ToString().c_str());
-      return 1;
-    }
-    std::cout << report;
-    return 0;
-  }
-  if (command == "lattice" && args.size() == 2) {
-    auto result = analyzer.CompareAllViews(&report);
-    if (!result.ok()) {
-      std::fprintf(stderr, "viewcap_cli: %s\n",
-                   result.status().ToString().c_str());
-      return 1;
-    }
-    std::cout << report;
-    return 0;
-  }
-  if (command == "minimize" && args.size() == 3) {
-    auto result = analyzer.MinimizeQuery(args[2], &report);
-    if (!result.ok()) {
-      std::fprintf(stderr, "viewcap_cli: %s\n",
-                   result.status().ToString().c_str());
-      return 1;
-    }
-    std::cout << report;
-    return 0;
-  }
-  if (command == "capacity" && args.size() == 4) {
-    char* end = nullptr;
-    const unsigned long max_leaves = std::strtoul(args[3].c_str(), &end, 10);
-    if (end == args[3].c_str() || *end != '\0' || max_leaves == 0) {
-      std::fprintf(stderr, "viewcap_cli: bad leaf budget '%s'\n",
-                   args[3].c_str());
-      return 2;
-    }
-    auto result = analyzer.EnumerateViewCapacity(
-        args[2], static_cast<std::size_t>(max_leaves), 256, &report);
-    if (!result.ok()) {
-      std::fprintf(stderr, "viewcap_cli: %s\n",
-                   result.status().ToString().c_str());
-      return 1;
-    }
-    std::cout << report;
-    return 0;
-  }
-  if ((command == "report" || command == "analyze") && args.size() == 2) {
-    auto result = viewcap::RenderReport(analyzer);
-    if (!result.ok()) {
-      std::fprintf(stderr, "viewcap_cli: %s\n",
-                   result.status().ToString().c_str());
-      return 1;
-    }
-    std::cout << *result;
-    return 0;
-  }
-  if (command == "eval" && args.size() == 5) {
-    std::ifstream data_in(args[4]);
-    if (!data_in) {
-      std::fprintf(stderr, "viewcap_cli: cannot open '%s'\n",
-                   args[4].c_str());
-      return 1;
-    }
-    std::stringstream data;
-    data << data_in.rdbuf();
-    auto result =
-        analyzer.EvaluateViewQuery(args[2], args[3], data.str(), &report);
-    if (!result.ok()) {
-      std::fprintf(stderr, "viewcap_cli: %s\n",
-                   result.status().ToString().c_str());
-      return 1;
-    }
-    std::cout << report;
-    return 0;
-  }
-  if (command == "export" && args.size() == 3) {
-    auto result = analyzer.ExportView(args[2]);
-    if (!result.ok()) {
-      std::fprintf(stderr, "viewcap_cli: %s\n",
-                   result.status().ToString().c_str());
-      return 1;
-    }
-    std::cout << *result;
-    return 0;
-  }
-  return Usage();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  // --engine-stats and --threads=N may appear anywhere; strip them before
-  // positional dispatch.
-  bool engine_stats = false;
-  std::size_t threads = 1;
-  std::vector<std::string> args;
-  args.reserve(static_cast<std::size_t>(argc));
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--engine-stats") == 0) {
-      engine_stats = true;
-    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      if (!ParseThreads(argv[i] + 10, &threads)) {
-        std::fprintf(stderr, "viewcap_cli: bad thread count '%s'\n",
-                     argv[i] + 10);
-        return 2;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  auto parsed = viewcap::ParseCommandLine(args);
+  if (!parsed.ok()) {
+    if (!parsed.status().message().empty()) {
+      std::fprintf(stderr, "viewcap_cli: %s\n",
+                   parsed.status().message().c_str());
+    }
+    std::fputs(viewcap::UsageText().c_str(), stderr);
+    return 2;
+  }
+  viewcap::CliInvocation inv = std::move(parsed).value();
+  viewcap::Request& req = inv.request;
+  if (!viewcap::ReadFileToString(inv.program_path, &req.program_text)) {
+    return CannotOpen(inv.program_path);
+  }
+
+  viewcap::Workspace workspace;
+  viewcap::Dispatcher dispatcher(&workspace);
+  const bool is_lint = req.kind == viewcap::RequestKind::kLint;
+
+  if (is_lint) {
+    // Lint runs before (instead of) program loading: its whole point is
+    // to diagnose programs the loader would reject.
+    if (!inv.baseline_path.empty()) {
+      if (!viewcap::ReadFileToString(inv.baseline_path,
+                                     &req.lint.baseline_text)) {
+        return CannotOpen(inv.baseline_path);
       }
-    } else {
-      args.emplace_back(argv[i]);
+      req.lint.have_baseline = true;
+    }
+  } else {
+    viewcap::Request load;
+    load.kind = viewcap::RequestKind::kLoad;
+    load.program_text = req.program_text;
+    viewcap::Response loaded = dispatcher.Handle(load);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "viewcap_cli: %s\n",
+                   loaded.status.ToString().c_str());
+      return 1;
+    }
+    // The data file is read only after a successful load, like the
+    // historical shell.
+    if (req.kind == viewcap::RequestKind::kEval) {
+      if (!viewcap::ReadFileToString(inv.data_path, &req.data_text)) {
+        return CannotOpen(inv.data_path);
+      }
     }
   }
-  if (args.size() < 2) return Usage();
-  // Lint runs before (instead of) analyzer loading: its whole point is to
-  // diagnose programs the loader would reject.
-  if (args[0] == "lint") return RunLint(args, 1, threads);
-  if (args[1] == "lint") return RunLint(args, 0, threads);
-  std::string program_text;
-  if (!ReadFile(args[0], &program_text)) {
-    std::fprintf(stderr, "viewcap_cli: cannot open '%s'\n", args[0].c_str());
-    return 1;
+
+  viewcap::Response resp = dispatcher.Handle(req);
+
+  // Lint file side effects happen before anything prints, so a write
+  // failure exits 1 without partial output.
+  if (is_lint && resp.ok()) {
+    if (inv.fix_in_place && resp.edits_applied > 0) {
+      if (!WriteFile(inv.program_path, resp.fixed_text)) {
+        return CannotWrite(inv.program_path);
+      }
+    }
+    if (!inv.write_baseline_path.empty() && !req.lint.fix_dry_run) {
+      if (!WriteFile(inv.write_baseline_path, resp.baseline_text)) {
+        return CannotWrite(inv.write_baseline_path);
+      }
+    }
   }
-  viewcap::Analyzer analyzer;
-  {
-    viewcap::SearchLimits limits = analyzer.limits();
-    limits.threads = threads;
-    analyzer.set_limits(limits);
+
+  if (!resp.note.empty()) {
+    std::fprintf(stderr, "%s\n", resp.note.c_str());
   }
-  viewcap::Status st = analyzer.Load(program_text);
-  if (!st.ok()) {
-    std::fprintf(stderr, "viewcap_cli: %s\n", st.ToString().c_str());
-    return 1;
+  std::cout << resp.output;
+  if (!resp.ok()) {
+    std::fprintf(stderr, "viewcap_cli: %s\n", resp.status.ToString().c_str());
   }
-  int code = Dispatch(analyzer, args);
-  // One engine serves the whole run, so the stats describe exactly the
-  // command that just executed.
-  if (engine_stats && code != 2) {
-    std::cout << "\n" << viewcap::RenderEngineStats(analyzer.engine_stats());
-  }
-  return code;
+  return resp.exit_code;
 }

@@ -1,0 +1,264 @@
+// viewcapd: the warm-engine analysis daemon.
+//
+// One long-lived Workspace (catalog + memoizing engine) serves every
+// session, so repeated questions hit the engine's caches instead of
+// re-deriving closures from scratch — the warm-vs-cold gap that
+// bench/BENCH_serving.json measures (>=10x on repeated membership).
+// Sessions speak the line-delimited JSON protocol of service/protocol.h
+// and multiplex onto the shared engine; verdicts are bit-identical to the
+// one-shot viewcap_cli because both are thin shells over the same
+// Dispatcher.
+//
+// Usage:
+//   viewcapd [--program=<file>]... [--threads=N] [--max-candidates=N]
+//            [--listen=PORT]
+//
+// With no --listen the daemon serves a single session on stdin/stdout
+// (the mode scripts and the CI smoke test use). With --listen=PORT it
+// accepts TCP connections on 127.0.0.1:PORT (PORT 0 picks a free port;
+// the chosen port is announced on stderr as "viewcapd: listening on
+// port N"), one thread per connection. --program preloads view programs
+// at startup; --threads/--max-candidates set the workspace-default
+// SearchLimits that requests inherit unless they override per request.
+//
+// Shutdown is graceful: a protocol `shutdown` request (any session) or
+// SIGINT/SIGTERM stops accepting, unblocks the live sessions, and joins
+// them before exiting.
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <streambuf>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/cli.h"
+#include "service/protocol.h"
+
+namespace {
+
+// The signal handler may only touch async-signal-safe state: it flags the
+// stop and half-closes the listening socket so accept() unblocks.
+volatile std::sig_atomic_t g_stop = 0;
+int g_listen_fd = -1;
+
+void OnSignal(int) {
+  g_stop = 1;
+  if (g_listen_fd >= 0) ::shutdown(g_listen_fd, SHUT_RDWR);
+}
+
+/// A std::streambuf over a connected socket, so TCP sessions run through
+/// the exact ServeSession code path the stdio mode uses.
+class FdStreambuf : public std::streambuf {
+ public:
+  explicit FdStreambuf(int fd) : fd_(fd) {
+    setg(in_, in_, in_);
+    setp(out_, out_ + sizeof(out_));
+  }
+
+ protected:
+  int_type underflow() override {
+    if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+    const ssize_t n = ::read(fd_, in_, sizeof(in_));
+    if (n <= 0) return traits_type::eof();
+    setg(in_, in_, in_ + n);
+    return traits_type::to_int_type(*gptr());
+  }
+
+  int_type overflow(int_type ch) override {
+    if (Flush() != 0) return traits_type::eof();
+    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+      *pptr() = traits_type::to_char_type(ch);
+      pbump(1);
+    }
+    return traits_type::not_eof(ch);
+  }
+
+  int sync() override { return Flush(); }
+
+ private:
+  int Flush() {
+    const char* data = pbase();
+    std::ptrdiff_t left = pptr() - pbase();
+    while (left > 0) {
+      const ssize_t wrote = ::write(fd_, data, static_cast<size_t>(left));
+      if (wrote <= 0) return -1;
+      data += wrote;
+      left -= wrote;
+    }
+    setp(out_, out_ + sizeof(out_));
+    return 0;
+  }
+
+  int fd_;
+  char in_[4096];
+  char out_[4096];
+};
+
+int UsageError(const std::string& message) {
+  if (!message.empty()) {
+    std::fprintf(stderr, "viewcapd: %s\n", message.c_str());
+  }
+  std::fprintf(stderr,
+               "usage: viewcapd [--program=<file>]... [--threads=N] "
+               "[--max-candidates=N] [--listen=PORT]\n");
+  return 2;
+}
+
+/// Live TCP connections, so shutdown can unblock their reads.
+class ConnectionSet {
+ public:
+  void Add(int fd) {
+    std::lock_guard<std::mutex> lock(mu_);
+    fds_.push_back(fd);
+  }
+  void Remove(int fd) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = fds_.begin(); it != fds_.end(); ++it) {
+      if (*it == fd) {
+        fds_.erase(it);
+        break;
+      }
+    }
+  }
+  void ShutdownAll() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int fd : fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<int> fds_;
+};
+
+int ServeTcp(viewcap::Dispatcher& dispatcher, viewcap::ServerStats& stats,
+             unsigned short port) {
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    std::perror("viewcapd: socket");
+    return 1;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd, 16) < 0) {
+    std::perror("viewcapd: bind/listen");
+    ::close(listen_fd);
+    return 1;
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  std::fprintf(stderr, "viewcapd: listening on port %d\n",
+               static_cast<int>(ntohs(addr.sin_port)));
+
+  g_listen_fd = listen_fd;
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+
+  ConnectionSet connections;
+  std::vector<std::thread> sessions;
+  while (g_stop == 0) {
+    const int conn = ::accept(listen_fd, nullptr, nullptr);
+    if (conn < 0) {
+      if (g_stop != 0) break;
+      if (errno == EINTR) continue;
+      break;
+    }
+    connections.Add(conn);
+    sessions.emplace_back([&dispatcher, &stats, &connections, conn] {
+      FdStreambuf buf(conn);
+      std::istream in(&buf);
+      std::ostream out(&buf);
+      const bool shutdown_requested =
+          viewcap::ServeSession(dispatcher, &stats, in, out);
+      out.flush();
+      connections.Remove(conn);
+      ::close(conn);
+      if (shutdown_requested) OnSignal(0);
+    });
+  }
+  // Stop the remaining sessions at their next read and wait them out.
+  connections.ShutdownAll();
+  for (std::thread& session : sessions) session.join();
+  ::close(listen_fd);
+  g_listen_fd = -1;
+  std::fprintf(stderr, "viewcapd: shutting down\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> programs;
+  viewcap::SearchLimits limits;
+  bool listen = false;
+  unsigned short port = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::size_t eq = arg.find('=');
+    const std::string name = arg.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? std::string() : arg.substr(eq + 1);
+    std::size_t count = 0;
+    if (name == "--program") {
+      programs.push_back(value);
+    } else if (name == "--threads") {
+      if (!viewcap::ParseCount(value, &count)) {
+        return UsageError("bad thread count '" + value + "'");
+      }
+      limits.threads = count;
+    } else if (name == "--max-candidates") {
+      if (!viewcap::ParseCount(value, &count) || count == 0) {
+        return UsageError("bad candidate budget '" + value + "'");
+      }
+      limits.max_candidates = count;
+    } else if (name == "--listen") {
+      if (!viewcap::ParseCount(value, &count) || count > 65535) {
+        return UsageError("bad port '" + value + "'");
+      }
+      listen = true;
+      port = static_cast<unsigned short>(count);
+    } else {
+      return UsageError("unknown flag '" + arg + "'");
+    }
+  }
+
+  viewcap::Workspace workspace(limits);
+  viewcap::Dispatcher dispatcher(&workspace);
+  viewcap::ServerStats stats;
+
+  for (const std::string& path : programs) {
+    std::string text;
+    if (!viewcap::ReadFileToString(path, &text)) {
+      std::fprintf(stderr, "viewcapd: cannot open '%s'\n", path.c_str());
+      return 1;
+    }
+    const viewcap::Status st = workspace.Load(text);
+    if (!st.ok()) {
+      std::fprintf(stderr, "viewcapd: %s: %s\n", path.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  if (!listen) {
+    viewcap::ServeSession(dispatcher, &stats, std::cin, std::cout);
+    return 0;
+  }
+  return ServeTcp(dispatcher, stats, port);
+}
