@@ -5,12 +5,31 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <string_view>
 
 namespace viewcap {
 
 /// Mixes `value` into `seed` (boost::hash_combine-style, 64-bit constants).
 inline void HashCombine(std::size_t& seed, std::size_t value) {
   seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+inline constexpr std::uint64_t kFnv1a64OffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnv1a64Prime = 0x100000001b3ULL;
+
+/// 64-bit FNV-1a over a byte range. Unlike std::hash, the value is fixed
+/// by the algorithm — stable across processes, library versions and
+/// builds — so it is safe to persist (the on-disk capacity index uses it
+/// for section checksums and dominance-key hashing) and to seed
+/// deterministic name minting from.
+inline std::uint64_t Fnv1a64(std::string_view bytes,
+                             std::uint64_t seed = kFnv1a64OffsetBasis) {
+  std::uint64_t h = seed;
+  for (unsigned char c : bytes) {
+    h ^= static_cast<std::uint64_t>(c);
+    h *= kFnv1a64Prime;
+  }
+  return h;
 }
 
 /// Hashes a range of hashable elements into one value.

@@ -18,17 +18,27 @@ std::string SchemeNames(const Catalog& catalog, const AttrSet& scheme) {
 
 }  // namespace
 
+std::string RenderHitRate(std::size_t hits, std::size_t total) {
+  if (total == 0) return "n/a";
+  // Integer permille, so the rendering is identical on every platform
+  // (no floating-point formatting).
+  const std::size_t permille = (hits * 1000 + total / 2) / total;
+  return StrCat(permille / 10, ".", permille % 10, "%");
+}
+
 std::string RenderEngineStats(const EngineStats& stats) {
   std::string out = "## Engine statistics\n\n";
   out += StrCat("Interned template classes: ", stats.interned_classes, " (",
                 stats.intern_requests, " requests, ", stats.intern_hits,
                 " hits, ", stats.equivalence_confirms,
                 " equivalence confirms)\n\n");
-  out += "| cache | requests | hits | runs | entries | evictions |\n";
-  out += "|---|---|---|---|---|---|\n";
+  out += "| cache | requests | hits | hit rate | runs | entries |"
+         " evictions |\n";
+  out += "|---|---|---|---|---|---|---|\n";
   auto row = [&](const char* name, const CacheCounters& c) {
     out += StrCat("| ", name, " | ", c.requests, " | ", c.hits(), " | ",
-                  c.runs, " | ", c.entries, " | ", c.evictions, " |\n");
+                  RenderHitRate(c.hits(), c.requests), " | ", c.runs, " | ",
+                  c.entries, " | ", c.evictions, " |\n");
   };
   row("reduce", stats.reduce);
   row("canonical-key", stats.canonical_key);
@@ -37,6 +47,24 @@ std::string RenderEngineStats(const EngineStats& stats) {
   row("expansion", stats.expansion);
   row("verdict", stats.verdict);
   row("dominance", stats.dominance);
+  return out;
+}
+
+std::string RenderIndexStats(const IndexStats& stats) {
+  std::string out = "## Capacity index statistics\n\n";
+  out += "| lookup | requests | hits | hit rate | fallbacks |\n";
+  out += "|---|---|---|---|---|\n";
+  out += StrCat("| membership | ", stats.membership_lookups, " | ",
+                stats.membership_hits, " | ",
+                RenderHitRate(stats.membership_hits,
+                              stats.membership_lookups),
+                " | ", stats.membership_fallbacks(), " |\n");
+  out += StrCat("| dominance | ", stats.dominance_lookups, " | ",
+                stats.dominance_hits, " | ",
+                RenderHitRate(stats.dominance_hits, stats.dominance_lookups),
+                " | ", stats.dominance_fallbacks(), " |\n");
+  out += StrCat("\nLimit mismatches (served live): ", stats.limit_mismatches,
+                "\n");
   return out;
 }
 

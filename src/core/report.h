@@ -5,6 +5,7 @@
 #include <string>
 
 #include "core/analyzer.h"
+#include "index/index_reader.h"
 
 namespace viewcap {
 
@@ -27,6 +28,15 @@ struct ReportOptions {
 /// plus the interning summary). Used by the report's optional stats section
 /// and by the CLI's --engine-stats flag.
 std::string RenderEngineStats(const EngineStats& stats);
+
+/// Renders an attached capacity index's serving counters (hits, derived
+/// hit rates, fallbacks) as a markdown table. Appended to the stats
+/// surfaces only when an index is attached.
+std::string RenderIndexStats(const IndexStats& stats);
+
+/// "87.5%"-style ratio with one decimal, or "n/a" when `total` is zero.
+/// Integer arithmetic only, so renderings are platform-identical.
+std::string RenderHitRate(std::size_t hits, std::size_t total);
 
 /// Renders a markdown report over every view loaded into `analyzer`:
 /// the schema, per-view structural statistics (reduced template sizes,

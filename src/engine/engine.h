@@ -171,6 +171,57 @@ struct EngineStats {
 /// non-equivalent templates).
 std::string TableauFingerprint(const Tableau& t);
 
+/// Version of the fingerprint/cache-key scheme: TableauFingerprint's
+/// format, the verdict-key layout built by CapacityOracle::VerdictKey and
+/// the dominance-key layout of DominanceKeyFor. Bump whenever any of those
+/// encodings changes — the persistent capacity index stamps this version
+/// into its header and a reader rejects files written under a different
+/// scheme (src/index/), so stale key layouts are never silently served.
+inline constexpr std::uint32_t kFingerprintSchemeVersion = 1;
+
+class Engine;
+
+/// One membership question as the persistent index sees it: the query
+/// set's members (handles and interned classes, in member order), the
+/// interned query class, and the search limits the caller is using.
+/// Everything is expressed in process-local TableauIds; the index
+/// implementation translates them to its stored class ordinals via the
+/// engine's canonical keys (see src/index/index_reader.h).
+struct MembershipProbe {
+  const std::vector<RelId>* handles = nullptr;
+  const std::vector<TableauId>* member_ids = nullptr;
+  /// The oracle's set fingerprint — a process-local cache key the index
+  /// may use to memoize its own set resolution (never persisted).
+  const std::string* set_fingerprint = nullptr;
+  TableauId query_id = kInvalidTableauId;
+  std::size_t extra_leaves = 0;
+  std::size_t max_leaves = 0;
+  std::size_t max_candidates = 0;
+};
+
+/// A read-only source of precomputed verdicts consulted between the
+/// engine's in-memory caches and a live closure search (the persistent
+/// capacity index of src/index/ is the one implementation; tests stub
+/// it). A lookup either returns the exact verdict the live engine would
+/// compute — bit-identical member/witness/budget fields — or nullopt, in
+/// which case the caller falls back to the live search. Implementations
+/// must be safe for concurrent lookups and must record their own
+/// hit/miss/fallback counters.
+class VerdictIndex {
+ public:
+  virtual ~VerdictIndex() = default;
+
+  /// Precomputed Theorem 2.4.11 membership verdict, or nullopt when the
+  /// probe's set, query class or limits are not covered.
+  virtual std::optional<MembershipResult> LookupMembership(
+      Engine& engine, const MembershipProbe& probe) = 0;
+
+  /// Precomputed Lemma 1.5.4 dominance verdict under the exact
+  /// process-independent dominance key (DominanceKeyFor), or nullopt.
+  virtual std::optional<DominanceResult> LookupDominance(
+      Engine& engine, const std::string& key) = 0;
+};
+
 /// A bounded memo cache with LRU eviction. Values are returned by pointer
 /// valid only until the next Put (eviction may free them); callers copy
 /// immediately. Capacity 0 disables the cache entirely: Get always misses
@@ -451,6 +502,19 @@ class Engine {
   /// Deprecated spelling of StatsSnapshot(), kept for older callers.
   EngineStats Stats() const { return StatsSnapshot(); }
 
+  /// Attaches a precomputed verdict source (or detaches with nullptr).
+  /// The index must outlive its attachment; verdict consumers
+  /// (CapacityOracle::Contains, Dominates) consult it after an in-memory
+  /// cache miss and before a live search. Attachment is atomic so a
+  /// serving process may attach while searches run; lookups already in
+  /// flight simply miss it.
+  void AttachIndex(VerdictIndex* index) {
+    attached_index_.store(index, std::memory_order_release);
+  }
+  VerdictIndex* attached_index() const {
+    return attached_index_.load(std::memory_order_acquire);
+  }
+
  private:
   /// One relaxed pass over every counter; under concurrent use the result
   /// may mix before/after values of a racing update (StatsSnapshot's
@@ -521,6 +585,8 @@ class Engine {
   Counter dominance_requests_{0}, dominance_runs_{0};
   Counter intern_requests_{0}, intern_hits_{0};
   Counter equivalence_confirms_{0};
+
+  std::atomic<VerdictIndex*> attached_index_{nullptr};
 };
 
 }  // namespace viewcap

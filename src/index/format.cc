@@ -1,0 +1,260 @@
+#include "index/format.h"
+
+#include <cstring>
+
+#include "base/hash.h"
+#include "base/strings.h"
+#include "engine/engine.h"  // kFingerprintSchemeVersion.
+
+namespace viewcap {
+
+namespace {
+
+// Fixed header prefix: magic + endian word + two versions + section count
+// + file size + header size + checksum.
+constexpr std::size_t kChecksumOffset = 40;
+constexpr std::size_t kFixedPrefixSize = 48;
+
+// Header checksum: everything before the checksum field plus everything
+// after it up to header_size.
+std::uint64_t HeaderChecksum(std::string_view file, std::uint64_t header_size) {
+  std::uint64_t h = Fnv1a64(file.substr(0, kChecksumOffset));
+  return Fnv1a64(file.substr(kFixedPrefixSize, header_size - kFixedPrefixSize),
+                 h);
+}
+
+}  // namespace
+
+std::string CatalogFingerprint(const Catalog& catalog) {
+  std::string out = "VCAT1;attrs=";
+  for (std::size_t a = 0; a < catalog.num_attributes(); ++a) {
+    if (a != 0) out += ',';
+    out += catalog.AttributeName(static_cast<AttrId>(a));
+  }
+  out += ";rels=";
+  for (std::size_t r = 0; r < catalog.num_relations(); ++r) {
+    if (r != 0) out += ',';
+    out += catalog.RelationName(static_cast<RelId>(r));
+    out += '(';
+    const AttrSet& scheme = catalog.RelationScheme(static_cast<RelId>(r));
+    for (std::size_t i = 0; i < scheme.size(); ++i) {
+      if (i != 0) out += ' ';
+      out += std::to_string(scheme.attrs()[i]);
+    }
+    out += ')';
+  }
+  return out;
+}
+
+void AppendU8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void AppendU32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendU64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendString(std::string& out, std::string_view s) {
+  AppendU32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s.data(), s.size());
+}
+
+Status Cursor::Truncated(std::size_t need) const {
+  return Status::IllFormed(
+      StrCat("capacity index: ", what_, " truncated at byte ", offset_,
+             " (need ", need, ", have ", remaining(), ")"));
+}
+
+Result<std::uint8_t> Cursor::ReadU8() {
+  if (remaining() < 1) return Truncated(1);
+  return static_cast<std::uint8_t>(bytes_[offset_++]);
+}
+
+Result<std::uint32_t> Cursor::ReadU32() {
+  if (remaining() < 4) return Truncated(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(
+             static_cast<unsigned char>(bytes_[offset_ + i]))
+         << (8 * i);
+  }
+  offset_ += 4;
+  return v;
+}
+
+Result<std::uint64_t> Cursor::ReadU64() {
+  if (remaining() < 8) return Truncated(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(
+             static_cast<unsigned char>(bytes_[offset_ + i]))
+         << (8 * i);
+  }
+  offset_ += 8;
+  return v;
+}
+
+Result<std::string_view> Cursor::ReadString() {
+  VIEWCAP_ASSIGN_OR_RETURN(std::uint32_t length, ReadU32());
+  if (remaining() < length) return Truncated(length);
+  std::string_view s = bytes_.substr(offset_, length);
+  offset_ += length;
+  return s;
+}
+
+Status Cursor::Seek(std::size_t offset) {
+  if (offset > bytes_.size()) {
+    return Status::IllFormed(StrCat("capacity index: ", what_,
+                                    " seek past end (offset ", offset,
+                                    ", size ", bytes_.size(), ")"));
+  }
+  offset_ = offset;
+  return Status::OK();
+}
+
+Result<IndexHeader> ParseIndexHeader(std::string_view file) {
+  if (file.size() < kFixedPrefixSize) {
+    return Status::IllFormed(
+        StrCat("capacity index: file too small to hold a header (",
+               file.size(), " bytes)"));
+  }
+  if (std::memcmp(file.data(), kIndexMagic, sizeof(kIndexMagic)) != 0) {
+    return Status::IllFormed(
+        "capacity index: bad magic (not a viewcap index file)");
+  }
+  Cursor cursor(file, "header");
+  VIEWCAP_RETURN_NOT_OK(cursor.Seek(sizeof(kIndexMagic)));
+  VIEWCAP_ASSIGN_OR_RETURN(std::uint32_t endian, cursor.ReadU32());
+  if (endian != kIndexEndianWord) {
+    return Status::IllFormed(
+        "capacity index: endianness mismatch (file written on a "
+        "byte-swapped host)");
+  }
+  IndexHeader header;
+  VIEWCAP_ASSIGN_OR_RETURN(header.format_version, cursor.ReadU32());
+  if (header.format_version != kIndexFormatVersion) {
+    return Status::IllFormed(
+        StrCat("capacity index: unsupported format version ",
+               header.format_version, " (this build reads version ",
+               kIndexFormatVersion, ")"));
+  }
+  VIEWCAP_ASSIGN_OR_RETURN(header.fingerprint_scheme_version,
+                           cursor.ReadU32());
+  VIEWCAP_ASSIGN_OR_RETURN(std::uint32_t section_count, cursor.ReadU32());
+  VIEWCAP_ASSIGN_OR_RETURN(header.file_size, cursor.ReadU64());
+  VIEWCAP_ASSIGN_OR_RETURN(header.header_size, cursor.ReadU64());
+  VIEWCAP_ASSIGN_OR_RETURN(std::uint64_t checksum, cursor.ReadU64());
+  if (header.file_size != file.size()) {
+    return Status::IllFormed(StrCat("capacity index: header claims ",
+                                    header.file_size, " bytes but the file is ",
+                                    file.size()));
+  }
+  if (header.header_size < kFixedPrefixSize ||
+      header.header_size > file.size()) {
+    return Status::IllFormed(
+        StrCat("capacity index: implausible header size ",
+               header.header_size));
+  }
+  if (HeaderChecksum(file, header.header_size) != checksum) {
+    return Status::IllFormed("capacity index: header checksum mismatch");
+  }
+  // Everything below kChecksumOffset onward is checksum-verified; decode
+  // failures past this point indicate a writer bug rather than corruption,
+  // but still surface as clean errors.
+  VIEWCAP_ASSIGN_OR_RETURN(std::string_view fingerprint, cursor.ReadString());
+  header.catalog_fingerprint.assign(fingerprint);
+  header.sections.reserve(section_count);
+  for (std::uint32_t i = 0; i < section_count; ++i) {
+    IndexSection section;
+    VIEWCAP_ASSIGN_OR_RETURN(section.id, cursor.ReadU32());
+    VIEWCAP_ASSIGN_OR_RETURN(section.offset, cursor.ReadU64());
+    VIEWCAP_ASSIGN_OR_RETURN(section.size, cursor.ReadU64());
+    VIEWCAP_ASSIGN_OR_RETURN(section.checksum, cursor.ReadU64());
+    if (section.offset < header.header_size ||
+        section.offset > file.size() ||
+        section.size > file.size() - section.offset) {
+      return Status::IllFormed(
+          StrCat("capacity index: section ", section.id,
+                 " out of bounds (offset ", section.offset, ", size ",
+                 section.size, ", file ", file.size(), ")"));
+    }
+    for (const IndexSection& seen : header.sections) {
+      if (seen.id == section.id) {
+        return Status::IllFormed(
+            StrCat("capacity index: duplicate section id ", section.id));
+      }
+    }
+    header.sections.push_back(section);
+  }
+  if (cursor.offset() != header.header_size) {
+    return Status::IllFormed(
+        StrCat("capacity index: header size mismatch (table ends at ",
+               cursor.offset(), ", header claims ", header.header_size, ")"));
+  }
+  return header;
+}
+
+Result<std::string_view> FindSection(const IndexHeader& header,
+                                     std::string_view file,
+                                     std::uint32_t id) {
+  for (const IndexSection& section : header.sections) {
+    if (section.id != id) continue;
+    std::string_view bytes =
+        file.substr(section.offset, section.size);
+    if (Fnv1a64(bytes) != section.checksum) {
+      return Status::IllFormed(
+          StrCat("capacity index: section ", id, " checksum mismatch"));
+    }
+    return bytes;
+  }
+  return Status::NotFound(
+      StrCat("capacity index: no section with id ", id));
+}
+
+std::string AssembleIndexFile(
+    std::string_view catalog_fingerprint,
+    const std::vector<std::pair<std::uint32_t, std::string>>& sections) {
+  // Header size: fixed prefix + fingerprint string + table.
+  const std::uint64_t header_size =
+      kFixedPrefixSize + 4 + catalog_fingerprint.size() +
+      sections.size() * (4 + 8 + 8 + 8);
+  std::uint64_t file_size = header_size;
+  for (const auto& [id, payload] : sections) file_size += payload.size();
+
+  std::string out;
+  out.reserve(file_size);
+  out.append(kIndexMagic, sizeof(kIndexMagic));
+  AppendU32(out, kIndexEndianWord);
+  AppendU32(out, kIndexFormatVersion);
+  AppendU32(out, kFingerprintSchemeVersion);
+  AppendU32(out, static_cast<std::uint32_t>(sections.size()));
+  AppendU64(out, file_size);
+  AppendU64(out, header_size);
+  AppendU64(out, 0);  // Checksum placeholder, patched below.
+  AppendString(out, catalog_fingerprint);
+  std::uint64_t offset = header_size;
+  for (const auto& [id, payload] : sections) {
+    AppendU32(out, id);
+    AppendU64(out, offset);
+    AppendU64(out, payload.size());
+    AppendU64(out, Fnv1a64(payload));
+    offset += payload.size();
+  }
+  const std::uint64_t checksum = HeaderChecksum(out, header_size);
+  for (int i = 0; i < 8; ++i) {
+    out[kChecksumOffset + static_cast<std::size_t>(i)] =
+        static_cast<char>((checksum >> (8 * i)) & 0xff);
+  }
+  for (const auto& [id, payload] : sections) out += payload;
+  return out;
+}
+
+}  // namespace viewcap

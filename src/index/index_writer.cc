@@ -1,0 +1,314 @@
+#include "index/index_writer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "algebra/printer.h"
+#include "base/hash.h"
+#include "base/strings.h"
+#include "index/format.h"
+#include "views/capacity.h"
+#include "views/equivalence.h"
+
+namespace viewcap {
+
+namespace {
+
+/// Dense ordinals for the interned classes the index stores. Ordinals are
+/// assigned in first-reference order, which is deterministic: views in
+/// load order, definitions in declaration order, then the capacity sweep's
+/// deterministic enumeration order.
+class ClassRegistry {
+ public:
+  std::uint32_t OrdinalOf(TableauId id) {
+    auto [it, inserted] = ordinals_.try_emplace(
+        id, static_cast<std::uint32_t>(ids_.size()));
+    if (inserted) ids_.push_back(id);
+    return it->second;
+  }
+
+  const std::vector<TableauId>& ids() const { return ids_; }
+  std::size_t size() const { return ids_.size(); }
+
+ private:
+  std::unordered_map<TableauId, std::uint32_t> ordinals_;
+  std::vector<TableauId> ids_;
+};
+
+void SerializeTableau(const Tableau& t, std::string& out) {
+  const AttrSet& universe = t.universe();
+  AppendU32(out, static_cast<std::uint32_t>(universe.size()));
+  for (AttrId attr : universe) AppendU32(out, attr);
+  AppendU32(out, static_cast<std::uint32_t>(t.rows().size()));
+  for (const TaggedTuple& row : t.rows()) {
+    AppendU32(out, row.rel);
+    // The tuple is over the full universe (TaggedTuple contract), so the
+    // attribute of position k is universe.attrs()[k]; only ordinals need
+    // storing.
+    for (std::size_t k = 0; k < universe.size(); ++k) {
+      AppendU32(out, row.tuple.ValueAt(k).ordinal);
+    }
+  }
+}
+
+}  // namespace
+
+Result<std::string> BuildIndexBytes(Analyzer& analyzer,
+                                    const IndexBuildOptions& options,
+                                    IndexBuildStats* stats_out) {
+  Engine& engine = analyzer.engine();
+  const Catalog& catalog = analyzer.catalog();
+  // Captured before any closure work: the fingerprint names the catalog
+  // state a fresh process reaches by loading the same program text, which
+  // is the invalidation gate the reader checks at attach time.
+  const std::string fingerprint = CatalogFingerprint(catalog);
+
+  const std::vector<std::string> names = analyzer.ViewNames();
+  if (names.empty()) {
+    return Status::InvalidArgument(
+        "capacity index: the program declares no views to index");
+  }
+  std::vector<const View*> views;
+  views.reserve(names.size());
+  for (const std::string& name : names) {
+    VIEWCAP_ASSIGN_OR_RETURN(const View* view, analyzer.GetView(name));
+    views.push_back(view);
+  }
+
+  ClassRegistry classes;
+  struct SetRecord {
+    std::vector<std::pair<RelId, std::uint32_t>> members;
+  };
+  std::vector<SetRecord> sets;
+  sets.reserve(views.size());
+  // Keyed by (set ordinal, query class ordinal); a std::map so the
+  // serialized order is the reader's binary-search order.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, MembershipResult>
+      verdicts;
+  std::map<std::string, DominanceResult> dominance;
+
+  // One oracle per view, all over the shared engine, under the SERVING
+  // limits (see IndexBuildOptions). A deque: oracles own a mutex and are
+  // immovable.
+  std::deque<CapacityOracle> oracles;
+  for (const View* view : views) {
+    SetRecord record;
+    record.members.reserve(view->size());
+    for (const ViewDefinition& d : view->definitions()) {
+      record.members.emplace_back(d.rel,
+                                  classes.OrdinalOf(engine.Intern(d.tableau)));
+    }
+    sets.push_back(std::move(record));
+    oracles.emplace_back(&engine, *view, options.limits);
+  }
+
+  const auto store_verdict = [&](std::uint32_t set_ordinal,
+                                 const Tableau& query,
+                                 CapacityOracle& oracle) -> Status {
+    const std::uint32_t query_ordinal =
+        classes.OrdinalOf(engine.Intern(query));
+    const auto key = std::make_pair(set_ordinal, query_ordinal);
+    if (verdicts.find(key) != verdicts.end()) return Status::OK();
+    VIEWCAP_ASSIGN_OR_RETURN(MembershipResult verdict, oracle.Contains(query));
+    verdicts.emplace(key, std::move(verdict));
+    return Status::OK();
+  };
+
+  // Saturation sweep: the size-bounded capacity fragment of each view.
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    VIEWCAP_ASSIGN_OR_RETURN(
+        std::vector<CapacityOracle::CapacityEntry> entries,
+        oracles[i].EnumerateCapacity(options.max_leaves,
+                                     options.max_entries_per_view));
+    for (const CapacityOracle::CapacityEntry& entry : entries) {
+      VIEWCAP_RETURN_NOT_OK(store_verdict(static_cast<std::uint32_t>(i),
+                                          entry.query, oracles[i]));
+    }
+  }
+
+  // Cross-view precomputation: every ordered pair's definition probes
+  // (negatives included — a stored "not a member" saves the same search
+  // as a stored witness) plus the whole dominance verdict.
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    for (std::size_t j = 0; j < views.size(); ++j) {
+      if (i == j || views[i]->universe() != views[j]->universe()) continue;
+      for (const ViewDefinition& d : views[j]->definitions()) {
+        VIEWCAP_RETURN_NOT_OK(store_verdict(static_cast<std::uint32_t>(i),
+                                            d.tableau, oracles[i]));
+      }
+      VIEWCAP_ASSIGN_OR_RETURN(
+          DominanceResult result,
+          Dominates(engine, *views[i], *views[j], options.limits));
+      dominance.emplace(DominanceKeyFor(*views[i], *views[j], options.limits),
+                        std::move(result));
+    }
+  }
+
+  // --- Serialize ---------------------------------------------------------
+
+  std::string meta;
+  AppendU64(meta, options.limits.extra_leaves);
+  AppendU64(meta, options.limits.max_leaves);
+  AppendU64(meta, options.limits.max_candidates);
+  AppendU64(meta, options.max_leaves);
+  AppendU64(meta, options.max_entries_per_view);
+  AppendU64(meta, classes.size());
+  AppendU64(meta, sets.size());
+  AppendU64(meta, verdicts.size());
+  AppendU64(meta, dominance.size());
+
+  std::string classes_section;
+  AppendU32(classes_section, static_cast<std::uint32_t>(classes.size()));
+  for (TableauId id : classes.ids()) {
+    SerializeTableau(engine.Representative(id), classes_section);
+  }
+
+  // Canonical keys, sorted (std::map), each mapping to every stored class
+  // ordinal sharing the key (distinct classes may collide beyond the
+  // canonical-key threshold; the reader disambiguates by equivalence).
+  std::map<std::string, std::vector<std::uint32_t>> by_key;
+  for (std::size_t ordinal = 0; ordinal < classes.size(); ++ordinal) {
+    by_key[engine.Key(engine.Representative(classes.ids()[ordinal]))]
+        .push_back(static_cast<std::uint32_t>(ordinal));
+  }
+  std::string keys_section;
+  {
+    std::string blob;
+    std::vector<std::uint64_t> offsets;
+    offsets.reserve(by_key.size());
+    for (const auto& [key, ordinals] : by_key) {
+      offsets.push_back(blob.size());
+      AppendString(blob, key);
+      AppendU32(blob, static_cast<std::uint32_t>(ordinals.size()));
+      for (std::uint32_t ordinal : ordinals) AppendU32(blob, ordinal);
+    }
+    AppendU32(keys_section, static_cast<std::uint32_t>(offsets.size()));
+    for (std::uint64_t offset : offsets) AppendU64(keys_section, offset);
+    keys_section += blob;
+  }
+
+  std::string sets_section;
+  AppendU32(sets_section, static_cast<std::uint32_t>(sets.size()));
+  for (const SetRecord& record : sets) {
+    AppendU32(sets_section, static_cast<std::uint32_t>(record.members.size()));
+    for (const auto& [handle, ordinal] : record.members) {
+      AppendU32(sets_section, handle);
+      AppendU32(sets_section, ordinal);
+    }
+  }
+
+  std::string verdicts_section;
+  {
+    std::string blob;
+    std::vector<std::uint64_t> offsets;
+    offsets.reserve(verdicts.size());
+    for (const auto& [key, verdict] : verdicts) {
+      offsets.push_back(blob.size());
+      AppendU32(blob, key.first);
+      AppendU32(blob, key.second);
+      AppendU8(blob, verdict.member ? 1 : 0);
+      AppendU8(blob, verdict.budget_exhausted ? 1 : 0);
+      AppendU64(blob, verdict.candidates_tried);
+      AppendU64(blob, verdict.leaf_budget);
+      AppendString(blob, verdict.witness == nullptr
+                             ? std::string()
+                             : ToString(verdict.witness, catalog));
+    }
+    AppendU32(verdicts_section, static_cast<std::uint32_t>(offsets.size()));
+    for (std::uint64_t offset : offsets) AppendU64(verdicts_section, offset);
+    verdicts_section += blob;
+  }
+
+  std::string dominance_section;
+  {
+    // Sorted by (hash, key): binary search lands on the hash run, the full
+    // key stored with each entry disambiguates collisions exactly.
+    std::vector<std::pair<std::uint64_t, const std::string*>> order;
+    order.reserve(dominance.size());
+    for (const auto& [key, result] : dominance) {
+      order.emplace_back(Fnv1a64(key), &key);
+    }
+    std::sort(order.begin(), order.end(),
+              [](const auto& a, const auto& b) {
+                return a.first != b.first ? a.first < b.first
+                                          : *a.second < *b.second;
+              });
+    std::string blob;
+    std::vector<std::uint64_t> offsets;
+    offsets.reserve(order.size());
+    for (const auto& [hash, key] : order) {
+      const DominanceResult& result = dominance.at(*key);
+      offsets.push_back(blob.size());
+      AppendString(blob, *key);
+      AppendU8(blob, result.dominates ? 1 : 0);
+      AppendU8(blob, result.inconclusive ? 1 : 0);
+      AppendU32(blob, static_cast<std::uint32_t>(result.witnesses.size()));
+      for (const ExprPtr& witness : result.witnesses) {
+        AppendU8(blob, witness == nullptr ? 0 : 1);
+        AppendString(blob, witness == nullptr ? std::string()
+                                              : ToString(witness, catalog));
+      }
+      AppendU32(blob, static_cast<std::uint32_t>(result.missing.size()));
+      for (std::size_t index : result.missing) AppendU64(blob, index);
+    }
+    AppendU32(dominance_section, static_cast<std::uint32_t>(order.size()));
+    for (const auto& [hash, key] : order) AppendU64(dominance_section, hash);
+    for (std::uint64_t offset : offsets) AppendU64(dominance_section, offset);
+    dominance_section += blob;
+  }
+
+  std::vector<std::pair<std::uint32_t, std::string>> sections;
+  sections.emplace_back(kSectionMeta, std::move(meta));
+  sections.emplace_back(kSectionClasses, std::move(classes_section));
+  sections.emplace_back(kSectionKeys, std::move(keys_section));
+  sections.emplace_back(kSectionSets, std::move(sets_section));
+  sections.emplace_back(kSectionVerdicts, std::move(verdicts_section));
+  sections.emplace_back(kSectionDominance, std::move(dominance_section));
+  std::string file = AssembleIndexFile(fingerprint, sections);
+
+  if (stats_out != nullptr) {
+    stats_out->classes = classes.size();
+    stats_out->sets = sets.size();
+    stats_out->verdicts = verdicts.size();
+    stats_out->dominance_entries = dominance.size();
+    stats_out->bytes = file.size();
+  }
+  return file;
+}
+
+Result<IndexBuildStats> BuildIndexFile(Analyzer& analyzer,
+                                       const std::string& path,
+                                       const IndexBuildOptions& options) {
+  IndexBuildStats stats;
+  VIEWCAP_ASSIGN_OR_RETURN(std::string bytes,
+                           BuildIndexBytes(analyzer, options, &stats));
+  const std::string temp = StrCat(path, ".tmp");
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::Internal(
+          StrCat("capacity index: cannot open '", temp, "' for writing"));
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      std::remove(temp.c_str());
+      return Status::Internal(
+          StrCat("capacity index: short write to '", temp, "'"));
+    }
+  }
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    std::remove(temp.c_str());
+    return Status::Internal(
+        StrCat("capacity index: cannot rename '", temp, "' to '", path, "'"));
+  }
+  return stats;
+}
+
+}  // namespace viewcap

@@ -78,7 +78,14 @@ std::string UsageText() {
       "  eval <V> <view-query> <data-file>\n"
       "  compose <inner> <outer>\n"
       "  report | analyze [--engine-stats]\n"
-      "  lint [--format=text|json|sarif] [--no-semantic] [--fix]\n";
+      "  lint [--format=text|json|sarif] [--no-semantic] [--fix]\n"
+      "persistent capacity index:\n"
+      "  index build <program-file> <index-file> "
+      "[--build-leaves=N] [--build-entries=N]\n"
+      "  index query <index-file> <program-file> <command> [args...]\n"
+      "  index info <index-file>\n"
+      "  (any command also accepts --index=<index-file> to serve from "
+      "an index)\n";
 }
 
 Result<CliInvocation> ParseCommandLine(
@@ -95,6 +102,78 @@ Result<CliInvocation> ParseCommandLine(
       positionals.push_back(token);
     }
   }
+  // The index subcommand leads its own grammar. build/info are handled
+  // fully here; query strips its prefix and re-enters the ordinary
+  // grammar below with the index path recorded for the shell to attach.
+  if (!positionals.empty() && positionals[0] == "index") {
+    if (positionals.size() < 2) {
+      return UsageError("index needs a subcommand: build, query, or info");
+    }
+    const std::string& sub = positionals[1];
+    if (sub == "build") {
+      if (positionals.size() != 4) {
+        return UsageError(
+            "usage: viewcap_cli index build <program-file> <index-file>");
+      }
+      inv.index_action = IndexAction::kBuild;
+      inv.program_path = positionals[2];
+      inv.index_path = positionals[3];
+      req.program_path = inv.program_path;
+    } else if (sub == "info") {
+      if (positionals.size() != 3) {
+        return UsageError("usage: viewcap_cli index info <index-file>");
+      }
+      inv.index_action = IndexAction::kInfo;
+      inv.index_path = positionals[2];
+    } else if (sub == "query") {
+      if (positionals.size() < 4) {
+        return UsageError(
+            "usage: viewcap_cli index query <index-file> <program-file> "
+            "<command> [args...]");
+      }
+      inv.index_action = IndexAction::kQuery;
+      inv.index_path = positionals[2];
+      positionals.erase(positionals.begin(), positionals.begin() + 3);
+    } else {
+      return UsageError(StrCat("unknown index subcommand '", sub, "'"));
+    }
+    if (inv.index_action != IndexAction::kQuery) {
+      // build/info take only the build knobs and the common limits.
+      for (const Flag& flag : flags) {
+        if (flag.name == "--build-leaves" || flag.name == "--build-entries") {
+          if (inv.index_action != IndexAction::kBuild) {
+            return UsageError(StrCat("flag '", flag.name,
+                                     "' is only valid for 'index build'"));
+          }
+          std::size_t value = 0;
+          if (!ParseCount(flag.value, &value) || value == 0) {
+            return UsageError(
+                StrCat("bad count '", flag.value, "' for ", flag.name));
+          }
+          (flag.name == "--build-leaves" ? inv.index_build_leaves
+                                         : inv.index_build_entries) = value;
+        } else if (flag.name == "--threads") {
+          std::size_t value = 0;
+          if (!ParseCount(flag.value, &value)) {
+            return UsageError(StrCat("bad thread count '", flag.value, "'"));
+          }
+          req.threads = value;
+        } else if (flag.name == "--max-candidates") {
+          std::size_t value = 0;
+          if (!ParseCount(flag.value, &value) || value == 0) {
+            return UsageError(
+                StrCat("bad candidate budget '", flag.value, "'"));
+          }
+          req.max_candidates = value;
+        } else {
+          return UsageError(StrCat("unknown flag '", flag.name,
+                                   "' for 'index ", sub, "'"));
+        }
+      }
+      return inv;
+    }
+  }
+
   if (positionals.size() < 2) return UsageError();
 
   // Resolve the command. Lint may lead ("lint <file>", the documented
@@ -144,6 +223,19 @@ Result<CliInvocation> ParseCommandLine(
       // Accepted everywhere; the dispatcher ignores it for lint (which
       // runs on a private engine), matching the historical behavior.
       req.engine_stats = true;
+    } else if (flag.name == "--index") {
+      if (is_lint) {
+        return UsageError("flag '--index' is not valid for lint");
+      }
+      if (flag.value.empty()) {
+        return UsageError("flag '--index' needs a file path");
+      }
+      inv.index_path = flag.value;
+      inv.index_action = IndexAction::kQuery;
+    } else if (flag.name == "--build-leaves" ||
+               flag.name == "--build-entries") {
+      return UsageError(
+          StrCat("flag '", flag.name, "' is only valid for 'index build'"));
     } else if (flag.name == "--format") {
       if (!is_lint) {
         return UsageError(

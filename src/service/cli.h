@@ -6,6 +6,9 @@
 //
 //   <program-file> <command> [args...] [--flags]
 //   lint <program-file> [--flags]          (also: <program-file> lint)
+//   index build <program-file> <index-file> [--build-leaves=N ...]
+//   index query <index-file> <program-file> <command> [args...]
+//   index info <index-file>
 //
 // Flags may appear anywhere; `--threads=N`, `--max-candidates=N` and
 // `--engine-stats` are valid on every command, the lint flags only on
@@ -23,6 +26,11 @@
 
 namespace viewcap {
 
+/// What the persistent-index subcommand asks of the shell. kQuery also
+/// covers the global `--index=<path>` flag: attach the index, then run
+/// the ordinary command against it.
+enum class IndexAction { kNone, kBuild, kQuery, kInfo };
+
 /// A parsed command line: the Request to dispatch plus the shell-side
 /// file effects. Paths are what the user named; the shell reads
 /// program/data/baseline files into the Request before dispatching and
@@ -39,6 +47,15 @@ struct CliInvocation {
   std::string write_baseline_path;
   /// Write Response::fixed_text back over program_path (lint --fix).
   bool fix_in_place = false;
+
+  /// Persistent capacity index handling (kNone for ordinary commands).
+  IndexAction index_action = IndexAction::kNone;
+  /// Index file to build (kBuild), attach (kQuery), or inspect (kInfo).
+  std::string index_path;
+  /// `index build` saturation budget (IndexBuildOptions::max_leaves).
+  std::size_t index_build_leaves = 4;
+  /// `index build` per-view entry cap (max_entries_per_view).
+  std::size_t index_build_entries = 256;
 };
 
 /// Parses `argv` (without the binary name) against the canonical grammar.

@@ -251,6 +251,11 @@ Response Dispatcher::Handle(const Request& request) {
       resp.engine_stats = workspace_->EngineStatsSnapshot();
       resp.has_engine_stats = true;
       resp.output = RenderEngineStats(resp.engine_stats);
+      if (auto index = workspace_->IndexStatsSnapshot()) {
+        resp.index_stats = *index;
+        resp.has_index_stats = true;
+        resp.output += StrCat("\n", RenderIndexStats(resp.index_stats));
+      }
       break;
     case RequestKind::kLint:
       break;  // Handled above.
@@ -264,6 +269,11 @@ Response Dispatcher::Handle(const Request& request) {
     resp.engine_stats = workspace_->EngineStatsSnapshot();
     resp.has_engine_stats = true;
     resp.output += StrCat("\n", RenderEngineStats(resp.engine_stats));
+    if (auto index = workspace_->IndexStatsSnapshot()) {
+      resp.index_stats = *index;
+      resp.has_index_stats = true;
+      resp.output += StrCat("\n", RenderIndexStats(resp.index_stats));
+    }
   }
   return resp;
 }

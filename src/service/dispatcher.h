@@ -155,6 +155,13 @@ struct Response {
   bool has_engine_stats = false;
   EngineStats engine_stats;
 
+  /// Serving counters of the attached persistent capacity index. Only
+  /// populated alongside engine_stats and only when the workspace has an
+  /// index attached, so index-less deployments render byte-identically to
+  /// builds that predate the index.
+  bool has_index_stats = false;
+  IndexStats index_stats;
+
   bool ok() const { return status.ok(); }
 };
 

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "base/strings.h"
+#include "core/report.h"
 
 namespace viewcap {
 
@@ -45,6 +46,35 @@ JsonValue CountersToJson(const CacheCounters& counters) {
   obj.Set("evictions",
           JsonValue::Number(static_cast<double>(counters.evictions)));
   obj.Set("entries", JsonValue::Number(static_cast<double>(counters.entries)));
+  // Derived ratio, pre-rendered so every client shows the same figure
+  // ("n/a" when the cache was never consulted).
+  obj.Set("hit_rate",
+          JsonValue::Str(RenderHitRate(counters.hits(), counters.requests)));
+  return obj;
+}
+
+JsonValue IndexStatsToJson(const IndexStats& stats) {
+  auto num = [](std::size_t n) {
+    return JsonValue::Number(static_cast<double>(n));
+  };
+  JsonValue obj = JsonValue::Object();
+  JsonValue membership = JsonValue::Object();
+  membership.Set("lookups", num(stats.membership_lookups));
+  membership.Set("hits", num(stats.membership_hits));
+  membership.Set("fallbacks", num(stats.membership_fallbacks()));
+  membership.Set("hit_rate",
+                 JsonValue::Str(RenderHitRate(stats.membership_hits,
+                                              stats.membership_lookups)));
+  obj.Set("membership", std::move(membership));
+  JsonValue dominance = JsonValue::Object();
+  dominance.Set("lookups", num(stats.dominance_lookups));
+  dominance.Set("hits", num(stats.dominance_hits));
+  dominance.Set("fallbacks", num(stats.dominance_fallbacks()));
+  dominance.Set("hit_rate",
+                JsonValue::Str(RenderHitRate(stats.dominance_hits,
+                                             stats.dominance_lookups)));
+  obj.Set("dominance", std::move(dominance));
+  obj.Set("limit_mismatches", num(stats.limit_mismatches));
   return obj;
 }
 
@@ -335,6 +365,9 @@ JsonValue ResponseToJson(const Response& response, RequestKind kind) {
   }
   if (response.has_engine_stats) {
     result.Set("engine_stats", EngineStatsToJson(response.engine_stats));
+  }
+  if (response.has_index_stats) {
+    result.Set("index", IndexStatsToJson(response.index_stats));
   }
   return result;
 }

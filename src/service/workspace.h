@@ -34,11 +34,16 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <shared_mutex>
+#include <string>
 #include <string_view>
 #include <utility>
 
 #include "core/analyzer.h"
+#include "index/index_reader.h"
+#include "index/index_writer.h"
 
 namespace viewcap {
 
@@ -81,6 +86,40 @@ class Workspace {
 
   const SearchLimits& default_limits() const { return default_limits_; }
 
+  /// Opens the persistent capacity index at `path`, validates it against
+  /// the loaded program's catalog (exclusive: attach changes what every
+  /// subsequent verdict consults) and attaches it to the engine. A stale
+  /// or corrupt index is a structured error and leaves the workspace
+  /// serving live, never a silently wrong answer.
+  Status AttachIndex(const std::string& path) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    VIEWCAP_ASSIGN_OR_RETURN(std::unique_ptr<IndexReader> reader,
+                             IndexReader::Open(path, &analyzer_.catalog()));
+    index_ = std::move(reader);
+    analyzer_.engine().AttachIndex(index_.get());
+    return Status::OK();
+  }
+
+  /// Builds (and publishes at `path`) an index over the loaded program
+  /// (exclusive: the build saturates the shared engine).
+  Result<IndexBuildStats> BuildIndex(const std::string& path,
+                                     const IndexBuildOptions& options) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    return BuildIndexFile(analyzer_, path, options);
+  }
+
+  bool has_index() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return index_ != nullptr;
+  }
+
+  /// Counters of the attached index, or nullopt when serving live-only.
+  std::optional<IndexStats> IndexStatsSnapshot() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (index_ == nullptr) return std::nullopt;
+    return index_->StatsSnapshot();
+  }
+
   /// Consistent copy of the shared engine's counters (thread-safe, no
   /// workspace lock: the engine publishes its own snapshot).
   EngineStats EngineStatsSnapshot() const {
@@ -100,6 +139,9 @@ class Workspace {
   mutable std::shared_mutex mu_;
   Analyzer analyzer_;
   SearchLimits default_limits_;
+  /// Attached persistent capacity index; must outlive its attachment to
+  /// the engine, so it is owned here next to the analyzer.
+  std::unique_ptr<IndexReader> index_;
   std::atomic<std::uint64_t> requests_{0};
 };
 

@@ -117,10 +117,12 @@ CapacityOracle::CapacityOracle(Engine* engine, const View& view,
 
 void CapacityOracle::InternMembers() {
   member_ids_.reserve(set_.size());
+  member_handles_.reserve(set_.size());
   std::string fingerprint = "S";
   for (const QuerySet::Member& m : set_.members()) {
     const TableauId id = engine_->Intern(m.query);
     member_ids_.push_back(id);
+    member_handles_.push_back(m.handle);
     // The handle is part of the fingerprint on purpose: a verdict's
     // witness is an expression over the handles, so sets with equivalent
     // queries behind different handles must not share verdicts.
@@ -206,6 +208,26 @@ Result<MembershipResult> CapacityOracle::Contains(const Tableau& query) const {
   if (std::optional<MembershipResult> cached =
           engine_->LookupVerdict(verdict_key)) {
     return *std::move(cached);
+  }
+  // Persistent index, when one is attached: a hit is the exact verdict a
+  // live search would produce (the index stores live Contains outputs),
+  // so it is promoted into the in-memory verdict cache and returned; a
+  // miss falls through to the search below, the index recording the
+  // fallback in its own counters.
+  if (VerdictIndex* index = engine_->attached_index()) {
+    MembershipProbe probe;
+    probe.handles = &member_handles_;
+    probe.member_ids = &member_ids_;
+    probe.set_fingerprint = &set_fingerprint_;
+    probe.query_id = query_id;
+    probe.extra_leaves = limits_.extra_leaves;
+    probe.max_leaves = limits_.max_leaves;
+    probe.max_candidates = limits_.max_candidates;
+    if (std::optional<MembershipResult> hit =
+            index->LookupMembership(*engine_, probe)) {
+      engine_->StoreVerdict(verdict_key, *hit);
+      return *std::move(hit);
+    }
   }
   const Tableau& reduced_query = engine_->Representative(query_id);
 

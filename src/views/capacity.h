@@ -170,6 +170,7 @@ class CapacityOracle {
   QuerySet set_;
   SearchLimits limits_;
   std::vector<TableauId> member_ids_;  // Interned member query classes.
+  std::vector<RelId> member_handles_;  // Member handles, in member order.
   std::string set_fingerprint_;
 
   /// Front-side memo for the expression overload of Contains, keyed by

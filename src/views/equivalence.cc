@@ -7,17 +7,10 @@
 
 namespace viewcap {
 
-namespace {
-
-// Cache key for a whole dominance answer: the member-wise exact
-// fingerprints of both views (handles included — witnesses are
-// expressions over v's handles, and `missing` indexes w's definitions in
-// order) plus the search limits. Built from fingerprints rather than
-// interned ids so a warm repeat never touches the interning store;
-// `threads` is deliberately absent (verdicts are thread-count invariant,
-// as for the membership verdict cache).
-std::string DominanceKey(const View& v, const View& w,
-                         const SearchLimits& limits) {
+// Built from fingerprints rather than interned ids so a warm repeat never
+// touches the interning store (see the header for the key's contract).
+std::string DominanceKeyFor(const View& v, const View& w,
+                            const SearchLimits& limits) {
   std::string key = "D";
   const auto append_members = [&key](const View& view) {
     for (const ViewDefinition& d : view.definitions()) {
@@ -39,18 +32,26 @@ std::string DominanceKey(const View& v, const View& w,
   return key;
 }
 
-}  // namespace
-
 Result<DominanceResult> Dominates(Engine& engine, const View& v,
                                   const View& w, SearchLimits limits) {
   if (v.universe() != w.universe()) {
     return Status::IllFormed(
         "views are not over the same underlying universe");
   }
-  const std::string dominance_key = DominanceKey(v, w, limits);
+  const std::string dominance_key = DominanceKeyFor(v, w, limits);
   if (std::optional<DominanceResult> cached =
           engine.LookupDominance(dominance_key)) {
     return *std::move(cached);
+  }
+  // A persistent index answers by the same process-independent key; a hit
+  // is promoted into the in-memory dominance cache so the next repeat is
+  // a pure memory lookup.
+  if (VerdictIndex* index = engine.attached_index()) {
+    if (std::optional<DominanceResult> hit =
+            index->LookupDominance(engine, dominance_key)) {
+      engine.StoreDominance(dominance_key, *hit);
+      return *std::move(hit);
+    }
   }
   CapacityOracle oracle(&engine, v, limits);
   DominanceResult result;

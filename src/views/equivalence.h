@@ -10,6 +10,18 @@ namespace viewcap {
 // cache stores whole dominance answers) and re-exported here through
 // views/capacity.h.
 
+/// Cache key for a whole "does `v` dominate `w`" answer: the member-wise
+/// exact fingerprints of both views (handles included — witnesses are
+/// expressions over v's handles, and `missing` indexes w's definitions in
+/// order) plus the search limits; `threads` is deliberately absent
+/// (verdicts are thread-count invariant). The key contains no
+/// process-local state — relation ids are catalog-load-deterministic and
+/// TableauFingerprint is structural — so the persistent capacity index
+/// stores dominance verdicts under this exact string (format versioned by
+/// kFingerprintSchemeVersion).
+std::string DominanceKeyFor(const View& v, const View& w,
+                            const SearchLimits& limits);
+
 /// Tests whether `v` dominates `w` through a shared engine: the oracle
 /// over v reuses every template class and verdict the engine has already
 /// seen. The views must share the underlying universe and the engine's

@@ -1,10 +1,12 @@
 #include "views/simplify.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <optional>
 
 #include "base/check.h"
+#include "base/hash.h"
 #include "base/strings.h"
 #include "tableau/build.h"
 
@@ -113,6 +115,17 @@ struct WorkingQuery {
   Tableau tableau;  // Reduced.
 };
 
+// Fixed-width lowercase hex of the low 32 bits of `h`.
+std::string Hex8(std::uint64_t h) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(8, '0');
+  for (int i = 7; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[h & 0xf];
+    h >>= 4;
+  }
+  return out;
+}
+
 }  // namespace
 
 Result<SimplifyOutcome> Simplify(Engine& engine, Catalog* catalog,
@@ -183,14 +196,31 @@ Result<SimplifyOutcome> Simplify(Engine& engine, Catalog* catalog,
   }
   VIEWCAP_CHECK(!working.empty());
 
-  // Materialize the normal form as a view with freshly minted names.
-  std::string prefix =
-      StrCat(view.name().empty() ? "view" : view.name(), "_s");
+  // Materialize the normal form with deterministic names: the name tag is
+  // a hash of the input view (its name plus the exact fingerprint of every
+  // definition), not a process-local mint counter, so the same view
+  // simplifies to byte-identical text in a cold CLI run and a warm daemon
+  // session alike. AddRelation is get-or-create for an identical
+  // (name, scheme) pair, so re-simplifying the same view in one catalog
+  // reuses the names; a genuine clash (another relation already holds the
+  // name with a different scheme) falls through to deterministic probing.
+  std::uint64_t seed = Fnv1a64(view.name());
+  for (const ViewDefinition& d : view.definitions()) {
+    seed = Fnv1a64(TableauFingerprint(d.tableau), seed);
+  }
+  const std::string prefix =
+      StrCat(view.name().empty() ? "view" : view.name(), "_s", Hex8(seed));
   std::vector<std::pair<RelId, ExprPtr>> definitions;
   definitions.reserve(working.size());
-  for (const WorkingQuery& w : working) {
-    RelId rel = catalog->MintRelation(prefix, w.expr->trs());
-    definitions.push_back({rel, w.expr});
+  for (std::size_t i = 0; i < working.size(); ++i) {
+    const WorkingQuery& w = working[i];
+    const std::string name = StrCat(prefix, "_", i);
+    Result<RelId> rel = catalog->AddRelation(name, w.expr->trs());
+    for (std::uint32_t bump = 2; !rel.ok(); ++bump) {
+      if (bump > 64) return rel.status();
+      rel = catalog->AddRelation(StrCat(name, "_", bump), w.expr->trs());
+    }
+    definitions.push_back({*rel, w.expr});
   }
   VIEWCAP_ASSIGN_OR_RETURN(
       outcome.view,

@@ -5,7 +5,6 @@
 // verdict guarantee the daemon advertises.
 #include <gtest/gtest.h>
 
-#include <regex>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -517,16 +516,10 @@ TEST(ServiceProtocolTest, SessionServesRequestsAndShutdown) {
 // diff_cli_daemon.py repeats this at the binary level over
 // examples/programs/*.vcp.
 //
-// One caveat: simplify mints fresh surrogate relation names (`V_s36`)
-// from a catalog-global counter, so the literal digits depend on how
-// much earlier work the session did — true even for two simplify calls
-// within one CLI process. NormalizeMinted() masks only those digits;
-// everything else must match byte for byte.
-std::string NormalizeMinted(const std::string& text) {
-  static const std::regex kMinted("_s[0-9]+");
-  return std::regex_replace(text, kMinted, "_s#");
-}
-
+// Simplify's surrogate relation names are seeded from the input view's
+// fingerprint (not a catalog-global counter), so even the minted names
+// match byte for byte between a cold one-shot and a warm session that
+// already did unrelated work.
 TEST(ServiceDifferentialTest, OneShotAndSessionAgreeByteForByte) {
   struct Case {
     const char* method;
@@ -565,7 +558,7 @@ TEST(ServiceDifferentialTest, OneShotAndSessionAgreeByteForByte) {
     Response one_shot = cold_dispatcher.Handle(request);
     Response served = warm_dispatcher.Handle(request);
 
-    EXPECT_EQ(NormalizeMinted(one_shot.output), NormalizeMinted(served.output))
+    EXPECT_EQ(one_shot.output, served.output)
         << c.method << " " << c.params;
     EXPECT_EQ(one_shot.exit_code, served.exit_code)
         << c.method << " " << c.params;

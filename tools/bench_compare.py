@@ -21,18 +21,31 @@ DEFAULT_THRESHOLD_PCT = 15.0
 
 
 def load_records(path):
-    """Returns {benchmark name: ns_per_op} from a baseline file."""
+    """Returns {benchmark name: ns_per_op} from a baseline file.
+
+    Any problem with the file — missing, unreadable, not JSON, or JSON
+    that is not shaped like a bench --json baseline — is reported as a
+    single line on stderr and exits 2; CI logs should show the broken
+    path, not a traceback.
+    """
     try:
         with open(path, "r", encoding="utf-8") as handle:
             doc = json.load(handle)
-    except (OSError, json.JSONDecodeError) as err:
+    except (OSError, ValueError) as err:
         sys.stderr.write("bench_compare: cannot read %s: %s\n" % (path, err))
         sys.exit(2)
+    if not isinstance(doc, dict) or not isinstance(doc.get("benchmarks"), list):
+        sys.stderr.write(
+            "bench_compare: %s is not a bench baseline"
+            " (expected {\"benchmarks\": [...]})\n" % path)
+        sys.exit(2)
     records = {}
-    for entry in doc.get("benchmarks", []):
+    for entry in doc["benchmarks"]:
+        if not isinstance(entry, dict):
+            continue
         name = entry.get("name")
         ns = entry.get("ns_per_op")
-        if name is None or ns is None:
+        if not isinstance(name, str) or not isinstance(ns, (int, float)):
             continue
         records[name] = float(ns)
     if not records:

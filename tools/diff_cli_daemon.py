@@ -129,6 +129,37 @@ def main():
                 f"{read_only[i][0]}: {first} vs {second}")
             checked += 1
 
+    # Warm-then-simplify: Simplify's surrogate names are seeded from the
+    # view fingerprint, so a daemon that has already served a pile of
+    # other requests must still mint byte-identical simplify output to a
+    # one-shot CLI run. (Simplify registers its surrogate view, so it
+    # runs once per session rather than in the repeat loop above.)
+    for program_path in programs:
+        with open(program_path) as f:
+            program_text = f.read()
+        views = re.findall(r"^\s*view\s+(\w+)", program_text, re.MULTILINE)
+        if not views:
+            continue
+        warmup = [(m, p) for _, m, p in
+                  commands_for(program_text, program_path)
+                  if m in ("list", "lattice", "report", "export", "equiv")]
+        requests = [
+            {"id": 1, "method": "load", "params": {"program": program_text}}]
+        for i, (method, params) in enumerate(warmup):
+            requests.append({"id": 10 + i, "method": method, "params": params})
+        requests.append({"id": 500, "method": "simplify",
+                         "params": {"view": views[0]}})
+        replies = {r.get("id"): r for r in daemon_session(daemon, requests)}
+        warm = replies[500]
+        warm_out, warm_code = (("", 1) if "error" in warm else
+                               (warm["result"]["output"],
+                                warm["result"]["exit_code"]))
+        cli_out, cli_code = cli_run(cli, [program_path, "simplify", views[0]])
+        assert (cli_out, cli_code) == (warm_out, warm_code), (
+            f"{program_path}: warm-daemon simplify differs from one-shot "
+            f"CLI\n--- cli ---\n{cli_out}--- warm daemon ---\n{warm_out}")
+        checked += 1
+
     print(f"diff_cli_daemon: {checked} cases agree")
     return 0
 

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Index round trip: indexed serving must be bit-identical to the live engine.
+
+For every program under examples/programs/*.vcp that loads, builds a
+persistent capacity index with `viewcap_cli index build`, then reopens
+the file in a fresh process per command (`viewcap_cli index query ...`)
+and diffs stdout and exit code byte-for-byte against the live engine
+running the same command without an index. The verdict suite covers
+every ordered view pair (`equiv`, i.e. dominance both directions) and
+every view probed with every definition body in the program
+(`answerable`, membership positives and negatives alike).
+
+Also asserts the invalidation contract: querying an index against a
+different program must fail loudly instead of serving stale verdicts.
+
+Usage: index_roundtrip.py <viewcap_cli> <programs-dir> [<scratch-dir>]
+"""
+
+import glob
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+
+def run(cli, argv):
+    proc = subprocess.run([cli] + argv, capture_output=True, text=True,
+                          timeout=300)
+    return proc.stdout, proc.returncode, proc.stderr
+
+
+def verdict_commands(program_text):
+    """Every (argv-suffix) verdict command the program supports."""
+    views = re.findall(r"^\s*view\s+(\w+)", program_text, re.MULTILINE)
+    queries = [q.strip() for q in re.findall(r":=\s*([^;]+);", program_text)]
+    cases = []
+    for left in views:
+        for right in views:
+            if left != right:
+                cases.append(["equiv", left, right])
+    for view in views:
+        for query in queries:
+            cases.append(["answerable", view, query])
+    return cases
+
+
+def main():
+    if len(sys.argv) not in (3, 4):
+        print(__doc__, file=sys.stderr)
+        return 2
+    cli, programs_dir = sys.argv[1], sys.argv[2]
+    scratch = sys.argv[3] if len(sys.argv) == 4 else tempfile.mkdtemp(
+        prefix="viewcap_index_roundtrip_")
+    os.makedirs(scratch, exist_ok=True)
+    programs = sorted(glob.glob(os.path.join(programs_dir, "*.vcp")))
+    assert programs, f"no programs under {programs_dir}"
+
+    checked = 0
+    indexed_programs = []
+    for program_path in programs:
+        name = os.path.splitext(os.path.basename(program_path))[0]
+        index_path = os.path.join(scratch, name + ".vcidx")
+        out, code, err = run(cli, ["index", "build", program_path,
+                                   index_path])
+        if code != 0:
+            # Programs that do not load (lint demos) cannot be indexed;
+            # the plain CLI must agree that the program is unloadable.
+            _, live_code, _ = run(cli, [program_path, "list"])
+            assert live_code != 0, (
+                f"{name}: index build failed ({err.strip()}) but the "
+                f"program loads live")
+            continue
+        indexed_programs.append((program_path, index_path))
+
+        with open(program_path) as f:
+            program_text = f.read()
+        for suffix in verdict_commands(program_text):
+            live_out, live_code, _ = run(cli, [program_path] + suffix)
+            idx_out, idx_code, idx_err = run(
+                cli, ["index", "query", index_path, program_path] + suffix)
+            label = f"{name}: {' '.join(suffix)}"
+            assert live_out == idx_out, (
+                f"{label}: stdout differs\n--- live ---\n{live_out}"
+                f"--- indexed ---\n{idx_out}{idx_err}")
+            assert live_code == idx_code, (
+                f"{label}: exit {live_code} (live) vs {idx_code} (indexed)")
+            checked += 1
+
+    assert indexed_programs, "no example program produced an index"
+
+    # Staleness: every index must refuse to serve a different program.
+    for program_path, index_path in indexed_programs:
+        for other_path, _ in indexed_programs:
+            if other_path == program_path:
+                continue
+            _, code, err = run(cli, ["index", "query", index_path,
+                                     other_path, "list"])
+            assert code != 0, (
+                f"{os.path.basename(index_path)} served stale verdicts for "
+                f"{os.path.basename(other_path)}")
+            assert "fingerprint" in err, (
+                f"stale rejection lacks a fingerprint diagnostic: {err}")
+            checked += 1
+
+    print(f"index_roundtrip: {checked} cases bit-identical across "
+          f"{len(indexed_programs)} indexed program(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

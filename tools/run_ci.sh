@@ -60,6 +60,16 @@ cmake --build --preset ci-ubsan
 echo "== test (ci-ubsan) =="
 ctest --preset ci-ubsan
 
+# Persistent capacity index round trip under ASan: build an index over
+# every example catalog, reopen it in a fresh process per command, and
+# require every verdict to be bit-identical to the live engine (plus the
+# stale-index rejection contract). Catches serialization drift that the
+# unit tests' in-process round trips could mask.
+echo "== index round trip (build / fresh-process query diff) =="
+python3 "$repo_root/tools/index_roundtrip.py" \
+    "$repo_root/build-asan/tools/viewcap_cli" \
+    "$repo_root/examples/programs"
+
 echo "== clang-tidy =="
 "$repo_root/tools/run_tidy.sh" "$repo_root/build-asan"
 

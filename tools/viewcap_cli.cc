@@ -38,12 +38,23 @@
 //
 // lint exit codes are severity-based: 0 = clean (notes allowed),
 // 3 = warnings found, 4 = errors found (1 = I/O failure, 2 = usage).
+//
+// The persistent capacity index (src/index, DESIGN.md) has three entry
+// points here:
+//   index build <program> <index-file>   saturate and write the index
+//   index query <index-file> <program> <command> [args...]
+//                                        attach, then run the command
+//   index info <index-file>              print the header without a program
+// plus the global --index=<index-file> flag (same as `index query`). A
+// stale or corrupt index is a hard error (exit 1), never silently served.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "index/index_reader.h"
+#include "index/index_writer.h"
 #include "service/cli.h"
 #include "service/dispatcher.h"
 
@@ -81,6 +92,38 @@ int main(int argc, char** argv) {
   }
   viewcap::CliInvocation inv = std::move(parsed).value();
   viewcap::Request& req = inv.request;
+
+  // `index info` inspects the file header alone — no program involved.
+  if (inv.index_action == viewcap::IndexAction::kInfo) {
+    auto info = viewcap::IndexReader::Inspect(inv.index_path);
+    if (!info.ok()) {
+      std::fprintf(stderr, "viewcap_cli: %s\n",
+                   info.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("capacity index: %s\n", inv.index_path.c_str());
+    std::printf("format version: %u (fingerprint scheme %u)\n",
+                info->format_version, info->fingerprint_scheme_version);
+    std::printf("file size: %llu bytes\n",
+                static_cast<unsigned long long>(info->file_size));
+    std::printf("catalog fingerprint: %s\n",
+                info->catalog_fingerprint.c_str());
+    auto u = [](std::uint64_t v) {
+      return static_cast<unsigned long long>(v);
+    };
+    std::printf("serving limits: extra_leaves=%llu max_leaves=%llu "
+                "max_candidates=%llu\n",
+                u(info->extra_leaves), u(info->max_leaves),
+                u(info->max_candidates));
+    std::printf("build budget: max_leaves=%llu max_entries_per_view=%llu\n",
+                u(info->build_max_leaves), u(info->build_max_entries));
+    std::printf("sections: %llu classes, %llu sets, %llu verdicts, "
+                "%llu dominance entries\n",
+                u(info->classes), u(info->sets), u(info->verdicts),
+                u(info->dominance_entries));
+    return 0;
+  }
+
   if (!viewcap::ReadFileToString(inv.program_path, &req.program_text)) {
     return CannotOpen(inv.program_path);
   }
@@ -88,6 +131,35 @@ int main(int argc, char** argv) {
   viewcap::Workspace workspace;
   viewcap::Dispatcher dispatcher(&workspace);
   const bool is_lint = req.kind == viewcap::RequestKind::kLint;
+
+  // `index build` loads the program, saturates, and writes the file; the
+  // ordinary dispatch path is never entered.
+  if (inv.index_action == viewcap::IndexAction::kBuild) {
+    const viewcap::Status loaded = workspace.Load(req.program_text);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "viewcap_cli: %s\n", loaded.ToString().c_str());
+      return 1;
+    }
+    viewcap::IndexBuildOptions options;
+    options.max_leaves = inv.index_build_leaves;
+    options.max_entries_per_view = inv.index_build_entries;
+    options.limits = workspace.default_limits();
+    if (req.threads.has_value()) options.limits.threads = *req.threads;
+    if (req.max_candidates > 0) {
+      options.limits.max_candidates = req.max_candidates;
+    }
+    auto stats = workspace.BuildIndex(inv.index_path, options);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "viewcap_cli: %s\n",
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s: %zu classes, %zu sets, %zu verdicts, "
+                "%zu dominance entries (%zu bytes)\n",
+                inv.index_path.c_str(), stats->classes, stats->sets,
+                stats->verdicts, stats->dominance_entries, stats->bytes);
+    return 0;
+  }
 
   if (is_lint) {
     // Lint runs before (instead of) program loading: its whole point is
@@ -114,6 +186,18 @@ int main(int argc, char** argv) {
     if (req.kind == viewcap::RequestKind::kEval) {
       if (!viewcap::ReadFileToString(inv.data_path, &req.data_text)) {
         return CannotOpen(inv.data_path);
+      }
+    }
+    // Attach after load: the index is validated against the loaded
+    // program's catalog fingerprint, and a stale or corrupt index is a
+    // hard error rather than a silent live fallback.
+    if (inv.index_action == viewcap::IndexAction::kQuery) {
+      const viewcap::Status attached =
+          workspace.AttachIndex(inv.index_path);
+      if (!attached.ok()) {
+        std::fprintf(stderr, "viewcap_cli: %s\n",
+                     attached.ToString().c_str());
+        return 1;
       }
     }
   }

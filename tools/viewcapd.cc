@@ -10,8 +10,8 @@
 // Dispatcher.
 //
 // Usage:
-//   viewcapd [--program=<file>]... [--threads=N] [--max-candidates=N]
-//            [--listen=PORT]
+//   viewcapd [--program=<file>]... [--index=<index-file>] [--threads=N]
+//            [--max-candidates=N] [--listen=PORT]
 //
 // With no --listen the daemon serves a single session on stdin/stdout
 // (the mode scripts and the CI smoke test use). With --listen=PORT it
@@ -20,6 +20,13 @@
 // port N"), one thread per connection. --program preloads view programs
 // at startup; --threads/--max-candidates set the workspace-default
 // SearchLimits that requests inherit unless they override per request.
+//
+// --index attaches a persistent capacity index (built with `viewcap_cli
+// index build`) after the preloads, so every session's membership and
+// dominance questions are served from the mmap'd file with live-engine
+// fallback; a stale or corrupt index fails startup (exit 1) rather than
+// silently serving live. The `stats` method reports the index's
+// hit/miss/fallback counters.
 //
 // Shutdown is graceful: a protocol `shutdown` request (any session) or
 // SIGINT/SIGTERM stops accepting, unblocks the live sessions, and joins
@@ -109,7 +116,8 @@ int UsageError(const std::string& message) {
     std::fprintf(stderr, "viewcapd: %s\n", message.c_str());
   }
   std::fprintf(stderr,
-               "usage: viewcapd [--program=<file>]... [--threads=N] "
+               "usage: viewcapd [--program=<file>]... "
+               "[--index=<index-file>] [--threads=N] "
                "[--max-candidates=N] [--listen=PORT]\n");
   return 2;
 }
@@ -204,6 +212,7 @@ int ServeTcp(viewcap::Dispatcher& dispatcher, viewcap::ServerStats& stats,
 
 int main(int argc, char** argv) {
   std::vector<std::string> programs;
+  std::string index_path;
   viewcap::SearchLimits limits;
   bool listen = false;
   unsigned short port = 0;
@@ -217,6 +226,11 @@ int main(int argc, char** argv) {
     std::size_t count = 0;
     if (name == "--program") {
       programs.push_back(value);
+    } else if (name == "--index") {
+      if (value.empty()) {
+        return UsageError("flag '--index' needs a file path");
+      }
+      index_path = value;
     } else if (name == "--threads") {
       if (!viewcap::ParseCount(value, &count)) {
         return UsageError("bad thread count '" + value + "'");
@@ -251,6 +265,18 @@ int main(int argc, char** argv) {
     const viewcap::Status st = workspace.Load(text);
     if (!st.ok()) {
       std::fprintf(stderr, "viewcapd: %s: %s\n", path.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // Attach after the preloads so the index is validated against the
+  // catalog it will serve. A stale or corrupt index fails startup —
+  // silently serving live would defeat the point of deploying one.
+  if (!index_path.empty()) {
+    const viewcap::Status st = workspace.AttachIndex(index_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "viewcapd: %s: %s\n", index_path.c_str(),
                    st.ToString().c_str());
       return 1;
     }
