@@ -11,6 +11,10 @@
 // lowered once, scratch reused across calls).
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "base/simd.h"
 #include "bench/bench_util.h"
 #include "tableau/build.h"
 #include "tableau/hom_kernel.h"
@@ -233,6 +237,116 @@ void BM_RowEmbedWave(benchmark::State& state) {
                                         benchmark::Counter::kInvert);
 }
 BENCHMARK(BM_RowEmbedWave)->DenseRange(4, 16, 4);
+
+// --- Candidate-filter-bound series, one copy per runnable SIMD backend.
+//
+// Target: a two-copy chain join plus `range(0)` "broken chain" decoy
+// sets. Each set joins in, per chain relation r_i, one isolated r_i row
+// projected onto its first attribute — the decoy row's interior symbol
+// occurs in only that one row, so its occurrence signature is strictly
+// shorter than the source chain row's shared-symbol signature and the
+// row dies in the vectorized signature-length prefilter. (Row-embedding
+// mode skips the distinguished-cover stage, so signature-length kills
+// are what makes this shape filter-bound.) The filter does essentially
+// all the work and the backtracking that follows walks the two
+// surviving chain copies. The scalar-vs-simd ratio of these rows is the
+// filter speedup the SIMD backend buys (see DESIGN.md, "Vectorized
+// candidate filter").
+
+struct FilterWorkload {
+  std::unique_ptr<ChainSchema> schema;
+  SymbolPool pool;
+  SoaTemplate from;
+  SoaTemplate to;
+};
+
+FilterWorkload MakeFilterWorkload(std::size_t links, std::size_t decoys) {
+  FilterWorkload w;
+  w.schema = MakeChain(links);
+  Tableau from = BuildTableau(w.schema->catalog, w.schema->universe,
+                              *ChainJoin(*w.schema), w.pool)
+                     .value();
+  Tableau to =
+      JoinTableaux(w.schema->catalog, from,
+                   BuildTableau(w.schema->catalog, w.schema->universe,
+                                *ChainJoin(*w.schema), w.pool)
+                       .value(),
+                   w.pool)
+          .value();
+  for (std::size_t copy = 0; copy < decoys; ++copy) {
+    for (std::size_t i = 0; i < w.schema->relations.size(); ++i) {
+      Tableau link =
+          BuildTableau(w.schema->catalog, w.schema->universe,
+                       *Expr::Rel(w.schema->catalog, w.schema->relations[i]),
+                       w.pool)
+              .value();
+      Tableau decoy = ProjectTableau(w.schema->catalog, link,
+                                     AttrSet{w.schema->attrs[i]}, w.pool)
+                          .value();
+      to = JoinTableaux(w.schema->catalog, to, decoy, w.pool).value();
+    }
+  }
+  w.from = SoaTemplate::Lower(from);
+  w.to = SoaTemplate::Lower(to);
+  return w;
+}
+
+void RunFilterCandidates(benchmark::State& state, SimdBackend backend) {
+  const FilterWorkload w =
+      MakeFilterWorkload(10, static_cast<std::size_t>(state.range(0)));
+  HomScratch scratch;
+  scratch.backend = backend;
+  std::int64_t survivors = 0;
+  for (auto _ : state) {
+    survivors =
+        SoaBuildCandidates(w.from, w.to, HomMode::kRowEmbedding, scratch);
+    benchmark::DoNotOptimize(survivors);
+  }
+  state.counters["survivors"] = static_cast<double>(survivors);
+  state.counters["rows_to"] = static_cast<double>(w.to.num_rows());
+}
+
+void RunRowEmbedWaveFilter(benchmark::State& state, SimdBackend backend) {
+  const FilterWorkload w =
+      MakeFilterWorkload(10, static_cast<std::size_t>(state.range(0)));
+  constexpr std::size_t kWave = 16;
+  const std::vector<const SoaTemplate*> wave(kWave, &w.from);
+  HomScratch scratch;
+  scratch.backend = backend;
+  for (auto _ : state) {
+    std::vector<char> verdicts =
+        SoaSearchWave(wave, w.to, HomMode::kRowEmbedding, scratch);
+    benchmark::DoNotOptimize(verdicts);
+  }
+  state.counters["per_probe_ns"] = benchmark::Counter(
+      static_cast<double>(kWave),
+      benchmark::Counter::kIsIterationInvariantRate |
+          benchmark::Counter::kInvert);
+}
+
+// Registered per available backend at static-init time, so the series
+// is present exactly for the backends this machine can run (the JSON
+// baseline is recorded on the reference machine, which has all three).
+int RegisterFilterBackendSeries() {
+  for (const SimdBackend backend : AvailableSimdBackends()) {
+    const std::string suffix(SimdBackendName(backend));
+    benchmark::RegisterBenchmark(
+        ("BM_FilterCandidates/" + suffix).c_str(),
+        [backend](benchmark::State& state) {
+          RunFilterCandidates(state, backend);
+        })
+        ->Arg(32)
+        ->Arg(128);
+    benchmark::RegisterBenchmark(
+        ("BM_RowEmbedWaveFilter/" + suffix).c_str(),
+        [backend](benchmark::State& state) {
+          RunRowEmbedWaveFilter(state, backend);
+        })
+        ->Arg(64);
+  }
+  return 0;
+}
+const int kFilterBackendSeries = RegisterFilterBackendSeries();
 
 }  // namespace
 }  // namespace bench

@@ -1,0 +1,98 @@
+#include "base/simd.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace viewcap {
+namespace {
+
+// AVX2 is only probed for when the 256-bit translation unit was compiled
+// in (x86-64 with a -mavx2-capable compiler); elsewhere the answer is a
+// constant false and no x86 builtin is referenced.
+bool CpuHasAvx2() {
+#if defined(VIEWCAP_SIMD_HAVE_AVX2)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+std::string_view SimdBackendName(SimdBackend backend) {
+  switch (backend) {
+    case SimdBackend::kScalar:
+      return "scalar";
+    case SimdBackend::kLanes128:
+      return "simd128";
+    case SimdBackend::kLanes256:
+      return "simd256";
+  }
+  return "scalar";
+}
+
+bool SimdBackendCompiled(SimdBackend backend) {
+  switch (backend) {
+    case SimdBackend::kScalar:
+      return true;
+    case SimdBackend::kLanes128:
+      return VIEWCAP_SIMD_VECTOR_EXT != 0;
+    case SimdBackend::kLanes256:
+#if defined(VIEWCAP_SIMD_HAVE_AVX2)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool SimdBackendAvailable(SimdBackend backend) {
+  if (!SimdBackendCompiled(backend)) return false;
+  if (backend == SimdBackend::kLanes256) return CpuHasAvx2();
+  return true;
+}
+
+std::vector<SimdBackend> AvailableSimdBackends() {
+  std::vector<SimdBackend> out;
+  for (const SimdBackend backend :
+       {SimdBackend::kScalar, SimdBackend::kLanes128, SimdBackend::kLanes256}) {
+    if (SimdBackendAvailable(backend)) out.push_back(backend);
+  }
+  return out;
+}
+
+SimdBackend ResolveSimdBackend(SimdBackend requested) {
+  if (requested == SimdBackend::kLanes256 && !SimdBackendAvailable(requested)) {
+    requested = SimdBackend::kLanes128;
+  }
+  if (requested == SimdBackend::kLanes128 && !SimdBackendAvailable(requested)) {
+    requested = SimdBackend::kScalar;
+  }
+  return requested;
+}
+
+SimdBackend DetectSimdBackend() {
+  const char* env = std::getenv("VIEWCAP_SIMD");
+  if (env != nullptr) {
+    const std::string value(env);
+    if (value == "off" || value == "scalar" || value == "0") {
+      return SimdBackend::kScalar;
+    }
+    if (value == "128" || value == "simd128" || value == "sse") {
+      return ResolveSimdBackend(SimdBackend::kLanes128);
+    }
+    if (value == "256" || value == "simd256" || value == "avx2") {
+      return ResolveSimdBackend(SimdBackend::kLanes256);
+    }
+    // "auto" and unknown values fall through to CPU dispatch.
+  }
+  return ResolveSimdBackend(SimdBackend::kLanes256);
+}
+
+SimdBackend DefaultSimdBackend() {
+  static const SimdBackend backend = DetectSimdBackend();
+  return backend;
+}
+
+}  // namespace viewcap

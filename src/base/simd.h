@@ -1,0 +1,85 @@
+// Portable fixed-width SIMD backend selection for the homomorphism
+// kernel's candidate filter (DESIGN.md, "Vectorized candidate filter").
+//
+// The kernel's filter stage has three implementations: a scalar loop (the
+// differential oracle — always compiled, always available), a 128-bit
+// lane version built on the GCC/Clang generic vector extensions (any
+// architecture those compilers target), and a 256-bit AVX2 version
+// compiled into a dedicated -mavx2 translation unit on x86-64 when the
+// compiler supports it. Which one runs is decided at RUNTIME: the
+// detector probes the CPU (AVX2 via __builtin_cpu_supports) and honors
+// the VIEWCAP_SIMD environment override, so one binary serves every
+// machine and `VIEWCAP_SIMD=off` pins the scalar oracle for differential
+// runs. The CMake cache variable VIEWCAP_SIMD=off removes the vector
+// backends at build time entirely (the same header macros gate them).
+//
+// Every backend computes the identical candidate predicate, so verdicts,
+// witnesses and survivor lists are bit-identical whichever one runs —
+// tests/hom_kernel_test.cc asserts this differentially.
+#ifndef VIEWCAP_BASE_SIMD_H_
+#define VIEWCAP_BASE_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+// Compile-time capability: the generic vector-extension backend needs a
+// GCC-compatible compiler and must not be disabled by the build.
+#if !defined(VIEWCAP_SIMD_DISABLED) && (defined(__GNUC__) || defined(__clang__))
+#define VIEWCAP_SIMD_VECTOR_EXT 1
+#else
+#define VIEWCAP_SIMD_VECTOR_EXT 0
+#endif
+
+namespace viewcap {
+
+/// Candidate-filter backend. Values are dense indices (statistics arrays
+/// are indexed by backend).
+enum class SimdBackend : std::uint8_t {
+  kScalar = 0,    ///< Plain loops; the differential oracle.
+  kLanes128 = 1,  ///< 128-bit lanes (2 x u64 / 4 x i32), generic vectors.
+  kLanes256 = 2,  ///< 256-bit lanes (4 x u64 / 8 x i32), AVX2 on x86-64.
+};
+
+inline constexpr std::size_t kNumSimdBackends = 3;
+
+inline constexpr std::size_t SimdBackendIndex(SimdBackend backend) {
+  return static_cast<std::size_t>(backend);
+}
+
+/// Stable short name: "scalar", "simd128", "simd256" (stats tables, JSON
+/// keys, benchmark series).
+std::string_view SimdBackendName(SimdBackend backend);
+
+/// True when the backend's code was compiled into this binary.
+bool SimdBackendCompiled(SimdBackend backend);
+
+/// True when the backend is compiled AND the running CPU supports it
+/// (kLanes256 needs AVX2; the others run anywhere they compile).
+bool SimdBackendAvailable(SimdBackend backend);
+
+/// The available backends in ascending width order — kScalar is always
+/// first. Tests and benches iterate this to cover every backend the
+/// machine can actually run.
+std::vector<SimdBackend> AvailableSimdBackends();
+
+/// Clamps `requested` down to the widest available backend no wider than
+/// it (a request for 256-bit lanes on a non-AVX2 machine runs 128-bit,
+/// and so on down to scalar).
+SimdBackend ResolveSimdBackend(SimdBackend requested);
+
+/// Runtime dispatch: the VIEWCAP_SIMD environment override when set
+/// ("off"/"scalar", "128", "256"/"avx2", "auto"; unknown values fall back
+/// to auto), otherwise the widest available backend. Unavailable
+/// requests clamp down rather than fail. Re-reads the environment on
+/// every call; use DefaultSimdBackend() for the cached decision.
+SimdBackend DetectSimdBackend();
+
+/// DetectSimdBackend() computed once per process — the default backend
+/// for kernel scratch and engines that do not choose explicitly.
+SimdBackend DefaultSimdBackend();
+
+}  // namespace viewcap
+
+#endif  // VIEWCAP_BASE_SIMD_H_

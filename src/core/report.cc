@@ -47,6 +47,23 @@ std::string RenderEngineStats(const EngineStats& stats) {
   row("expansion", stats.expansion);
   row("verdict", stats.verdict);
   row("dominance", stats.dominance);
+  // Candidate-filter activity of the kernel searches, per SIMD backend.
+  // Only backends that actually ran get a row (one engine accumulates in
+  // exactly one slot), so a scalar-only run prints a single scalar row
+  // and a fresh engine prints the header alone.
+  std::string filter_rows;
+  for (std::size_t b = 0; b < kNumSimdBackends; ++b) {
+    const FilterBackendCounters& f = stats.filter[b];
+    if (f.invocations == 0) continue;
+    filter_rows += StrCat(
+        "| ", SimdBackendName(static_cast<SimdBackend>(b)), " | ",
+        f.invocations, " | ", f.rows, " | ", f.survivors, " | ",
+        RenderHitRate(f.survivors, f.rows), " |\n");
+  }
+  out += "\n### Candidate filter\n\n";
+  out += "| backend | invocations | rows | survivors | survivor rate |\n";
+  out += "|---|---|---|---|---|\n";
+  out += filter_rows;
   return out;
 }
 

@@ -65,7 +65,24 @@ Engine::Engine(const Catalog* catalog, EngineOptions options)
       embed_cache_(options.max_memo_entries),
       expansion_cache_(options.max_memo_entries),
       verdict_cache_(options.max_memo_entries),
-      dominance_cache_(options.max_memo_entries) {}
+      dominance_cache_(options.max_memo_entries),
+      resolved_simd_(ResolveSimdBackend(options.simd)) {}
+
+HomScratch& Engine::PreparedScratch() {
+  HomScratch& scratch = KernelScratch();
+  scratch.backend = resolved_simd_;
+  scratch.filter.counters.Reset();
+  return scratch;
+}
+
+void Engine::HarvestFilter(const HomScratch& scratch) {
+  const FilterCounters& c = scratch.filter.counters;
+  if (c.invocations == 0) return;
+  const std::size_t b = SimdBackendIndex(scratch.backend);
+  Add(filter_invocations_[b], static_cast<std::size_t>(c.invocations));
+  Add(filter_rows_[b], static_cast<std::size_t>(c.rows));
+  Add(filter_survivors_[b], static_cast<std::size_t>(c.survivors));
+}
 
 Tableau Engine::Reduced(const Tableau& t) {
   Bump(reduce_requests_);
@@ -73,7 +90,15 @@ Tableau Engine::Reduced(const Tableau& t) {
   bool ran = false;
   std::optional<Tableau> reduced = reduce_cache_.GetOrCompute(
       fingerprint,
-      [&]() -> std::optional<Tableau> { return Reduce(*catalog_, t); },
+      [&]() -> std::optional<Tableau> {
+        // The sweep inside Reduce runs on this engine's configured
+        // candidate-filter backend and its filter work lands in the
+        // per-backend stats.
+        HomScratch& scratch = PreparedScratch();
+        Tableau result = Reduce(*catalog_, t, scratch);
+        HarvestFilter(scratch);
+        return result;
+      },
       &ran);
   if (ran) {
     Bump(reduce_runs_);
@@ -180,11 +205,14 @@ bool Engine::ConfirmEquivalent(TableauId id, const Tableau& reduced,
   if (rep.Trs() != reduced.Trs()) return false;
   if (rep.universe() != reduced.universe()) return false;
   const SoaTemplate& rep_soa = SoaForm(id);
-  HomScratch& scratch = KernelScratch();
-  return SoaSearch(rep_soa, reduced_soa, HomMode::kHomomorphism, scratch,
-                   nullptr) &&
-         SoaSearch(reduced_soa, rep_soa, HomMode::kHomomorphism, scratch,
-                   nullptr);
+  HomScratch& scratch = PreparedScratch();
+  const bool equivalent =
+      SoaSearch(rep_soa, reduced_soa, HomMode::kHomomorphism, scratch,
+                nullptr) &&
+      SoaSearch(reduced_soa, rep_soa, HomMode::kHomomorphism, scratch,
+                nullptr);
+  HarvestFilter(scratch);
+  return equivalent;
 }
 
 const Tableau& Engine::Representative(TableauId id) const {
@@ -213,10 +241,16 @@ bool Engine::HomomorphismExists(TableauId from, TableauId to) {
       key,
       [&]() -> std::optional<bool> {
         if (options_.use_soa_kernel) {
-          return Representative(from).universe() ==
-                     Representative(to).universe() &&
-                 SoaSearch(SoaForm(from), SoaForm(to),
-                           HomMode::kHomomorphism, KernelScratch(), nullptr);
+          if (Representative(from).universe() !=
+              Representative(to).universe()) {
+            return false;
+          }
+          HomScratch& scratch = PreparedScratch();
+          const bool exists = SoaSearch(SoaForm(from), SoaForm(to),
+                                        HomMode::kHomomorphism, scratch,
+                                        nullptr);
+          HarvestFilter(scratch);
+          return exists;
         }
         return legacy::HasHomomorphism(*catalog_, Representative(from),
                                        Representative(to));
@@ -234,10 +268,16 @@ bool Engine::RowEmbeds(TableauId from, TableauId to) {
       key,
       [&]() -> std::optional<bool> {
         if (options_.use_soa_kernel) {
-          return Representative(from).universe() ==
-                     Representative(to).universe() &&
-                 SoaSearch(SoaForm(from), SoaForm(to),
-                           HomMode::kRowEmbedding, KernelScratch(), nullptr);
+          if (Representative(from).universe() !=
+              Representative(to).universe()) {
+            return false;
+          }
+          HomScratch& scratch = PreparedScratch();
+          const bool embeds = SoaSearch(SoaForm(from), SoaForm(to),
+                                        HomMode::kRowEmbedding, scratch,
+                                        nullptr);
+          HarvestFilter(scratch);
+          return embeds;
         }
         return legacy::HasRowEmbedding(*catalog_, Representative(from),
                                        Representative(to));
@@ -256,7 +296,9 @@ std::vector<char> Engine::RowEmbedsBatch(const std::vector<TableauId>& froms,
   // the batch entry is semantically (and statistically) transparent.
   const Tableau& to_rep = Representative(to);
   const SoaTemplate& to_soa = SoaForm(to);
-  HomScratch& scratch = KernelScratch();
+  // One scratch lease covers the wave: filter counters accumulate over
+  // every search of the batch and are harvested once at the end.
+  HomScratch& scratch = PreparedScratch();
   for (std::size_t i = 0; i < froms.size(); ++i) {
     const TableauId from = froms[i];
     Bump(embed_requests_);
@@ -277,6 +319,7 @@ std::vector<char> Engine::RowEmbedsBatch(const std::vector<TableauId>& froms,
     if (ran) Bump(embed_runs_);
     results[i] = *embeds ? 1 : 0;
   }
+  HarvestFilter(scratch);
   return results;
 }
 
@@ -384,6 +427,10 @@ EngineStats Engine::ReadStatsOnce() const {
     stats.interned_classes = classes_.size();
   }
   stats.equivalence_confirms = Load(equivalence_confirms_);
+  for (std::size_t b = 0; b < kNumSimdBackends; ++b) {
+    stats.filter[b] = {Load(filter_invocations_[b]), Load(filter_rows_[b]),
+                       Load(filter_survivors_[b])};
+  }
   return stats;
 }
 

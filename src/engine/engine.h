@@ -54,6 +54,7 @@
 #include <vector>
 
 #include "algebra/expr.h"
+#include "base/simd.h"
 #include "base/status.h"
 #include "base/thread_pool.h"
 #include "tableau/soa.h"
@@ -124,6 +125,14 @@ struct EngineOptions {
   /// the engine-level differential tests. SoA forms are cached either
   /// way, so flipping the flag never changes interning behavior.
   bool use_soa_kernel = true;
+
+  /// Candidate-filter backend the kernel searches run on. The default is
+  /// the runtime-dispatched widest available backend (honoring the
+  /// VIEWCAP_SIMD environment override); the engine clamps an unavailable
+  /// request down at construction. Every backend computes bit-identical
+  /// candidate lists (hom_filter.h), so this knob changes throughput and
+  /// the per-backend stats slot — never verdicts or witnesses.
+  SimdBackend simd = DefaultSimdBackend();
 };
 
 /// Counter snapshot for one memo cache. `requests - runs` is the hit
@@ -137,6 +146,21 @@ struct CacheCounters {
   std::size_t hits() const { return requests - runs; }
 
   bool operator==(const CacheCounters&) const = default;
+};
+
+/// Candidate-filter activity of the SoA kernel searches an engine ran,
+/// per executed backend (EngineStats::filter is indexed by SimdBackend).
+/// `rows` counts candidate target rows pushed through the filter
+/// predicate — the lanes processed; `survivors / rows` is the survivor
+/// rate the stats renderer reports. Filter work happens only inside
+/// actual kernel executions (cache misses), so like the `runs` counters
+/// these are exact at threads=1 and scheduling-invariant in total.
+struct FilterBackendCounters {
+  std::size_t invocations = 0;
+  std::size_t rows = 0;
+  std::size_t survivors = 0;
+
+  bool operator==(const FilterBackendCounters&) const = default;
 };
 
 /// Point-in-time snapshot of an engine's caches (see
@@ -161,6 +185,10 @@ struct EngineStats {
   /// collisions during interning.
   std::size_t equivalence_confirms = 0;
 
+  /// Per-backend candidate-filter counters (indexed by SimdBackend; a
+  /// single-backend engine accumulates in exactly one slot).
+  std::array<FilterBackendCounters, kNumSimdBackends> filter = {};
+
   bool operator==(const EngineStats&) const = default;
 };
 
@@ -180,6 +208,7 @@ std::string TableauFingerprint(const Tableau& t);
 inline constexpr std::uint32_t kFingerprintSchemeVersion = 1;
 
 class Engine;
+struct HomScratch;
 
 /// One membership question as the persistent index sees it: the query
 /// set's members (handles and interned classes, in member order), the
@@ -528,6 +557,18 @@ class Engine {
     return c.load(std::memory_order_relaxed);
   }
   static void Bump(Counter& c) { c.fetch_add(1, std::memory_order_relaxed); }
+  static void Add(Counter& c, std::size_t n) {
+    if (n != 0) c.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// The thread-local kernel scratch, configured for this engine: backend
+  /// set to the resolved EngineOptions::simd and filter counters zeroed.
+  /// Every kernel call site pairs it with HarvestFilter, which folds the
+  /// counters the calls accumulated into the per-backend stats slot.
+  /// Leases never nest: each site prepares, runs its searches, and
+  /// harvests before returning to code that could take another lease.
+  HomScratch& PreparedScratch();
+  void HarvestFilter(const HomScratch& scratch);
 
   /// Shard count for the interning bucket locks.
   static constexpr std::size_t kInternShards = 16;
@@ -585,6 +626,16 @@ class Engine {
   Counter dominance_requests_{0}, dominance_runs_{0};
   Counter intern_requests_{0}, intern_hits_{0};
   Counter equivalence_confirms_{0};
+
+  // Per-backend candidate-filter counters (EngineStats::filter),
+  // harvested from kernel scratch after each search batch. An engine
+  // accumulates in exactly one slot — the resolved backend — but the
+  // array keeps snapshots meaningful across engines with different
+  // options in one process.
+  std::array<Counter, kNumSimdBackends> filter_invocations_ = {};
+  std::array<Counter, kNumSimdBackends> filter_rows_ = {};
+  std::array<Counter, kNumSimdBackends> filter_survivors_ = {};
+  SimdBackend resolved_simd_;
 
   std::atomic<VerdictIndex*> attached_index_{nullptr};
 };

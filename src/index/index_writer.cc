@@ -12,6 +12,7 @@
 #include "algebra/printer.h"
 #include "base/hash.h"
 #include "base/strings.h"
+#include "base/thread_pool.h"
 #include "index/format.h"
 #include "views/capacity.h"
 #include "views/equivalence.h"
@@ -20,25 +21,70 @@ namespace viewcap {
 
 namespace {
 
+/// Renames every nondistinguished symbol of `t` to dense per-attribute
+/// ordinals (1, 2, ...) in row-major first-occurrence order. The capacity
+/// sweep's query tableaux carry fresh symbols minted from the engine's
+/// shared pool, so their raw ordinals record GLOBAL mint order — which
+/// depends on thread interleaving during the parallel Phase A sweep. The
+/// canonical labeling is a pure function of the tableau's structure, so
+/// serialized exemplars are byte-identical for every --threads. The
+/// renaming is an injective attribute-preserving map fixing distinguished
+/// symbols, i.e. an isomorphism: the equivalence class and (by the
+/// renaming-invariance contract of CanonicalKey) the key table are
+/// unchanged.
+Tableau CanonicalizeSymbols(const Tableau& t) {
+  SymbolMap rename;
+  std::unordered_map<AttrId, std::uint32_t> next;
+  const std::size_t width = t.universe().size();
+  for (const TaggedTuple& row : t.rows()) {
+    for (std::size_t k = 0; k < width; ++k) {
+      const Symbol s = row.tuple.ValueAt(k);
+      if (s.IsDistinguished()) continue;
+      if (rename.try_emplace(s, Symbol{s.attr, next[s.attr] + 1}).second) {
+        ++next[s.attr];
+      }
+    }
+  }
+  return t.Apply(rename);
+}
+
 /// Dense ordinals for the interned classes the index stores. Ordinals are
 /// assigned in first-reference order, which is deterministic: views in
 /// load order, definitions in declaration order, then the capacity sweep's
 /// deterministic enumeration order.
+///
+/// Each ordinal also records an EXEMPLAR — the symbol-canonicalized
+/// engine-reduced form of the first tableau the build referenced for the
+/// class — and serialization uses exemplars, not Engine::Representative.
+/// The representative's identity depends on which of several equivalent
+/// reduced forms interned first, which the parallel sweep makes a race;
+/// the exemplar is a pure function of the program text and the
+/// deterministic Phase B reference order, so index bytes are identical
+/// for every --threads. Exemplar and representative are equivalent
+/// reduced templates, hence isomorphic, so the canonical-key table is
+/// unaffected either way.
 class ClassRegistry {
  public:
-  std::uint32_t OrdinalOf(TableauId id) {
+  explicit ClassRegistry(Engine* engine) : engine_(engine) {}
+
+  std::uint32_t OrdinalOf(TableauId id, const Tableau& source) {
     auto [it, inserted] = ordinals_.try_emplace(
-        id, static_cast<std::uint32_t>(ids_.size()));
-    if (inserted) ids_.push_back(id);
+        id, static_cast<std::uint32_t>(exemplars_.size()));
+    if (inserted) {
+      exemplars_.push_back(CanonicalizeSymbols(engine_->Reduced(source)));
+    }
     return it->second;
   }
 
-  const std::vector<TableauId>& ids() const { return ids_; }
-  std::size_t size() const { return ids_.size(); }
+  const Tableau& exemplar(std::size_t ordinal) const {
+    return exemplars_[ordinal];
+  }
+  std::size_t size() const { return exemplars_.size(); }
 
  private:
+  Engine* engine_;
   std::unordered_map<TableauId, std::uint32_t> ordinals_;
-  std::vector<TableauId> ids_;
+  std::deque<Tableau> exemplars_;
 };
 
 void SerializeTableau(const Tableau& t, std::string& out) {
@@ -81,7 +127,7 @@ Result<std::string> BuildIndexBytes(Analyzer& analyzer,
     views.push_back(view);
   }
 
-  ClassRegistry classes;
+  ClassRegistry classes(&engine);
   struct SetRecord {
     std::vector<std::pair<RelId, std::uint32_t>> members;
   };
@@ -101,52 +147,111 @@ Result<std::string> BuildIndexBytes(Analyzer& analyzer,
     SetRecord record;
     record.members.reserve(view->size());
     for (const ViewDefinition& d : view->definitions()) {
-      record.members.emplace_back(d.rel,
-                                  classes.OrdinalOf(engine.Intern(d.tableau)));
+      record.members.emplace_back(
+          d.rel, classes.OrdinalOf(engine.Intern(d.tableau), d.tableau));
     }
     sets.push_back(std::move(record));
     oracles.emplace_back(&engine, *view, options.limits);
   }
 
-  const auto store_verdict = [&](std::uint32_t set_ordinal,
-                                 const Tableau& query,
-                                 CapacityOracle& oracle) -> Status {
-    const std::uint32_t query_ordinal =
-        classes.OrdinalOf(engine.Intern(query));
-    const auto key = std::make_pair(set_ordinal, query_ordinal);
-    if (verdicts.find(key) != verdicts.end()) return Status::OK();
-    VIEWCAP_ASSIGN_OR_RETURN(MembershipResult verdict, oracle.Contains(query));
-    verdicts.emplace(key, std::move(verdict));
-    return Status::OK();
+  // Phase A — every expensive closure answer, parallel over source views:
+  // view i's thread enumerates its capacity fragment, computes the
+  // membership verdict of each entry, probes every other view's
+  // definitions against its oracle and computes its row of the dominance
+  // matrix. Each answer is independently deterministic (verdicts,
+  // witnesses and enumeration order are bit-identical for any thread
+  // count per the parallel-search contract), so running views
+  // concurrently cannot change any stored value — only the racy parts of
+  // the build (ordinal assignment, dedup, exemplar choice) matter for
+  // byte identity, and those all happen in the serial Phase B below.
+  // Duplicate queries across entries re-run Contains instead of being
+  // deduped up front (ordinals do not exist yet); the engine's verdict
+  // cache makes the repeats warm hits.
+  struct ViewSweep {
+    Status status = Status::OK();
+    std::vector<CapacityOracle::CapacityEntry> entries;
+    std::vector<MembershipResult> entry_verdicts;
+    /// Ordered cross-view targets j (ascending, universe-compatible, != i)
+    /// with the per-definition probe verdicts and the dominance verdict.
+    std::vector<std::size_t> cross_targets;
+    std::vector<std::vector<MembershipResult>> cross_verdicts;
+    std::vector<DominanceResult> cross_dominance;
   };
-
-  // Saturation sweep: the size-bounded capacity fragment of each view.
-  for (std::size_t i = 0; i < views.size(); ++i) {
-    VIEWCAP_ASSIGN_OR_RETURN(
-        std::vector<CapacityOracle::CapacityEntry> entries,
-        oracles[i].EnumerateCapacity(options.max_leaves,
-                                     options.max_entries_per_view));
-    for (const CapacityOracle::CapacityEntry& entry : entries) {
-      VIEWCAP_RETURN_NOT_OK(store_verdict(static_cast<std::uint32_t>(i),
-                                          entry.query, oracles[i]));
-    }
+  std::vector<ViewSweep> sweeps(views.size());
+  const std::size_t threads =
+      ThreadPool::DecideThreads(options.limits.threads);
+  ThreadPool* pool =
+      threads > 1 && views.size() > 1 ? engine.SharedPool(threads) : nullptr;
+  ParallelFor(pool, threads, views.size(), [&](std::size_t i) {
+    ViewSweep& sweep = sweeps[i];
+    const auto run = [&]() -> Status {
+      VIEWCAP_ASSIGN_OR_RETURN(
+          sweep.entries,
+          oracles[i].EnumerateCapacity(options.max_leaves,
+                                       options.max_entries_per_view));
+      sweep.entry_verdicts.reserve(sweep.entries.size());
+      for (const CapacityOracle::CapacityEntry& entry : sweep.entries) {
+        VIEWCAP_ASSIGN_OR_RETURN(MembershipResult verdict,
+                                 oracles[i].Contains(entry.query));
+        sweep.entry_verdicts.push_back(std::move(verdict));
+      }
+      for (std::size_t j = 0; j < views.size(); ++j) {
+        if (i == j || views[i]->universe() != views[j]->universe()) continue;
+        std::vector<MembershipResult> probes;
+        probes.reserve(views[j]->size());
+        for (const ViewDefinition& d : views[j]->definitions()) {
+          VIEWCAP_ASSIGN_OR_RETURN(MembershipResult verdict,
+                                   oracles[i].Contains(d.tableau));
+          probes.push_back(std::move(verdict));
+        }
+        VIEWCAP_ASSIGN_OR_RETURN(
+            DominanceResult result,
+            Dominates(engine, *views[i], *views[j], options.limits));
+        sweep.cross_targets.push_back(j);
+        sweep.cross_verdicts.push_back(std::move(probes));
+        sweep.cross_dominance.push_back(std::move(result));
+      }
+      return Status::OK();
+    };
+    sweep.status = run();
+  });
+  for (const ViewSweep& sweep : sweeps) {
+    VIEWCAP_RETURN_NOT_OK(sweep.status);
   }
 
-  // Cross-view precomputation: every ordered pair's definition probes
-  // (negatives included — a stored "not a member" saves the same search
-  // as a stored witness) plus the whole dominance verdict.
+  // Phase B — ordinal assignment and map insertion, serial, in exactly
+  // the order the single-threaded build used: view i's capacity entries
+  // in enumeration order, then the cross-view probes in (i, j) order.
+  const auto store_verdict = [&](std::uint32_t set_ordinal,
+                                 const Tableau& query,
+                                 MembershipResult verdict) {
+    const std::uint32_t query_ordinal =
+        classes.OrdinalOf(engine.Intern(query), query);
+    const auto key = std::make_pair(set_ordinal, query_ordinal);
+    // First stored verdict wins, as in the serial build; duplicates carry
+    // the identical answer anyway (Contains is deterministic).
+    if (verdicts.find(key) == verdicts.end()) {
+      verdicts.emplace(key, std::move(verdict));
+    }
+  };
   for (std::size_t i = 0; i < views.size(); ++i) {
-    for (std::size_t j = 0; j < views.size(); ++j) {
-      if (i == j || views[i]->universe() != views[j]->universe()) continue;
-      for (const ViewDefinition& d : views[j]->definitions()) {
-        VIEWCAP_RETURN_NOT_OK(store_verdict(static_cast<std::uint32_t>(i),
-                                            d.tableau, oracles[i]));
+    ViewSweep& sweep = sweeps[i];
+    for (std::size_t k = 0; k < sweep.entries.size(); ++k) {
+      store_verdict(static_cast<std::uint32_t>(i), sweep.entries[k].query,
+                    std::move(sweep.entry_verdicts[k]));
+    }
+  }
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    ViewSweep& sweep = sweeps[i];
+    for (std::size_t c = 0; c < sweep.cross_targets.size(); ++c) {
+      const std::size_t j = sweep.cross_targets[c];
+      const auto& definitions = views[j]->definitions();
+      for (std::size_t k = 0; k < definitions.size(); ++k) {
+        store_verdict(static_cast<std::uint32_t>(i), definitions[k].tableau,
+                      std::move(sweep.cross_verdicts[c][k]));
       }
-      VIEWCAP_ASSIGN_OR_RETURN(
-          DominanceResult result,
-          Dominates(engine, *views[i], *views[j], options.limits));
       dominance.emplace(DominanceKeyFor(*views[i], *views[j], options.limits),
-                        std::move(result));
+                        std::move(sweep.cross_dominance[c]));
     }
   }
 
@@ -165,8 +270,8 @@ Result<std::string> BuildIndexBytes(Analyzer& analyzer,
 
   std::string classes_section;
   AppendU32(classes_section, static_cast<std::uint32_t>(classes.size()));
-  for (TableauId id : classes.ids()) {
-    SerializeTableau(engine.Representative(id), classes_section);
+  for (std::size_t ordinal = 0; ordinal < classes.size(); ++ordinal) {
+    SerializeTableau(classes.exemplar(ordinal), classes_section);
   }
 
   // Canonical keys, sorted (std::map), each mapping to every stored class
@@ -174,8 +279,8 @@ Result<std::string> BuildIndexBytes(Analyzer& analyzer,
   // canonical-key threshold; the reader disambiguates by equivalence).
   std::map<std::string, std::vector<std::uint32_t>> by_key;
   for (std::size_t ordinal = 0; ordinal < classes.size(); ++ordinal) {
-    by_key[engine.Key(engine.Representative(classes.ids()[ordinal]))]
-        .push_back(static_cast<std::uint32_t>(ordinal));
+    by_key[engine.Key(classes.exemplar(ordinal))].push_back(
+        static_cast<std::uint32_t>(ordinal));
   }
   std::string keys_section;
   {

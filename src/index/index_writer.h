@@ -43,6 +43,12 @@ struct IndexBuildStats {
 /// negatives included) and whole dominance verdicts for every ordered
 /// view pair. The analyzer's catalog fingerprint is captured before any
 /// work and stamped into the header.
+///
+/// The per-view saturation and cross-view sweeps run in parallel over
+/// views on the engine's shared pool when `options.limits.threads` allows
+/// (0 = hardware concurrency, 1 = serial); output bytes are identical for
+/// every thread count — the order-sensitive steps (class ordinals, dedup,
+/// serialized exemplars) run serially after the parallel phase.
 Result<std::string> BuildIndexBytes(Analyzer& analyzer,
                                     const IndexBuildOptions& options,
                                     IndexBuildStats* stats = nullptr);

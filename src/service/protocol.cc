@@ -317,6 +317,25 @@ JsonValue EngineStatsToJson(const EngineStats& stats) {
           JsonValue::Number(static_cast<double>(stats.interned_classes)));
   obj.Set("equivalence_confirms",
           JsonValue::Number(static_cast<double>(stats.equivalence_confirms)));
+  // Per-backend candidate-filter activity, keyed by backend name. Like
+  // the rendered table, only backends that actually ran appear, and the
+  // survivor rate is pre-rendered ("n/a" when no rows were filtered).
+  JsonValue filter = JsonValue::Object();
+  for (std::size_t b = 0; b < kNumSimdBackends; ++b) {
+    const FilterBackendCounters& f = stats.filter[b];
+    if (f.invocations == 0) continue;
+    JsonValue entry = JsonValue::Object();
+    entry.Set("invocations",
+              JsonValue::Number(static_cast<double>(f.invocations)));
+    entry.Set("rows", JsonValue::Number(static_cast<double>(f.rows)));
+    entry.Set("survivors",
+              JsonValue::Number(static_cast<double>(f.survivors)));
+    entry.Set("survivor_rate",
+              JsonValue::Str(RenderHitRate(f.survivors, f.rows)));
+    filter.Set(std::string(SimdBackendName(static_cast<SimdBackend>(b))),
+               std::move(entry));
+  }
+  obj.Set("filter", std::move(filter));
   return obj;
 }
 

@@ -1,0 +1,133 @@
+#include "tableau/hom_filter.h"
+
+#include <cstring>
+
+#include "tableau/soa.h"
+
+#if VIEWCAP_SIMD_VECTOR_EXT
+#include "tableau/hom_filter_impl.h"
+#endif
+
+namespace viewcap {
+namespace internal {
+
+// The differential oracle: the original per-candidate loop from
+// KernelSearch::BuildCandidates, unchanged in shape — every comparison
+// in the same order, std::includes for every signature check. The
+// vector backends must match its survivor list bit for bit.
+void FilterSourceRowScalar(const FilterJob& job, FilterScratch& fs,
+                           std::vector<std::int32_t>& out) {
+  const SoaTemplate& from = *job.from;
+  const SoaTemplate& to = *job.to;
+  const std::int32_t i = job.source_row;
+  const std::int32_t begin = job.group->begin;
+  const std::int32_t end = job.group->end;
+  const std::int32_t exclude = job.exclude_target_row;
+  const std::int32_t width = from.width();
+  const std::int32_t words = from.dist_words();
+  const DenseSymbolId* row = from.row(i);
+  const std::uint64_t* row_mask = from.dist_mask(i);
+
+  ++fs.counters.invocations;
+  fs.counters.rows += static_cast<std::uint64_t>(end - begin) -
+                      ((exclude >= begin && exclude < end) ? 1 : 0);
+
+  for (std::int32_t j = begin; j < end; ++j) {
+    if (j == exclude) continue;
+    if (job.fix_distinguished) {
+      const std::uint64_t* target_mask = to.dist_mask(j);
+      bool covered = true;
+      for (std::int32_t w = 0; w < words; ++w) {
+        if ((row_mask[w] & ~target_mask[w]) != 0) {
+          covered = false;
+          break;
+        }
+      }
+      if (!covered) continue;
+    }
+    const DenseSymbolId* target = to.row(j);
+    bool unifiable = true;
+    for (std::int32_t k = 0; k < width; ++k) {
+      if (!SignatureSubset(from.signature(row[k]),
+                           to.signature(target[k]))) {
+        unifiable = false;
+        break;
+      }
+    }
+    if (unifiable) {
+      out.push_back(j);
+      ++fs.counters.survivors;
+    }
+  }
+}
+
+#if VIEWCAP_SIMD_VECTOR_EXT
+
+namespace {
+
+// 128-bit lanes through the GCC/Clang generic vector extensions: 2 x u64
+// for the mask stage, 4 x i32 for the length stage. Compiles on any
+// architecture these compilers target (SSE2 on x86-64 baseline, NEON on
+// aarch64, or synthesized).
+struct Lanes128Traits {
+  static constexpr std::int32_t kU64Lanes = 2;
+  static constexpr std::int32_t kI32Lanes = 4;
+  typedef std::uint64_t U64V __attribute__((vector_size(16)));
+  typedef std::int64_t S64V __attribute__((vector_size(16)));
+  typedef std::int32_t I32V __attribute__((vector_size(16)));
+
+  static U64V LoadU64(const std::uint64_t* p) {
+    U64V v;
+    std::memcpy(&v, p, sizeof v);
+    return v;
+  }
+  static I32V LoadI32(const std::int32_t* p) {
+    I32V v;
+    std::memcpy(&v, p, sizeof v);
+    return v;
+  }
+  static U64V BroadcastU64(std::uint64_t x) { return U64V{x, x}; }
+};
+
+}  // namespace
+
+void FilterSourceRow128(const FilterJob& job, FilterScratch& fs,
+                        std::vector<std::int32_t>& out) {
+  FilterSourceRowVec<Lanes128Traits>(job, fs, out);
+}
+
+#endif  // VIEWCAP_SIMD_VECTOR_EXT
+
+}  // namespace internal
+
+void FilterSourceRow(SimdBackend backend, const FilterJob& job,
+                     FilterScratch& fs, std::vector<std::int32_t>& out) {
+  // Callers normally pass an already-resolved backend
+  // (DefaultSimdBackend / ResolveSimdBackend); the cached availability
+  // probe makes an unresolved one clamp instead of fault.
+  switch (backend) {
+    case SimdBackend::kLanes256: {
+#if defined(VIEWCAP_SIMD_HAVE_AVX2)
+      static const bool avx2_ok =
+          SimdBackendAvailable(SimdBackend::kLanes256);
+      if (avx2_ok) {
+        internal::FilterSourceRow256(job, fs, out);
+        return;
+      }
+#endif
+      [[fallthrough]];
+    }
+    case SimdBackend::kLanes128:
+#if VIEWCAP_SIMD_VECTOR_EXT
+      internal::FilterSourceRow128(job, fs, out);
+      return;
+#else
+      [[fallthrough]];
+#endif
+    case SimdBackend::kScalar:
+      break;
+  }
+  internal::FilterSourceRowScalar(job, fs, out);
+}
+
+}  // namespace viewcap

@@ -1,0 +1,95 @@
+// Candidate-filter stage of the homomorphism kernel, with SIMD backends
+// (DESIGN.md, "Vectorized candidate filter").
+//
+// For one source row, the filter scans one relation-tag group of target
+// rows and emits the ascending list of rows the backtracking search may
+// bind it to: same relation tag (implied by the group), distinguished
+// wherever the source row is (fix-distinguished modes), and
+// per-column occurrence-signature containment. The SoA layout makes the
+// first two checks masked integer compares over contiguous arrays, and
+// the third gets a vector length prefilter (|sig(source cell)| <=
+// |sig(target cell)| is necessary for containment) before the exact
+// sorted-subset confirm — so the 128/256-bit backends test 2-8 candidate
+// rows or columns per step and compact survivors branch-free.
+//
+// Every backend evaluates the same pure predicate over the same rows in
+// the same order, so survivor lists — and therefore search verdicts,
+// witnesses, and survivor counters — are bit-identical across backends.
+// The scalar implementation is the straight port of the original loop
+// and serves as the differential oracle.
+#ifndef VIEWCAP_TABLEAU_HOM_FILTER_H_
+#define VIEWCAP_TABLEAU_HOM_FILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/simd.h"
+#include "tableau/soa.h"
+
+namespace viewcap {
+
+/// Filter activity counters, comparable across backends: `invocations`
+/// counts filter calls (one per source row with a matching target
+/// group), `rows` the candidate target rows pushed through the predicate
+/// (the lanes processed), `survivors` the rows that passed. All three
+/// are backend-invariant by construction, which is what lets the
+/// differential suite compare them exactly.
+struct FilterCounters {
+  std::uint64_t invocations = 0;
+  std::uint64_t rows = 0;
+  std::uint64_t survivors = 0;
+
+  void Reset() { *this = FilterCounters{}; }
+  bool operator==(const FilterCounters&) const = default;
+};
+
+/// Reusable filter-stage scratch (owned by HomScratch): the stage-1
+/// survivor buffer and the hoisted per-column needle spans of the source
+/// row. Sized on first use, only grows.
+struct FilterScratch {
+  FilterCounters counters;
+  std::vector<std::int32_t> stage1;
+  std::vector<const std::uint64_t*> needle_begin;
+  std::vector<const std::uint64_t*> needle_end;
+};
+
+/// One filter call: source row `source_row` of `from` against the target
+/// rows of `group` (a tag group of `to`). `exclude_target_row` (>= 0)
+/// removes one target row — the reduction probe's leave-one-out mode.
+struct FilterJob {
+  const SoaTemplate* from = nullptr;
+  const SoaTemplate* to = nullptr;
+  std::int32_t source_row = 0;
+  const SoaRowGroup* group = nullptr;
+  bool fix_distinguished = false;
+  std::int32_t exclude_target_row = -1;
+};
+
+namespace internal {
+
+/// The scalar oracle: the original per-candidate loop, unchanged in
+/// shape. Always compiled.
+void FilterSourceRowScalar(const FilterJob& job, FilterScratch& fs,
+                           std::vector<std::int32_t>& out);
+
+/// 128-bit generic-vector backend (hom_filter.cc) and 256-bit AVX2
+/// backend (hom_filter_avx2.cc, only built on x86-64 with -mavx2
+/// support). Declared unconditionally; the dispatcher only references
+/// the ones the build compiled.
+void FilterSourceRow128(const FilterJob& job, FilterScratch& fs,
+                        std::vector<std::int32_t>& out);
+void FilterSourceRow256(const FilterJob& job, FilterScratch& fs,
+                        std::vector<std::int32_t>& out);
+
+}  // namespace internal
+
+/// Runs the filter on the requested backend, clamping down to the
+/// widest compiled-and-CPU-supported one (so a stale `backend` value is
+/// safe, never wrong). Appends survivors to `out` in ascending target
+/// row order and accumulates into `fs.counters`.
+void FilterSourceRow(SimdBackend backend, const FilterJob& job,
+                     FilterScratch& fs, std::vector<std::int32_t>& out);
+
+}  // namespace viewcap
+
+#endif  // VIEWCAP_TABLEAU_HOM_FILTER_H_

@@ -1,0 +1,53 @@
+// 256-bit instantiation of the candidate filter. This translation unit
+// is the only one compiled with -mavx2 (CMake adds the flag and the
+// VIEWCAP_SIMD_HAVE_AVX2 define when the toolchain supports it on
+// x86-64), so AVX2 instructions never leak into code that runs on
+// non-AVX2 CPUs — the dispatcher in hom_filter.cc only calls in here
+// after the runtime __builtin_cpu_supports("avx2") probe passes.
+#include "base/simd.h"
+
+#if defined(VIEWCAP_SIMD_HAVE_AVX2) && VIEWCAP_SIMD_VECTOR_EXT
+
+#include <cstring>
+
+#include "tableau/hom_filter.h"
+#include "tableau/hom_filter_impl.h"
+
+namespace viewcap {
+namespace internal {
+namespace {
+
+// 256-bit lanes: 4 x u64 for the mask stage, 8 x i32 for the length
+// stage. Same generic-vector source as the 128-bit backend; the wider
+// vector_size plus -mavx2 is the entire difference.
+struct Lanes256Traits {
+  static constexpr std::int32_t kU64Lanes = 4;
+  static constexpr std::int32_t kI32Lanes = 8;
+  typedef std::uint64_t U64V __attribute__((vector_size(32)));
+  typedef std::int64_t S64V __attribute__((vector_size(32)));
+  typedef std::int32_t I32V __attribute__((vector_size(32)));
+
+  static U64V LoadU64(const std::uint64_t* p) {
+    U64V v;
+    std::memcpy(&v, p, sizeof v);
+    return v;
+  }
+  static I32V LoadI32(const std::int32_t* p) {
+    I32V v;
+    std::memcpy(&v, p, sizeof v);
+    return v;
+  }
+  static U64V BroadcastU64(std::uint64_t x) { return U64V{x, x, x, x}; }
+};
+
+}  // namespace
+
+void FilterSourceRow256(const FilterJob& job, FilterScratch& fs,
+                        std::vector<std::int32_t>& out) {
+  FilterSourceRowVec<Lanes256Traits>(job, fs, out);
+}
+
+}  // namespace internal
+}  // namespace viewcap
+
+#endif  // VIEWCAP_SIMD_HAVE_AVX2 && VIEWCAP_SIMD_VECTOR_EXT

@@ -1,0 +1,180 @@
+// Shared lane-templated implementation of the vectorized candidate
+// filter (hom_filter.h). Included by hom_filter.cc (instantiated with
+// 128-bit lanes) and hom_filter_avx2.cc (256-bit lanes, compiled with
+// -mavx2) — the same source compiles to SSE2-class or AVX2 code purely
+// through the lane traits, which is what keeps the backends
+// predicate-identical.
+//
+// Pipeline per source row (see hom_filter.h for the contract):
+//   Stage 1  distinguished-mask cover over the group's contiguous
+//            per-row mask words, Traits::kU64Lanes rows per step, with
+//            branch-free survivor compaction (the common single-word
+//            case; multi-word masks and embedding mode take scalar-shaped
+//            paths that fill the same survivor buffer).
+//   Stage 2  signature-length prefilter: |sig(source cell)| <=
+//            |sig(target cell)| for every column, Traits::kI32Lanes
+//            columns per step over the precomputed per-cell length rows.
+//            A length violation refutes sorted-set containment, so this
+//            only ever rejects rows the exact check would reject.
+//   Stage 3  exact sorted-subset confirm per column: identical spans
+//            short-circuit (a span's begin pointer is unique per
+//            symbol), singleton needles use a broadcast-compare scan,
+//            longer needles fall back to std::includes.
+#ifndef VIEWCAP_TABLEAU_HOM_FILTER_IMPL_H_
+#define VIEWCAP_TABLEAU_HOM_FILTER_IMPL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "tableau/hom_filter.h"
+#include "tableau/soa.h"
+
+namespace viewcap {
+namespace internal {
+
+/// True when value `v` occurs in the sorted-unique run [begin, end) —
+/// equivalent to std::includes with a one-element needle. Runs are short
+/// (a symbol's distinct (rel, column) contexts), so a broadcast-compare
+/// linear scan beats a binary search.
+template <typename Traits>
+bool ContainsU64(const std::uint64_t* begin, const std::uint64_t* end,
+                 std::uint64_t v) {
+  const typename Traits::U64V needle = Traits::BroadcastU64(v);
+  // Vector comparisons yield signed-element vectors (all-ones lanes on
+  // match), so the accumulator is the signed counterpart type.
+  typename Traits::S64V acc;
+  std::memset(&acc, 0, sizeof acc);
+  const std::uint64_t* p = begin;
+  for (; p + Traits::kU64Lanes <= end; p += Traits::kU64Lanes) {
+    acc |= (Traits::LoadU64(p) == needle);
+  }
+  std::int64_t any = 0;
+  for (std::int32_t l = 0; l < Traits::kU64Lanes; ++l) {
+    any |= acc[l];
+  }
+  for (; p < end; ++p) {
+    if (*p == v) return true;
+  }
+  return any != 0;
+}
+
+template <typename Traits>
+void FilterSourceRowVec(const FilterJob& job, FilterScratch& fs,
+                        std::vector<std::int32_t>& out) {
+  const SoaTemplate& from = *job.from;
+  const SoaTemplate& to = *job.to;
+  const std::int32_t i = job.source_row;
+  const std::int32_t begin = job.group->begin;
+  const std::int32_t end = job.group->end;
+  const std::int32_t exclude = job.exclude_target_row;
+  const std::int32_t width = from.width();
+
+  ++fs.counters.invocations;
+  fs.counters.rows += static_cast<std::uint64_t>(end - begin) -
+                      ((exclude >= begin && exclude < end) ? 1 : 0);
+
+  // Stage 1: fill the survivor buffer with the rows passing the
+  // distinguished-mask cover (all rows but the excluded one in
+  // embedding mode), preserving ascending order.
+  auto& surv = fs.stage1;
+  surv.resize(static_cast<std::size_t>(end - begin));
+  std::int32_t n = 0;
+  if (job.fix_distinguished && from.dist_words() == 1) {
+    const std::uint64_t need = from.dist_mask(i)[0];
+    // dist_words == 1 makes the per-row masks a stride-1 array, so the
+    // group's masks are the contiguous word range [begin, end).
+    const std::uint64_t* have = to.dist_mask(0);
+    const typename Traits::U64V vneed = Traits::BroadcastU64(need);
+    std::int32_t j = begin;
+    for (; j + Traits::kU64Lanes <= end; j += Traits::kU64Lanes) {
+      const typename Traits::U64V bad = vneed & ~Traits::LoadU64(have + j);
+      for (std::int32_t l = 0; l < Traits::kU64Lanes; ++l) {
+        const std::int32_t jj = j + l;
+        surv[static_cast<std::size_t>(n)] = jj;
+        n += static_cast<std::int32_t>((bad[l] == 0) & (jj != exclude));
+      }
+    }
+    for (; j < end; ++j) {
+      surv[static_cast<std::size_t>(n)] = j;
+      n += static_cast<std::int32_t>(((need & ~have[j]) == 0) &
+                                     (j != exclude));
+    }
+  } else if (job.fix_distinguished) {
+    const std::uint64_t* need = from.dist_mask(i);
+    const std::int32_t words = from.dist_words();
+    for (std::int32_t j = begin; j < end; ++j) {
+      if (j == exclude) continue;
+      const std::uint64_t* have = to.dist_mask(j);
+      std::uint64_t bad = 0;
+      for (std::int32_t w = 0; w < words; ++w) bad |= need[w] & ~have[w];
+      surv[static_cast<std::size_t>(n)] = j;
+      n += static_cast<std::int32_t>(bad == 0);
+    }
+  } else {
+    for (std::int32_t j = begin; j < end; ++j) {
+      surv[static_cast<std::size_t>(n)] = j;
+      n += static_cast<std::int32_t>(j != exclude);
+    }
+  }
+
+  // Hoist the source row's needle spans and length row once; every
+  // surviving candidate reuses them.
+  const DenseSymbolId* row = from.row(i);
+  const std::int32_t* from_len = from.sig_len_row(i);
+  fs.needle_begin.resize(static_cast<std::size_t>(width));
+  fs.needle_end.resize(static_cast<std::size_t>(width));
+  for (std::int32_t k = 0; k < width; ++k) {
+    const SoaTemplate::SigSpan span = from.signature(row[k]);
+    fs.needle_begin[static_cast<std::size_t>(k)] = span.begin;
+    fs.needle_end[static_cast<std::size_t>(k)] = span.end;
+  }
+
+  for (std::int32_t s = 0; s < n; ++s) {
+    const std::int32_t j = surv[static_cast<std::size_t>(s)];
+
+    // Stage 2: vector length prefilter over the columns.
+    const std::int32_t* to_len = to.sig_len_row(j);
+    typename Traits::I32V acc;
+    std::memset(&acc, 0, sizeof acc);
+    std::int32_t k = 0;
+    for (; k + Traits::kI32Lanes <= width; k += Traits::kI32Lanes) {
+      acc |= (Traits::LoadI32(from_len + k) > Traits::LoadI32(to_len + k));
+    }
+    std::int32_t any = 0;
+    for (std::int32_t l = 0; l < Traits::kI32Lanes; ++l) any |= acc[l];
+    for (; k < width; ++k) {
+      any |= -static_cast<std::int32_t>(from_len[k] > to_len[k]);
+    }
+    if (any != 0) continue;
+
+    // Stage 3: exact per-column subset confirm.
+    const DenseSymbolId* target = to.row(j);
+    bool ok = true;
+    for (k = 0; k < width; ++k) {
+      const std::uint64_t* nb = fs.needle_begin[static_cast<std::size_t>(k)];
+      const std::uint64_t* ne = fs.needle_end[static_cast<std::size_t>(k)];
+      const SoaTemplate::SigSpan hay = to.signature(target[k]);
+      if (nb == hay.begin) continue;  // Same symbol's span: trivially true.
+      if (ne - nb == 1) {
+        if (!ContainsU64<Traits>(hay.begin, hay.end, *nb)) {
+          ok = false;
+          break;
+        }
+      } else if (!std::includes(hay.begin, hay.end, nb, ne)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      out.push_back(j);
+      ++fs.counters.survivors;
+    }
+  }
+}
+
+}  // namespace internal
+}  // namespace viewcap
+
+#endif  // VIEWCAP_TABLEAU_HOM_FILTER_IMPL_H_

@@ -8,6 +8,53 @@ namespace viewcap {
 
 namespace {
 
+// Candidate target rows per source row: same relation tag, and (in
+// fix-distinguished modes) distinguished wherever the source row is,
+// plus the occurrence-signature unification prune — the filter predicate
+// of hom_filter.h, run on `backend`. Appends `from`'s lists to the
+// arenas: survivors to `cand`, rows+1 offsets (relative to the caller's
+// position in `cand`) to `begins`, and — when `orders` is non-null — the
+// most-constrained-first (count, index) visit order. Appending instead
+// of overwriting lets the wave entry points prepare a whole batch in one
+// arena before any search runs.
+void BuildListsAppend(const SoaTemplate& from, const SoaTemplate& to,
+                      bool fix_distinguished, std::int32_t exclude_target_row,
+                      SimdBackend backend, FilterScratch& fs,
+                      std::vector<std::int32_t>& cand,
+                      std::vector<std::int32_t>& begins,
+                      std::vector<std::int32_t>* orders) {
+  const std::int32_t rows = from.num_rows();
+  const std::int32_t base = static_cast<std::int32_t>(cand.size());
+  const std::size_t begins_base = begins.size();
+  begins.push_back(0);
+  for (std::int32_t i = 0; i < rows; ++i) {
+    const SoaRowGroup* group = to.GroupFor(from.row_rel(i));
+    if (group != nullptr) {
+      FilterJob job;
+      job.from = &from;
+      job.to = &to;
+      job.source_row = i;
+      job.group = group;
+      job.fix_distinguished = fix_distinguished;
+      job.exclude_target_row = exclude_target_row;
+      FilterSourceRow(backend, job, fs, cand);
+    }
+    begins.push_back(static_cast<std::int32_t>(cand.size()) - base);
+  }
+  if (orders != nullptr) {
+    const std::size_t order_base = orders->size();
+    for (std::int32_t i = 0; i < rows; ++i) orders->push_back(i);
+    const std::int32_t* b = begins.data() + begins_base;
+    std::sort(orders->begin() + static_cast<std::ptrdiff_t>(order_base),
+              orders->end(), [b](std::int32_t x, std::int32_t y) {
+                const std::int32_t cx = b[x + 1] - b[x];
+                const std::int32_t cy = b[y + 1] - b[y];
+                if (cx != cy) return cx < cy;
+                return x < y;
+              });
+  }
+}
+
 // One search instance over prepared scratch. The candidate lists, visit
 // order and per-row unification loop mirror legacy HomSearch exactly so
 // the first witness found is the same map.
@@ -26,7 +73,25 @@ class KernelSearch {
         s_(scratch) {}
 
   bool Run() {
-    BuildCandidates();
+    s_.candidates.clear();
+    s_.cand_begin.clear();
+    s_.order.clear();
+    BuildListsAppend(from_, to_, fix_distinguished_, exclude_target_row_,
+                     s_.backend, s_.filter, s_.candidates, s_.cand_begin,
+                     &s_.order);
+    return RunPrepared(s_.candidates.data(), s_.cand_begin.data(),
+                       s_.order.data());
+  }
+
+  /// Backtracking over externally prepared lists: `cand_begin` holds
+  /// rows+1 offsets into `candidates`, `order` the visit order. The wave
+  /// entry points call this with slices of the shared wave arenas.
+  bool RunPrepared(const std::int32_t* candidates,
+                   const std::int32_t* cand_begin,
+                   const std::int32_t* order) {
+    cand_ = candidates;
+    cand_begin_ = cand_begin;
+    order_ = order;
     s_.binding.assign(static_cast<std::size_t>(from_.num_symbols()),
                       kNoDenseSymbol);
     if (injective_) {
@@ -37,77 +102,14 @@ class KernelSearch {
   }
 
  private:
-  // Candidate target rows per source row: same relation tag, and (in
-  // fix-distinguished modes) distinguished wherever the source row is —
-  // the legacy constructor's checks — plus the occurrence-signature
-  // unification prune: f maps every row onto a same-tagged row, so the
-  // value a symbol binds to must occur in every (rel, column) context the
-  // symbol occurs in. The prune is applied identically by the legacy
-  // search, keeping candidate lists (and hence witnesses) bit-identical.
-  void BuildCandidates() {
-    const std::int32_t rows = from_.num_rows();
-    s_.candidates.clear();
-    s_.cand_begin.assign(static_cast<std::size_t>(rows) + 1, 0);
-    const std::int32_t words = from_.dist_words();
-    for (std::int32_t i = 0; i < rows; ++i) {
-      const DenseSymbolId* row = from_.row(i);
-      const std::uint64_t* row_mask = from_.dist_mask(i);
-      const SoaRowGroup* group = to_.GroupFor(from_.row_rel(i));
-      if (group != nullptr) {
-        for (std::int32_t j = group->begin; j < group->end; ++j) {
-          if (j == exclude_target_row_) continue;
-          if (fix_distinguished_) {
-            const std::uint64_t* target_mask = to_.dist_mask(j);
-            bool covered = true;
-            for (std::int32_t w = 0; w < words; ++w) {
-              if ((row_mask[w] & ~target_mask[w]) != 0) {
-                covered = false;
-                break;
-              }
-            }
-            if (!covered) continue;
-          }
-          const DenseSymbolId* target = to_.row(j);
-          bool unifiable = true;
-          for (std::int32_t k = 0; k < from_.width(); ++k) {
-            if (!SignatureSubset(from_.signature(row[k]),
-                                 to_.signature(target[k]))) {
-              unifiable = false;
-              break;
-            }
-          }
-          if (unifiable) s_.candidates.push_back(j);
-        }
-      }
-      s_.cand_begin[static_cast<std::size_t>(i) + 1] =
-          static_cast<std::int32_t>(s_.candidates.size());
-    }
-    s_.order.resize(static_cast<std::size_t>(rows));
-    for (std::int32_t i = 0; i < rows; ++i) {
-      s_.order[static_cast<std::size_t>(i)] = i;
-    }
-    std::sort(s_.order.begin(), s_.order.end(),
-              [&](std::int32_t a, std::int32_t b) {
-                const std::int32_t ca = CandCount(a);
-                const std::int32_t cb = CandCount(b);
-                if (ca != cb) return ca < cb;
-                return a < b;
-              });
-  }
-
-  std::int32_t CandCount(std::int32_t i) const {
-    return s_.cand_begin[static_cast<std::size_t>(i) + 1] -
-           s_.cand_begin[static_cast<std::size_t>(i)];
-  }
-
   bool Recurse(std::int32_t depth) {
-    if (depth == static_cast<std::int32_t>(s_.order.size())) return true;
-    const std::int32_t i = s_.order[static_cast<std::size_t>(depth)];
+    if (depth == from_.num_rows()) return true;
+    const std::int32_t i = order_[static_cast<std::size_t>(depth)];
     const DenseSymbolId* row = from_.row(i);
-    const std::int32_t cand_end = s_.cand_begin[static_cast<std::size_t>(i) + 1];
-    for (std::int32_t c = s_.cand_begin[static_cast<std::size_t>(i)];
+    const std::int32_t cand_end = cand_begin_[static_cast<std::size_t>(i) + 1];
+    for (std::int32_t c = cand_begin_[static_cast<std::size_t>(i)];
          c < cand_end; ++c) {
-      const std::int32_t j = s_.candidates[static_cast<std::size_t>(c)];
+      const std::int32_t j = cand_[static_cast<std::size_t>(c)];
       const DenseSymbolId* target = to_.row(j);
       const std::size_t trail_start = s_.trail.size();
       bool ok = true;
@@ -158,6 +160,11 @@ class KernelSearch {
   bool injective_;
   std::int32_t exclude_target_row_;
   HomScratch& s_;
+  // Prepared candidate lists the recursion walks; set by Run /
+  // RunPrepared.
+  const std::int32_t* cand_ = nullptr;
+  const std::int32_t* cand_begin_ = nullptr;
+  const std::int32_t* order_ = nullptr;
 };
 
 }  // namespace
@@ -183,16 +190,122 @@ bool SoaReduceProbe(const SoaTemplate& t, std::int32_t drop,
   return search.Run();
 }
 
+std::int32_t SoaReduceSweep(const SoaTemplate& t, HomScratch& scratch) {
+  const std::int32_t rows = t.num_rows();
+  // One filter pass over the full template (no excluded row); each
+  // drop's candidate lists are the full lists minus the dropped target
+  // row, because the filter predicate never depends on the exclusion —
+  // excluding row d only removes d itself from every list.
+  auto& full_cand = scratch.wave_candidates;
+  auto& full_begin = scratch.wave_begin;
+  full_cand.clear();
+  full_begin.clear();
+  BuildListsAppend(t, t, /*fix_distinguished=*/true, /*exclude_target_row=*/-1,
+                   scratch.backend, scratch.filter, full_cand, full_begin,
+                   /*orders=*/nullptr);
+  for (std::int32_t drop = 0; drop < rows; ++drop) {
+    auto& cand = scratch.candidates;
+    auto& begins = scratch.cand_begin;
+    cand.clear();
+    begins.clear();
+    begins.push_back(0);
+    for (std::int32_t i = 0; i < rows; ++i) {
+      for (std::int32_t c = full_begin[static_cast<std::size_t>(i)];
+           c < full_begin[static_cast<std::size_t>(i) + 1]; ++c) {
+        const std::int32_t j = full_cand[static_cast<std::size_t>(c)];
+        if (j != drop) cand.push_back(j);
+      }
+      begins.push_back(static_cast<std::int32_t>(cand.size()));
+    }
+    // Most-constrained-first order over the derived counts — identical
+    // to what a per-drop filter pass would have produced.
+    auto& order = scratch.order;
+    order.clear();
+    for (std::int32_t i = 0; i < rows; ++i) order.push_back(i);
+    const std::int32_t* b = begins.data();
+    std::sort(order.begin(), order.end(), [b](std::int32_t x, std::int32_t y) {
+      const std::int32_t cx = b[x + 1] - b[x];
+      const std::int32_t cy = b[y + 1] - b[y];
+      if (cx != cy) return cx < cy;
+      return x < y;
+    });
+    KernelSearch search(t, t, HomMode::kHomomorphism, scratch, drop);
+    if (search.RunPrepared(cand.data(), begins.data(), order.data())) {
+      return drop;
+    }
+  }
+  return -1;
+}
+
 std::vector<char> SoaSearchWave(const std::vector<const SoaTemplate*>& froms,
                                 const SoaTemplate& to, HomMode mode,
                                 HomScratch& scratch) {
   std::vector<char> results(froms.size(), 0);
+  const bool fix_distinguished = mode != HomMode::kRowEmbedding;
+
+  // Phase 1: one vectorized filter pass over the shared target prepares
+  // every source's candidate lists in the wave arenas.
+  auto& cand = scratch.wave_candidates;
+  auto& begins = scratch.wave_begin;
+  auto& orders = scratch.wave_order;
+  cand.clear();
+  begins.clear();
+  orders.clear();
+  struct Slice {
+    std::int32_t cand_base = -1;
+    std::int32_t begins_base = 0;
+    std::int32_t order_base = 0;
+  };
+  std::vector<Slice> slices(froms.size());
   for (std::size_t i = 0; i < froms.size(); ++i) {
     const SoaTemplate* from = froms[i];
     if (from == nullptr || from->width() != to.width()) continue;
-    results[i] = SoaSearch(*from, to, mode, scratch, nullptr) ? 1 : 0;
+    slices[i] = Slice{static_cast<std::int32_t>(cand.size()),
+                      static_cast<std::int32_t>(begins.size()),
+                      static_cast<std::int32_t>(orders.size())};
+    BuildListsAppend(*from, to, fix_distinguished, /*exclude_target_row=*/-1,
+                     scratch.backend, scratch.filter, cand, begins, &orders);
+  }
+
+  // Phase 2: backtracking over the prepared lists. A source with any
+  // empty candidate list is trivially unmappable — skip its search
+  // setup entirely (same verdict the search would reach).
+  for (std::size_t i = 0; i < froms.size(); ++i) {
+    if (slices[i].cand_base < 0) continue;
+    const SoaTemplate& from = *froms[i];
+    const std::int32_t rows = from.num_rows();
+    const std::int32_t* b =
+        begins.data() + static_cast<std::size_t>(slices[i].begins_base);
+    bool any_empty = false;
+    for (std::int32_t r = 0; r < rows; ++r) {
+      if (b[r + 1] == b[r]) {
+        any_empty = true;
+        break;
+      }
+    }
+    if (any_empty) continue;
+    KernelSearch search(from, to, mode, scratch);
+    results[i] =
+        search.RunPrepared(
+            cand.data() + static_cast<std::size_t>(slices[i].cand_base), b,
+            orders.data() + static_cast<std::size_t>(slices[i].order_base))
+            ? 1
+            : 0;
   }
   return results;
+}
+
+std::int64_t SoaBuildCandidates(const SoaTemplate& from, const SoaTemplate& to,
+                                HomMode mode, HomScratch& scratch) {
+  VIEWCAP_CHECK(from.width() == to.width() &&
+                "SoaBuildCandidates: templates over different universes");
+  scratch.candidates.clear();
+  scratch.cand_begin.clear();
+  scratch.order.clear();
+  BuildListsAppend(from, to, mode != HomMode::kRowEmbedding,
+                   /*exclude_target_row=*/-1, scratch.backend, scratch.filter,
+                   scratch.candidates, scratch.cand_begin, &scratch.order);
+  return static_cast<std::int64_t>(scratch.candidates.size());
 }
 
 SymbolMap DecodeWitness(const SoaTemplate& from, const SoaTemplate& to,

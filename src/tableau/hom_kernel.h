@@ -23,6 +23,8 @@
 #include <optional>
 #include <vector>
 
+#include "base/simd.h"
+#include "tableau/hom_filter.h"
 #include "tableau/soa.h"
 #include "tableau/tableau.h"
 
@@ -57,6 +59,21 @@ struct HomScratch {
   std::vector<std::int32_t> cand_begin;
   /// Source rows in most-constrained-first (count, index) order.
   std::vector<std::int32_t> order;
+  /// Candidate-filter backend the searches run on, plus the filter's
+  /// scratch and counters. Every backend yields bit-identical candidate
+  /// lists (hom_filter.h), so this choice never affects verdicts or
+  /// witnesses — only throughput. The engine sets it from
+  /// EngineOptions::simd and harvests `filter.counters` into
+  /// per-backend stats after each search.
+  SimdBackend backend = DefaultSimdBackend();
+  FilterScratch filter;
+  /// Wave arenas: the batched entry points (SoaSearchWave,
+  /// SoaReduceSweep) pre-filter every candidate list of the batch into
+  /// these before any backtracking runs, so the filter makes one
+  /// vectorized pass over the shared target per wave.
+  std::vector<std::int32_t> wave_candidates;
+  std::vector<std::int32_t> wave_begin;
+  std::vector<std::int32_t> wave_order;
 };
 
 /// Runs one search from `from` into `to`, which must be lowered from
@@ -77,13 +94,41 @@ bool SoaSearch(const SoaTemplate& from, const SoaTemplate& to, HomMode mode,
 bool SoaReduceProbe(const SoaTemplate& t, std::int32_t drop,
                     HomScratch& scratch);
 
+/// The all-n-drops probe behind Reduce: returns the smallest `drop` such
+/// that SoaReduceProbe(t, drop, scratch) holds, or -1 when no single row
+/// is redundant. The candidate filter runs ONCE over the full template;
+/// each drop's lists are then derived by deleting the dropped row from
+/// the prefiltered lists (the filter predicate is drop-independent — the
+/// exclusion only ever removes the dropped row itself), so n probes pay
+/// for one filter pass instead of n. Searches are run in ascending drop
+/// order with the exact per-drop candidate lists and ordering, keeping
+/// the answer bit-identical to the probe-per-drop loop.
+std::int32_t SoaReduceSweep(const SoaTemplate& t, HomScratch& scratch);
+
 /// Evaluates a wave of source templates against one shared target,
 /// reusing `scratch` across the batch. results[i] is the verdict for
 /// froms[i] (null pointers yield false). Width-mismatched entries are
 /// false, mirroring the universe check of the scalar entry points.
+///
+/// Phase 1 pre-filters every source's candidate lists into the wave
+/// arenas in one vectorized pass over the shared target (amortizing the
+/// target's masks, length rows and signature pool across the batch);
+/// phase 2 runs the backtracking searches over the prepared lists, with
+/// an any-empty-list early-out per source (an empty candidate list makes
+/// the search trivially false). Verdicts are bit-identical to calling
+/// SoaSearch per source.
 std::vector<char> SoaSearchWave(const std::vector<const SoaTemplate*>& froms,
                                 const SoaTemplate& to, HomMode mode,
                                 HomScratch& scratch);
+
+/// Runs only the candidate-filter stage of a search from `from` into
+/// `to` on scratch.backend, leaving the lists in scratch.candidates /
+/// scratch.cand_begin / scratch.order exactly as the search would see
+/// them. Returns the total survivor count. Exposed for the differential
+/// tests (survivor lists must be bit-identical across backends) and the
+/// filter benchmarks.
+std::int64_t SoaBuildCandidates(const SoaTemplate& from, const SoaTemplate& to,
+                                HomMode mode, HomScratch& scratch);
 
 /// Decodes a dense witness back into the legacy SymbolMap form: bound
 /// pairs become symbol entries, then (matching HomSearch::Run) identity

@@ -9,31 +9,35 @@
 namespace viewcap {
 
 Tableau Reduce(const Catalog& catalog, const Tableau& t) {
+  HomScratch scratch;
+  return Reduce(catalog, t, scratch);
+}
+
+Tableau Reduce(const Catalog& catalog, const Tableau& t, HomScratch& scratch) {
   Tableau current = t;
   bool changed = true;
-  HomScratch scratch;
   while (changed && current.size() > 1) {
     changed = false;
-    // One lowering serves every drop probe of this pass: the probe
-    // searches current -> current minus one row over the same SoA form
-    // instead of building and lowering each (n-1)-row subset.
+    // One lowering — and one candidate-filter pass — serves every drop
+    // probe of this pass: the sweep searches current -> current minus
+    // one row over the same SoA form for all n drops, deriving each
+    // drop's candidate lists from one shared prefilter instead of
+    // re-filtering (let alone re-lowering) per probe.
     const SoaTemplate soa = SoaTemplate::Lower(current);
-    for (std::size_t drop = 0; drop < current.size(); ++drop) {
-      // current minus a row is a subset, so current(alpha) is contained
-      // in the subset's result for every alpha; equivalence therefore
-      // needs exactly a homomorphism current -> current minus the row.
-      // That homomorphism fixes distinguished symbols, so TRS and
-      // condition (iii) survive automatically.
-      if (SoaReduceProbe(soa, static_cast<std::int32_t>(drop), scratch)) {
-        std::vector<std::size_t> keep;
-        keep.reserve(current.size() - 1);
-        for (std::size_t i = 0; i < current.size(); ++i) {
-          if (i != drop) keep.push_back(i);
-        }
-        current = current.SubsetRows(keep);
-        changed = true;
-        break;
+    // current minus a row is a subset, so current(alpha) is contained
+    // in the subset's result for every alpha; equivalence therefore
+    // needs exactly a homomorphism current -> current minus the row.
+    // That homomorphism fixes distinguished symbols, so TRS and
+    // condition (iii) survive automatically.
+    const std::int32_t drop = SoaReduceSweep(soa, scratch);
+    if (drop >= 0) {
+      std::vector<std::size_t> keep;
+      keep.reserve(current.size() - 1);
+      for (std::size_t i = 0; i < current.size(); ++i) {
+        if (i != static_cast<std::size_t>(drop)) keep.push_back(i);
       }
+      current = current.SubsetRows(keep);
+      changed = true;
     }
   }
   ValidateTableau(catalog, current);

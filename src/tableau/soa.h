@@ -113,6 +113,23 @@ class SoaTemplate {
             sig_pool_.data() + sig_begin_[i + 1]};
   }
 
+  /// Signature length (context count) of a dense symbol — the size of
+  /// signature(id), kept as its own array for the vectorized filter.
+  std::int32_t sig_len(DenseSymbolId id) const {
+    const std::size_t i = static_cast<std::size_t>(id);
+    return sig_begin_[i + 1] - sig_begin_[i];
+  }
+
+  /// Per-cell signature lengths, row-major with the same stride as the
+  /// cell array: sig_len_row(i)[k] == sig_len(row(i)[k]). Materialized so
+  /// the filter's necessary-condition stage (|sig(source cell)| must not
+  /// exceed |sig(target cell)| for the subset check to hold) is a
+  /// contiguous int32 compare the SIMD backends evaluate 4/8 columns at a
+  /// time.
+  const std::int32_t* sig_len_row(std::int32_t i) const {
+    return sig_len_cells_.data() + static_cast<std::size_t>(i) * width_;
+  }
+
   /// Decodes a dense id back to the original Symbol.
   const Symbol& symbol(DenseSymbolId id) const {
     return dense_to_symbol_[static_cast<std::size_t>(id)];
@@ -133,7 +150,8 @@ class SoaTemplate {
   // sig_pool_[sig_begin_[id], sig_begin_[id + 1]), sorted unique. One
   // flat pool instead of per-symbol vectors keeps Lower allocation-lean.
   std::vector<std::uint64_t> sig_pool_;
-  std::vector<std::int32_t> sig_begin_;  // num_symbols + 1.
+  std::vector<std::int32_t> sig_begin_;     // num_symbols + 1.
+  std::vector<std::int32_t> sig_len_cells_;  // num_rows * width, row-major.
 };
 
 /// True when the signature `needle` is contained in `haystack` (both

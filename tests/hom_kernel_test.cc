@@ -311,6 +311,113 @@ TEST_F(HomKernelTest, WaveMatchesScalarSearches) {
   }
 }
 
+// --- SIMD backends: survivor lists and verdicts bit-identical ----------
+
+TEST_F(HomKernelTest, FilterBackendsProduceIdenticalSurvivorLists) {
+  // Every compiled-and-runnable backend must emit the scalar oracle's
+  // candidate lists bit for bit: same survivors, same offsets, same
+  // most-constrained order, same filter counters. This is the invariant
+  // that makes backend choice invisible to verdicts and witnesses.
+  const std::vector<SimdBackend> backends = AvailableSimdBackends();
+  ASSERT_FALSE(backends.empty());
+  ASSERT_EQ(backends.front(), SimdBackend::kScalar);
+  Random rng(31415);
+  std::size_t nonempty_lists = 0;
+  for (int round = 0; round < 120; ++round) {
+    const Tableau a = RandomTableau(rng, 4);
+    const Tableau b = rng.Chance(0.5) ? RandomTableau(rng, 5)
+                                      : RenamedCopy(RandomTableau(rng, 4), 50);
+    if (a.universe() != b.universe()) continue;
+    const SoaTemplate from = SoaTemplate::Lower(a);
+    const SoaTemplate to = SoaTemplate::Lower(b);
+    for (const HomMode mode :
+         {HomMode::kHomomorphism, HomMode::kRowEmbedding}) {
+      HomScratch scalar;
+      scalar.backend = SimdBackend::kScalar;
+      const std::int64_t scalar_survivors =
+          SoaBuildCandidates(from, to, mode, scalar);
+      if (scalar_survivors > 0) ++nonempty_lists;
+      for (std::size_t bi = 1; bi < backends.size(); ++bi) {
+        SCOPED_TRACE(StrCat("round=", round, " backend=",
+                            SimdBackendName(backends[bi])));
+        HomScratch vec;
+        vec.backend = backends[bi];
+        EXPECT_EQ(SoaBuildCandidates(from, to, mode, vec), scalar_survivors);
+        EXPECT_EQ(vec.candidates, scalar.candidates);
+        EXPECT_EQ(vec.cand_begin, scalar.cand_begin);
+        EXPECT_EQ(vec.order, scalar.order);
+        EXPECT_EQ(vec.filter.counters, scalar.filter.counters);
+      }
+    }
+  }
+  EXPECT_GE(nonempty_lists, 40u);  // The corpus must exercise survivors.
+}
+
+TEST_F(HomKernelTest, FilterBackendsAgreeOnReduceProbesAndWaves) {
+  const std::vector<SimdBackend> backends = AvailableSimdBackends();
+  Random rng(2718);
+  for (int round = 0; round < 60; ++round) {
+    const Tableau t = RandomTableau(rng, 4);
+    const SoaTemplate soa = SoaTemplate::Lower(t);
+    // The all-n-drops sweep must agree with per-drop probes on every
+    // backend — and across backends.
+    std::optional<std::int32_t> expected_sweep;
+    for (const SimdBackend backend : backends) {
+      SCOPED_TRACE(StrCat("round=", round, " backend=",
+                          SimdBackendName(backend)));
+      HomScratch scratch;
+      scratch.backend = backend;
+      const std::int32_t sweep = SoaReduceSweep(soa, scratch);
+      std::int32_t probe = -1;
+      for (std::int32_t drop = 0; drop < soa.num_rows(); ++drop) {
+        if (SoaReduceProbe(soa, drop, scratch)) {
+          probe = drop;
+          break;
+        }
+      }
+      EXPECT_EQ(sweep, probe);
+      if (!expected_sweep.has_value()) {
+        expected_sweep = sweep;
+      } else {
+        EXPECT_EQ(sweep, *expected_sweep);
+      }
+    }
+  }
+  // Waves: phase-1 prefilter + phase-2 searches match scalar verdicts on
+  // every backend.
+  const Tableau target = T("r * s * t * u");
+  const SoaTemplate target_soa = SoaTemplate::Lower(target);
+  std::vector<Tableau> sources;
+  std::vector<SoaTemplate> lowered;
+  for (int i = 0; i < 16; ++i) {
+    sources.push_back(RandomTableau(rng, 3));
+    lowered.push_back(SoaTemplate::Lower(sources.back()));
+  }
+  std::vector<const SoaTemplate*> pointers;
+  for (const SoaTemplate& soa : lowered) pointers.push_back(&soa);
+  for (const HomMode mode : {HomMode::kHomomorphism, HomMode::kRowEmbedding}) {
+    std::optional<std::vector<char>> expected_wave;
+    for (const SimdBackend backend : backends) {
+      SCOPED_TRACE(StrCat("mode=", static_cast<int>(mode), " backend=",
+                          SimdBackendName(backend)));
+      HomScratch scratch;
+      scratch.backend = backend;
+      const std::vector<char> wave =
+          SoaSearchWave(pointers, target_soa, mode, scratch);
+      for (std::size_t i = 0; i < sources.size(); ++i) {
+        EXPECT_EQ(wave[i] != 0,
+                  SoaSearch(lowered[i], target_soa, mode, scratch, nullptr))
+            << i;
+      }
+      if (!expected_wave.has_value()) {
+        expected_wave = wave;
+      } else {
+        EXPECT_EQ(wave, *expected_wave);
+      }
+    }
+  }
+}
+
 // --- Engine level: SoA vs legacy kernels, threads {1,2,8} --------------
 
 /// Asserts counter identity between two engine runs. With `exact` every
@@ -378,9 +485,11 @@ class EngineDifferentialTest : public ::testing::Test {
         "W"));
   }
 
-  static EngineOptions KernelOptions(bool use_soa) {
+  static EngineOptions KernelOptions(
+      bool use_soa, SimdBackend backend = DefaultSimdBackend()) {
     EngineOptions options;
     options.use_soa_kernel = use_soa;
+    options.simd = backend;
     return options;
   }
 
@@ -388,9 +497,10 @@ class EngineDifferentialTest : public ::testing::Test {
   /// paths, repeated for warmth), view equivalence, redundancy
   /// elimination — on one engine and returns (stats, observable outcome
   /// rendering).
-  std::pair<EngineStats, std::string> RunWorkload(bool use_soa,
-                                                  std::size_t threads) {
-    Engine engine(&catalog_, KernelOptions(use_soa));
+  std::pair<EngineStats, std::string> RunWorkload(
+      bool use_soa, std::size_t threads,
+      SimdBackend backend = DefaultSimdBackend()) {
+    Engine engine(&catalog_, KernelOptions(use_soa, backend));
     SearchLimits limits;
     limits.threads = threads;
     std::string log;
@@ -453,6 +563,47 @@ TEST_F(EngineDifferentialTest, SoaAndLegacyEnginesAgreeForEveryThreadCount) {
       reference = soa;
     } else {
       EXPECT_EQ(soa.second, reference->second);
+    }
+  }
+}
+
+TEST_F(EngineDifferentialTest, SimdBackendsAgreeForEveryThreadCount) {
+  // Engine-level backend invariance: the full mixed workload must produce
+  // identical outcomes and scheduling-invariant counters on every
+  // runnable SIMD backend, at every thread count. At threads=1 the
+  // filter counters themselves must match bit for bit across backends
+  // (same searches, same candidate lists — only the lanes differ).
+  const std::vector<SimdBackend> backends = AvailableSimdBackends();
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    std::optional<std::pair<EngineStats, std::string>> scalar_run;
+    for (const SimdBackend backend : backends) {
+      SCOPED_TRACE(StrCat("threads=", threads, " backend=",
+                          SimdBackendName(backend)));
+      auto run = RunWorkload(/*use_soa=*/true, threads, backend);
+      // The engine accumulates filter work in exactly its resolved
+      // backend's stats slot.
+      const std::size_t slot = SimdBackendIndex(backend);
+      EXPECT_GT(run.first.filter[slot].invocations, 0u);
+      EXPECT_GE(run.first.filter[slot].rows, run.first.filter[slot].survivors);
+      for (std::size_t b = 0; b < kNumSimdBackends; ++b) {
+        if (b != slot) EXPECT_EQ(run.first.filter[b].invocations, 0u) << b;
+      }
+      if (!scalar_run.has_value()) {
+        scalar_run = run;
+        continue;
+      }
+      EXPECT_EQ(run.second, scalar_run->second);
+      ExpectSameStats(run.first, scalar_run->first, /*exact=*/threads == 1);
+      if (threads == 1) {
+        const std::size_t scalar_slot = SimdBackendIndex(backends.front());
+        EXPECT_EQ(run.first.filter[slot].invocations,
+                  scalar_run->first.filter[scalar_slot].invocations);
+        EXPECT_EQ(run.first.filter[slot].rows,
+                  scalar_run->first.filter[scalar_slot].rows);
+        EXPECT_EQ(run.first.filter[slot].survivors,
+                  scalar_run->first.filter[scalar_slot].survivors);
+      }
     }
   }
 }

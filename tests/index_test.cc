@@ -108,6 +108,27 @@ TEST(IndexBuildTest, BuildIsByteDeterministic) {
   EXPECT_EQ(first, second);
 }
 
+TEST(IndexBuildTest, BuildIsByteDeterministicAcrossThreadCounts) {
+  // The per-view saturation and cross-view sweeps run in parallel over
+  // views when the serving limits allow; the output bytes must not
+  // depend on the thread count (ordinals, dedup, and exemplar
+  // serialization happen in a serial phase — see BuildIndexBytes).
+  std::string serial;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    Analyzer analyzer;
+    VIEWCAP_EXPECT_OK(analyzer.Load(kProgram));
+    IndexBuildOptions options;
+    options.limits.threads = threads;
+    const std::string bytes = Unwrap(BuildIndexBytes(analyzer, options));
+    if (threads == 1u) {
+      serial = bytes;
+      EXPECT_FALSE(serial.empty());
+    } else {
+      EXPECT_EQ(bytes, serial) << "threads=" << threads;
+    }
+  }
+}
+
 TEST(IndexRoundTripTest, MembershipBitIdenticalToLiveEngine) {
   const std::string path = TempPath("roundtrip_membership.vcidx");
   BuildOver(kProgram, path);

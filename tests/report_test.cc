@@ -1,6 +1,8 @@
 // Tests for core/report.h: the markdown audit generator.
 #include <gtest/gtest.h>
 
+#include "base/simd.h"
+#include "base/strings.h"
 #include "core/report.h"
 #include "tests/test_util.h"
 
@@ -72,6 +74,63 @@ TEST_F(ReportTest, SingleViewSkipsLattice) {
   )"));
   std::string report = Unwrap(RenderReport(solo));
   EXPECT_EQ(report.find("## Pairwise dominance"), std::string::npos);
+}
+
+TEST(RenderHitRateTest, ZeroDenominatorPrintsNotApplicable) {
+  // A fresh engine has caches with zero requests; their rate column must
+  // read "n/a", never a fake "0.0%" (and never divide by zero).
+  EXPECT_EQ(RenderHitRate(0, 0), "n/a");
+  EXPECT_EQ(RenderHitRate(0, 4), "0.0%");
+  EXPECT_EQ(RenderHitRate(1, 3), "33.3%");
+  EXPECT_EQ(RenderHitRate(3, 3), "100.0%");
+}
+
+TEST(RenderEngineStatsTest, FreshEngineRendersNoBogusRates) {
+  const std::string out = RenderEngineStats(EngineStats{});
+  EXPECT_NE(out.find("| reduce | 0 | 0 | n/a |"), std::string::npos) << out;
+  EXPECT_EQ(out.find("0.0%"), std::string::npos) << out;
+  // The filter table renders its header but no backend rows: no filter
+  // ran, so there is nothing to rate.
+  EXPECT_NE(out.find("### Candidate filter"), std::string::npos);
+  EXPECT_NE(out.find("| backend | invocations | rows | survivors |"),
+            std::string::npos);
+  EXPECT_EQ(out.find("| scalar |"), std::string::npos) << out;
+}
+
+TEST(RenderEngineStatsTest, FilterTableShowsOnlyBackendsThatRan) {
+  EngineStats stats;
+  const std::size_t slot = SimdBackendIndex(SimdBackend::kScalar);
+  stats.filter[slot].invocations = 4;
+  stats.filter[slot].rows = 10;
+  stats.filter[slot].survivors = 5;
+  const std::string out = RenderEngineStats(stats);
+  EXPECT_NE(out.find("| scalar | 4 | 10 | 5 | 50.0% |"), std::string::npos)
+      << out;
+  EXPECT_EQ(out.find("| simd128 |"), std::string::npos) << out;
+  EXPECT_EQ(out.find("| simd256 |"), std::string::npos) << out;
+}
+
+TEST(RenderEngineStatsTest, LiveEngineReportsFilterActivity) {
+  // Any real workload runs the candidate filter (Reduce probes at
+  // minimum), so the resolved backend's row must appear with a live
+  // survivor rate.
+  Analyzer analyzer;
+  VIEWCAP_ASSERT_OK(analyzer.Load(R"(
+    schema { r(A, B, C); }
+    view V { v := pi{A,B}(r) * pi{B,C}(r); }
+  )"));
+  ReportOptions options;
+  options.include_engine_stats = true;
+  const std::string report = Unwrap(RenderReport(analyzer, options));
+  const EngineStats stats = analyzer.engine_stats();
+  const SimdBackend backend = ResolveSimdBackend(DefaultSimdBackend());
+  const FilterBackendCounters& f = stats.filter[SimdBackendIndex(backend)];
+  EXPECT_GT(f.invocations, 0u);
+  EXPECT_GE(f.rows, f.survivors);
+  const std::string row =
+      StrCat("| ", SimdBackendName(backend), " | ", f.invocations, " | ",
+             f.rows, " | ", f.survivors, " | ");
+  EXPECT_NE(report.find(row), std::string::npos) << report;
 }
 
 }  // namespace

@@ -60,6 +60,13 @@ cmake --build --preset ci-ubsan
 echo "== test (ci-ubsan) =="
 ctest --preset ci-ubsan
 
+# The SIMD-vs-scalar differential suite runs inside the three sanitizer
+# passes above with runtime backend dispatch; run it once more with the
+# SIMD override forced off so the pure-scalar configuration (what
+# -DVIEWCAP_SIMD=off ships) keeps the exact same verdicts and counters.
+echo "== hom kernel differential (VIEWCAP_SIMD=off) =="
+VIEWCAP_SIMD=off "$repo_root/build-asan/tests/hom_kernel_test"
+
 # Persistent capacity index round trip under ASan: build an index over
 # every example catalog, reopen it in a fresh process per command, and
 # require every verdict to be bit-identical to the live engine (plus the
